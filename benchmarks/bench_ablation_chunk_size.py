@@ -1,0 +1,64 @@
+"""Ablation: IIC-to-TEXTURE chunk size (paper Section 5.1's design choice).
+
+The paper: "When we conducted tests using smaller chunks, the overlap
+between partitions created a volume of communication that was too great
+... Larger chunk sizes also produced poor results because the large data
+portions could not be distributed to the texture analysis filters fast
+enough, which left some texture analysis filters in an idle state.
+Therefore, we chose a chunk size that had a tolerable amount of overlap
+... and also produced a balanced data distribution."
+
+This sweep varies the in-plane chunk dimension at 8 texture nodes and
+reports makespan plus the chunk traffic (overlap redundancy): small
+chunks blow up communication, a single giant chunk starves all but one
+filter, and the paper's 50x50 sits near the optimum.
+"""
+
+from harness import print_table, record
+
+from repro.sim import SimRuntime, paper_workload
+from repro.sim.layouts import homogeneous_hmp
+
+CHUNK_XY = (10, 20, 50, 120, 252)
+
+
+def sweep():
+    rows = []
+    for cxy in CHUNK_XY:
+        wl = paper_workload(chunk_shape=(cxy, cxy, 32, 32))
+        rep = SimRuntime(wl, *homogeneous_hmp(8)).run()
+        raw_bytes = 256 * 256 * 32 * 32 * 2
+        rows.append(
+            {
+                "chunk_xy": cxy,
+                "chunks": len(wl.chunks),
+                "time_s": rep.makespan,
+                "chunk_traffic_mb": rep.stream_bytes["iic2tex"] / 1e6,
+                "overlap_redundancy": rep.stream_bytes["iic2tex"] / raw_bytes,
+            }
+        )
+    return rows
+
+
+def test_chunk_size_ablation(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Ablation: IIC-to-TEXTURE chunk size (8 HMP nodes)",
+        ["chunk xy", "chunks", "time (s)", "traffic MB", "redundancy"],
+        [
+            (r["chunk_xy"], r["chunks"], r["time_s"], r["chunk_traffic_mb"],
+             r["overlap_redundancy"])
+            for r in rows
+        ],
+    )
+    record("ablation_chunk_size", rows)
+    by_size = {r["chunk_xy"]: r for r in rows}
+    # Small chunks: heavy overlap redundancy (>2x the raw data on wire).
+    assert by_size[10]["overlap_redundancy"] > 2.0
+    assert by_size[50]["overlap_redundancy"] < 1.25
+    # The paper's 50x50 beats both the tiny-chunk and one-giant-chunk ends.
+    assert by_size[50]["time_s"] < by_size[10]["time_s"]
+    assert by_size[50]["time_s"] < by_size[252]["time_s"]
+    # One chunk = one busy filter: catastrophic imbalance.
+    assert by_size[252]["time_s"] > 3 * by_size[50]["time_s"]
+    benchmark.extra_info["series"] = rows

@@ -1,0 +1,74 @@
+"""Fig. 9: per-filter processing time in the split HCC+HPC pipeline.
+
+Paper result: the read (RFR) and write (USO) filters are negligible; the
+HCC and HPC processing times shrink as texture nodes are added; the
+single IIC filter's time stays flat, so its *relative* weight grows until
+it limits scalability around the 16-node configuration (Section 5.2) —
+the remedy, also measured here, is running explicit IIC copies, whose
+per-copy time drops almost linearly.
+"""
+
+from harness import print_table, record
+
+from repro.sim import SimRuntime, paper_workload
+from repro.sim.layouts import homogeneous_split
+
+NODES = (2, 4, 8, 16)
+FILTERS = ("RFR", "IIC", "HCC", "HPC", "USO")
+
+
+def sweep():
+    wl = paper_workload()
+    rows = []
+    for n in NODES:
+        rep = SimRuntime(wl, *homogeneous_split(n, sparse=True)).run()
+        row = {"nodes": n}
+        for f in FILTERS:
+            row[f] = rep.filter_busy_mean(f)
+        rows.append(row)
+    return rows
+
+
+def iic_copy_sweep():
+    wl = paper_workload()
+    rows = []
+    for n_iic in (1, 2, 4):
+        rep = SimRuntime(
+            wl, *homogeneous_split(8, sparse=True, num_iic=n_iic)
+        ).run()
+        rows.append({"iic_copies": n_iic, "iic_per_copy_s": rep.filter_busy_mean("IIC")})
+    return rows
+
+
+def test_fig9_breakdown(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Fig 9: per-filter processing time (simulated seconds, mean per copy)",
+        ["nodes"] + list(FILTERS),
+        [tuple([r["nodes"]] + [r[f] for f in FILTERS]) for r in rows],
+    )
+    record("fig9", rows)
+    first, last = rows[0], rows[-1]
+    for r in rows:
+        assert r["RFR"] < 0.1 * r["HCC"]  # read negligible
+        assert r["USO"] < 0.5 * r["HCC"]  # write negligible
+    assert last["HCC"] < 0.2 * first["HCC"]  # texture time scales down
+    assert abs(last["IIC"] - first["IIC"]) < 1e-6 * first["IIC"]  # IIC flat
+    # IIC becomes the looming bottleneck: its share grows monotonically.
+    shares = [r["IIC"] / r["HCC"] for r in rows]
+    assert all(a < b for a, b in zip(shares, shares[1:]))
+    benchmark.extra_info["series"] = rows
+
+
+def test_fig9_iic_copies(benchmark):
+    rows = benchmark.pedantic(iic_copy_sweep, rounds=1, iterations=1)
+    print_table(
+        "Section 5.2: explicit IIC copies (per-copy processing time)",
+        ["IIC copies", "seconds"],
+        [(r["iic_copies"], r["iic_per_copy_s"]) for r in rows],
+    )
+    record("fig9_iic_copies", rows)
+    # Near-linear decrease with copy count.
+    assert rows[1]["iic_per_copy_s"] < 0.6 * rows[0]["iic_per_copy_s"]
+    assert rows[2]["iic_per_copy_s"] < 0.35 * rows[0]["iic_per_copy_s"]
+    benchmark.extra_info["series"] = rows

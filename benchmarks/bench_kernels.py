@@ -1,0 +1,73 @@
+"""Throughput benchmarks of the real compute kernels.
+
+Not a paper figure — these measure the building blocks (co-occurrence
+scan, feature kernels, quantization) on this machine, and feed the
+``measure_costs`` calibration path of the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cooccurrence import cooccurrence_matrix, cooccurrence_scan
+from repro.core.features import HARALICK_FEATURES, PAPER_FEATURES, haralick_features
+from repro.core.features_sparse import features_from_sparse
+from repro.core.quantization import quantize_linear
+from repro.core.roi import ROISpec
+from repro.core.sparse import batch_sparse_from_dense, sparse_from_dense
+
+LEVELS = 32
+ROI = ROISpec((5, 5, 5, 3))
+
+
+@pytest.fixture(scope="module")
+def volume():
+    rng = np.random.default_rng(0)
+    from scipy.ndimage import gaussian_filter
+
+    raw = gaussian_filter(rng.normal(size=(24, 24, 12, 6)), sigma=1.5)
+    return quantize_linear(raw, LEVELS)
+
+
+@pytest.fixture(scope="module")
+def matrices(volume):
+    batches = [m for _s, m in cooccurrence_scan(volume, ROI, LEVELS, batch=1024)]
+    return np.concatenate(batches)[:1024]
+
+
+def test_cooccurrence_scan_throughput(benchmark, volume):
+    def scan():
+        total = 0
+        for _start, mats in cooccurrence_scan(volume, ROI, LEVELS, batch=2048):
+            total += mats.shape[0]
+        return total
+
+    total = benchmark(scan)
+    benchmark.extra_info["rois"] = total
+
+
+def test_single_window_matrix(benchmark, volume):
+    window = volume[:5, :5, :5, :3]
+    benchmark(lambda: cooccurrence_matrix(window, LEVELS))
+
+
+def test_paper_features_batch(benchmark, matrices):
+    benchmark(lambda: haralick_features(matrices, PAPER_FEATURES))
+
+
+def test_all_fourteen_features_batch(benchmark, matrices):
+    benchmark(lambda: haralick_features(matrices, HARALICK_FEATURES))
+
+
+def test_sparse_conversion(benchmark, matrices):
+    benchmark(lambda: batch_sparse_from_dense(matrices[:256]))
+
+
+def test_sparse_features(benchmark, matrices):
+    sparse = batch_sparse_from_dense(matrices[:256])
+    benchmark(lambda: [features_from_sparse(sp, PAPER_FEATURES) for sp in sparse])
+
+
+def test_quantization(benchmark):
+    rng = np.random.default_rng(1)
+    raw = rng.integers(0, 4096, size=(256, 256, 8, 4)).astype(np.uint16)
+    benchmark(lambda: quantize_linear(raw, LEVELS, lo=0, hi=4095))

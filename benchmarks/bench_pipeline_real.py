@@ -1,0 +1,76 @@
+"""Real threaded-pipeline benchmarks on this machine.
+
+Complements the simulated figures: runs the actual filter network
+(threads + queues + real NumPy kernels) end-to-end over a disk-resident
+phantom, comparing the HMP and split variants and replicated texture
+copies.  Numbers here are wall-clock on the host, not paper hardware.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import PhantomConfig, generate_phantom
+from repro.filters.messages import TextureParams
+from repro.pipeline.config import AnalysisConfig
+from repro.pipeline.run import run_pipeline
+from repro.storage.dataset import write_dataset
+
+PARAMS = TextureParams(
+    roi_shape=(5, 5, 5, 3),
+    levels=16,
+    intensity_range=(0.0, 65535.0),
+)
+
+
+@pytest.fixture(scope="module")
+def dataset_root(tmp_path_factory):
+    vol = generate_phantom(PhantomConfig(shape=(32, 32, 10, 6), seed=0))
+    root = str(tmp_path_factory.mktemp("bench_ds") / "data")
+    write_dataset(vol, root, num_nodes=2)
+    return root
+
+
+def _config(variant, copies):
+    kwargs = dict(
+        texture=PARAMS,
+        variant=variant,
+        texture_chunk_shape=(16, 16, 10, 6),
+    )
+    if variant == "hmp":
+        kwargs["num_texture_copies"] = copies
+    else:
+        kwargs["num_hcc_copies"] = max(1, copies - 1)
+        kwargs["num_hpc_copies"] = 1
+    return AnalysisConfig(**kwargs)
+
+
+@pytest.mark.parametrize("copies", [1, 2, 4])
+def test_hmp_pipeline(benchmark, dataset_root, copies):
+    result = benchmark.pedantic(
+        lambda: run_pipeline(dataset_root, _config("hmp", copies)),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(result.volumes) == set(PARAMS.features)
+    benchmark.extra_info["copies"] = copies
+
+
+@pytest.mark.parametrize("sparse", [False, True])
+def test_split_pipeline(benchmark, dataset_root, sparse):
+    params = TextureParams(
+        roi_shape=(5, 5, 5, 3),
+        levels=16,
+        intensity_range=(0.0, 65535.0),
+        sparse=sparse,
+    )
+    cfg = AnalysisConfig(
+        texture=params,
+        variant="split",
+        texture_chunk_shape=(16, 16, 10, 6),
+        num_hcc_copies=3,
+        num_hpc_copies=1,
+    )
+    result = benchmark.pedantic(
+        lambda: run_pipeline(dataset_root, cfg), rounds=1, iterations=1
+    )
+    assert set(result.volumes) == set(params.features)

@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Benchmarks live outside the main test tree; run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Figure tables are printed to stdout (shown with ``-s`` or in this
+suite's default capture mode) and recorded under ``benchmarks/results/``.
+"""
+
+import sys
+import os
+
+# Make `harness` importable regardless of invocation directory.
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,44 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_fig*.py`` module reproduces one table or figure of the
+paper's evaluation (Section 5): it runs the corresponding experiment
+(full paper-scale workload on the simulated testbeds, or real kernels
+for the compute-level claims), prints the series the paper plots, and
+records the numbers in ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Absolute times are *simulated seconds* on the modeled 2004 hardware —
+the claim under test is the shape (who wins, by what factor, where
+curves cross), not the absolute scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record(name: str, rows: List[Dict]) -> None:
+    """Persist a result series for the experiment log."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
+        json.dump(rows, fh, indent=1)
+
+
+def print_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None:
+    """Print a small aligned table (the figure's data series)."""
+    widths = [
+        max(len(str(h)), max((len(f"{r[i]:.1f}" if isinstance(r[i], float) else str(r[i]))
+                              for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        cells = [
+            (f"{v:.1f}" if isinstance(v, float) else str(v)).rjust(w)
+            for v, w in zip(r, widths)
+        ]
+        print("  ".join(cells))

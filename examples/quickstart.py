@@ -1,0 +1,50 @@
+"""Quickstart: sequential 4D Haralick texture analysis in memory.
+
+Generates a small synthetic DCE-MRI study, runs the paper's default
+analysis (5x5x5x3 ROI, 32 grey levels, four Haralick parameters), and
+prints summary statistics of each output feature volume.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import HaralickConfig, haralick_transform
+from repro.data import PhantomConfig, Lesion, generate_phantom
+
+
+def main() -> None:
+    # A 48x48x12x6 study with one strongly enhancing lesion.
+    lesion = Lesion(center=(24, 24, 6), radius=7, amplitude=0.7, uptake_rate=0.9)
+    volume = generate_phantom(
+        PhantomConfig(shape=(48, 48, 12, 6), lesions=(lesion,), seed=42)
+    )
+    print(f"input volume: {volume.shape}, dtype {volume.data.dtype}")
+
+    config = HaralickConfig(roi_shape=(5, 5, 5, 3), levels=32)
+    print(f"analysis: ROI {config.roi_shape}, G={config.levels}, "
+          f"features {config.features}")
+    print(f"output shape per feature: {config.output_shape(volume.shape)}")
+
+    features = haralick_transform(volume.data, config)
+
+    print("\nfeature volume statistics:")
+    for name, vol in features.items():
+        print(
+            f"  {name:<16} min={vol.min():8.4f}  mean={vol.mean():8.4f}  "
+            f"max={vol.max():8.4f}"
+        )
+
+    # Texture responds to the lesion: entropy-like heterogeneity measures
+    # differ between lesion center and background.
+    asm = features["asm"]
+    cx, cy, cz = 22, 22, 4  # ROI-origin coords near the lesion center
+    lesion_asm = asm[cx, cy, cz].mean()
+    corner_asm = asm[:4, :4, :2].mean()
+    print(f"\nASM near lesion: {lesion_asm:.4f}  vs background: {corner_asm:.4f}")
+    print("(lower ASM = less uniform texture)")
+
+
+if __name__ == "__main__":
+    main()

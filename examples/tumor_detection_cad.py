@@ -1,0 +1,83 @@
+"""Tumor detection: the paper's end-to-end motivating workflow.
+
+Section 1 of the paper: DCE-MRI + 4D Haralick texture analysis + a
+neural network trained on annotated studies = a computer-aided diagnosis
+tool that flags cancerous tissue.  This example runs that workflow on
+synthetic studies:
+
+1. generate annotated training studies (lesion geometry known),
+2. run 4D Haralick texture analysis on each,
+3. train the MLP classifier on (feature vector, lesion label) pairs,
+4. evaluate on an unseen study and print detection metrics,
+5. localize the unseen study's lesion from the detection map.
+
+Run:
+    python examples/tumor_detection_cad.py
+"""
+
+import numpy as np
+
+from repro.cad import TextureClassifier, TrainConfig, build_dataset, roi_labels
+from repro.core import HaralickConfig, haralick_transform
+from repro.data import Lesion, PhantomConfig, generate_phantom
+
+HARALICK = HaralickConfig(roi_shape=(5, 5, 3, 2), levels=16)
+
+
+def study(seed: int, center, radius) -> PhantomConfig:
+    lesion = Lesion(
+        center=center, radius=radius, amplitude=0.9, uptake_rate=1.1,
+        washout_rate=0.1,
+    )
+    return PhantomConfig(
+        shape=(28, 28, 10, 5), lesions=(lesion,), seed=seed, noise_sigma=0.015
+    )
+
+
+def main() -> None:
+    # --- training corpus: three annotated studies -----------------------
+    train_studies = [
+        study(1, (10, 10, 4), 4.5),
+        study(2, (18, 12, 6), 5.0),
+        study(3, (14, 19, 5), 4.0),
+    ]
+    print("building training data (texture analysis of 3 studies)...")
+    parts = [build_dataset(pc, HARALICK) for pc in train_studies]
+    x = np.concatenate([p.x for p in parts])
+    y = np.concatenate([p.y for p in parts])
+    from repro.cad.dataset import TextureDataset
+
+    corpus = TextureDataset(x, y, parts[0].feature_names)
+    print(f"  {corpus.n} ROI samples, {corpus.positive_fraction:.1%} tumor")
+
+    # --- train -----------------------------------------------------------
+    clf = TextureClassifier(corpus.feature_names, hidden=(16, 8), seed=0)
+    train = corpus.balanced_subsample(per_class=600, seed=0)
+    clf.fit(train, TrainConfig(epochs=150, seed=0))
+    print(f"training-set metrics: {clf.evaluate(corpus)}")
+
+    # --- evaluate on an unseen study -------------------------------------
+    test_pc = study(99, (17, 17, 5), 5.5)
+    test_ds = build_dataset(test_pc, HARALICK)
+    print(f"unseen-study metrics: {clf.evaluate(test_ds)}")
+
+    # --- localize the lesion from the detection map ----------------------
+    vol = generate_phantom(test_pc)
+    features = haralick_transform(vol.data, HARALICK)
+    pmap = clf.detection_map(features)
+    # Collapse time, take the strongest ROI position.
+    score3d = pmap.mean(axis=3)
+    peak = np.unravel_index(np.argmax(score3d), score3d.shape)
+    rx, ry, rz, _ = HARALICK.roi_shape
+    found = (peak[0] + rx // 2, peak[1] + ry // 2, peak[2] + rz // 2)
+    truth = test_pc.lesions[0].center
+    err = np.linalg.norm(np.subtract(found, truth))
+    print(f"\nlesion localization: truth {truth}, detected {found} "
+          f"(error {err:.1f} voxels, radius {test_pc.lesions[0].radius})")
+    labels = roi_labels(test_pc, HARALICK).astype(bool)
+    print(f"mean detection score inside lesion: {pmap[labels].mean():.3f}, "
+          f"outside: {pmap[~labels].mean():.3f}")
+
+
+if __name__ == "__main__":
+    main()

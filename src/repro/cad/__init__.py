@@ -1,0 +1,34 @@
+"""Computer-aided diagnosis on Haralick texture features (paper Section 1).
+
+The paper's motivating application: texture analysis results train a
+neural network that flags cancerous tissue.  This package provides the
+full workflow — feature/label dataset construction from annotated
+studies, a from-scratch MLP, and a classifier with clinical metrics
+(sensitivity, specificity, ROC AUC).
+"""
+
+from .classifier import Metrics, TextureClassifier, roc_auc
+from .longitudinal import (
+    ProgressionReport,
+    assess_progression,
+    change_map,
+    lesion_burden,
+)
+from .dataset import TextureDataset, build_dataset, lesion_mask, roi_labels
+from .network import MLP, TrainConfig
+
+__all__ = [
+    "Metrics",
+    "ProgressionReport",
+    "assess_progression",
+    "change_map",
+    "lesion_burden",
+    "TextureClassifier",
+    "roc_auc",
+    "TextureDataset",
+    "build_dataset",
+    "lesion_mask",
+    "roi_labels",
+    "MLP",
+    "TrainConfig",
+]

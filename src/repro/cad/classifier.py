@@ -1,0 +1,142 @@
+"""Texture-based tumor classifier: standardization, training, metrics.
+
+Ties the pieces of the paper's CAD story together: Haralick feature
+vectors in, lesion probability out.  Feature standardization parameters
+are learned on the training set and reused at prediction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import TextureDataset
+from .network import MLP, TrainConfig
+
+__all__ = ["Metrics", "TextureClassifier", "roc_auc"]
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (rank statistic, ties averaged)."""
+    labels = np.asarray(labels)
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = scores[labels == 1]
+    neg = scores[labels == 0]
+    if len(pos) == 0 or len(neg) == 0:
+        raise ValueError("AUC requires both classes present")
+    # Mann-Whitney U via average ranks.
+    all_scores = np.concatenate([pos, neg])
+    order = np.argsort(all_scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, len(all_scores) + 1)
+    # Average ranks for ties.
+    sorted_scores = all_scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            avg = ranks[order[i : j + 1]].mean()
+            ranks[order[i : j + 1]] = avg
+        i = j + 1
+    rank_sum_pos = ranks[: len(pos)].sum()
+    u = rank_sum_pos - len(pos) * (len(pos) + 1) / 2
+    return float(u / (len(pos) * len(neg)))
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """Binary-classification metrics at a fixed threshold, plus AUC."""
+
+    accuracy: float
+    sensitivity: float  # true-positive rate (tumor found)
+    specificity: float  # true-negative rate
+    auc: float
+    n_positive: int
+    n_negative: int
+
+    def __str__(self) -> str:
+        return (
+            f"acc={self.accuracy:.3f} sens={self.sensitivity:.3f} "
+            f"spec={self.specificity:.3f} auc={self.auc:.3f} "
+            f"(+{self.n_positive}/-{self.n_negative})"
+        )
+
+
+class TextureClassifier:
+    """Lesion detector over Haralick feature vectors."""
+
+    def __init__(
+        self,
+        feature_names: Sequence[str],
+        hidden: Sequence[int] = (16, 8),
+        seed: int = 0,
+    ):
+        self.feature_names = tuple(feature_names)
+        if not self.feature_names:
+            raise ValueError("need at least one feature")
+        self._mlp = MLP([len(self.feature_names), *hidden, 1], seed=seed)
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    # -- standardization ----------------------------------------------------
+
+    def _standardize(self, x: np.ndarray, fit: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if fit:
+            self._mean = x.mean(axis=0)
+            std = x.std(axis=0)
+            self._std = np.where(std > 0, std, 1.0)
+        if self._mean is None:
+            raise RuntimeError("classifier is not trained")
+        return (x - self._mean) / self._std
+
+    # -- API ------------------------------------------------------------------
+
+    def fit(
+        self, dataset: TextureDataset, train: Optional[TrainConfig] = None
+    ) -> "TextureClassifier":
+        if dataset.feature_names != self.feature_names:
+            raise ValueError(
+                f"dataset features {dataset.feature_names} != "
+                f"classifier features {self.feature_names}"
+            )
+        x = self._standardize(dataset.x, fit=True)
+        self._mlp.fit(x, dataset.y, train or TrainConfig())
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self._mlp.predict_proba(self._standardize(x))
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(x) >= threshold).astype(np.int64)
+
+    def evaluate(
+        self, dataset: TextureDataset, threshold: float = 0.5
+    ) -> Metrics:
+        scores = self.predict_proba(dataset.x)
+        pred = scores >= threshold
+        y = dataset.y.astype(bool)
+        tp = int((pred & y).sum())
+        tn = int((~pred & ~y).sum())
+        npos = int(y.sum())
+        nneg = int((~y).sum())
+        return Metrics(
+            accuracy=(tp + tn) / max(len(y), 1),
+            sensitivity=tp / npos if npos else 0.0,
+            specificity=tn / nneg if nneg else 0.0,
+            auc=roc_auc(dataset.y, scores),
+            n_positive=npos,
+            n_negative=nneg,
+        )
+
+    def detection_map(self, features: Dict[str, np.ndarray]) -> np.ndarray:
+        """Lesion-probability volume from per-feature output volumes."""
+        shape = features[self.feature_names[0]].shape
+        x = np.stack(
+            [features[name].reshape(-1) for name in self.feature_names], axis=1
+        )
+        return self.predict_proba(x).reshape(shape)

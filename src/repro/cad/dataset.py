@@ -1,0 +1,119 @@
+"""Training data: texture feature vectors + lesion labels from phantoms.
+
+Builds the supervised dataset the paper's CAD workflow needs: Haralick
+feature vectors at every ROI position of a study (the texture analysis
+output), labeled by whether the ROI center falls inside a known lesion
+(standing in for the radiologist annotations the paper mentions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.analysis import HaralickConfig, haralick_transform
+from ..core.roi import valid_positions_shape
+from ..data.synthetic import PhantomConfig, generate_phantom
+from ..data.volume import Volume4D
+
+__all__ = ["lesion_mask", "roi_labels", "TextureDataset", "build_dataset"]
+
+
+def lesion_mask(config: PhantomConfig) -> np.ndarray:
+    """Boolean 3D (x, y, z) mask of voxels inside any lesion sphere."""
+    nx, ny, nz, _ = config.shape
+    mask = np.zeros((nx, ny, nz), dtype=bool)
+    xs = np.arange(nx)[:, None, None]
+    ys = np.arange(ny)[None, :, None]
+    zs = np.arange(nz)[None, None, :]
+    for lesion in config.lesions:
+        cx, cy, cz = lesion.center
+        dist2 = (xs - cx) ** 2 + (ys - cy) ** 2 + (zs - cz) ** 2
+        mask |= dist2 <= lesion.radius**2
+    return mask
+
+
+def roi_labels(config: PhantomConfig, haralick: HaralickConfig) -> np.ndarray:
+    """Label each ROI position: 1 when the ROI center is inside a lesion.
+
+    Shape matches the feature volumes:
+    ``valid_positions_shape(config.shape, haralick.roi)``.
+    """
+    mask = lesion_mask(config)
+    grid = valid_positions_shape(config.shape, haralick.roi)
+    rx, ry, rz, _rt = haralick.roi_shape
+    # ROI origin o covers voxels [o, o + r); its center is o + r // 2.
+    out = np.zeros(grid, dtype=np.int64)
+    gx, gy, gz, gt = grid
+    centers = mask[
+        rx // 2 : rx // 2 + gx, ry // 2 : ry // 2 + gy, rz // 2 : rz // 2 + gz
+    ]
+    out[:] = centers[:, :, :, None]
+    return out
+
+
+@dataclass
+class TextureDataset:
+    """Flattened (features, labels) pairs ready for classifier training."""
+
+    x: np.ndarray  # (n, n_features)
+    y: np.ndarray  # (n,) in {0, 1}
+    feature_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.x.ndim != 2 or self.x.shape[0] != self.y.shape[0]:
+            raise ValueError(f"bad dataset shapes x{self.x.shape} y{self.y.shape}")
+        if self.x.shape[1] != len(self.feature_names):
+            raise ValueError("feature count != feature_names length")
+
+    @property
+    def n(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def positive_fraction(self) -> float:
+        return float(self.y.mean()) if self.n else 0.0
+
+    def balanced_subsample(
+        self, per_class: int, seed: int = 0
+    ) -> "TextureDataset":
+        """Equal-count random subsample of each class."""
+        rng = np.random.default_rng(seed)
+        pos = np.flatnonzero(self.y == 1)
+        neg = np.flatnonzero(self.y == 0)
+        if len(pos) < per_class or len(neg) < per_class:
+            raise ValueError(
+                f"not enough samples ({len(pos)} pos / {len(neg)} neg) "
+                f"for {per_class} per class"
+            )
+        idx = np.concatenate(
+            [rng.choice(pos, per_class, replace=False),
+             rng.choice(neg, per_class, replace=False)]
+        )
+        rng.shuffle(idx)
+        return TextureDataset(self.x[idx], self.y[idx], self.feature_names)
+
+
+def build_dataset(
+    phantom_config: PhantomConfig,
+    haralick: Optional[HaralickConfig] = None,
+    volume: Optional[Volume4D] = None,
+    features: Optional[Dict[str, np.ndarray]] = None,
+) -> TextureDataset:
+    """Texture-feature dataset of one phantom study.
+
+    Generates the phantom and runs the sequential analysis unless the
+    caller already has the volume/features (e.g. from the parallel
+    pipeline).
+    """
+    haralick = haralick or HaralickConfig()
+    if features is None:
+        if volume is None:
+            volume = generate_phantom(phantom_config)
+        features = haralick_transform(volume.data, haralick)
+    names = tuple(haralick.features)
+    x = np.stack([features[name].reshape(-1) for name in names], axis=1)
+    y = roi_labels(phantom_config, haralick).reshape(-1)
+    return TextureDataset(x=x, y=y, feature_names=names)

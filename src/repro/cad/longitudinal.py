@@ -1,0 +1,111 @@
+"""Follow-up study comparison (paper Section 1).
+
+"In addition, follow-up studies, which acquire multiple image datasets
+at different dates, can be conducted to monitor the progression and
+response to treatment of the tumor."  Given texture-feature volumes (or
+CAD detection maps) of a baseline and a follow-up study with the same
+acquisition geometry, these helpers quantify change: per-feature change
+maps, lesion-burden trajectories, and a simple progression call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["change_map", "lesion_burden", "ProgressionReport", "assess_progression"]
+
+
+def change_map(
+    baseline: np.ndarray, followup: np.ndarray, relative: bool = False
+) -> np.ndarray:
+    """Voxelwise change ``followup - baseline`` of one feature volume.
+
+    With ``relative=True`` the difference is normalized by the pooled
+    standard deviation of the baseline (a z-score-like effect size), so
+    changes are comparable across features with different scales.
+    """
+    baseline = np.asarray(baseline, dtype=np.float64)
+    followup = np.asarray(followup, dtype=np.float64)
+    if baseline.shape != followup.shape:
+        raise ValueError(
+            f"study shapes differ: {baseline.shape} vs {followup.shape} "
+            "(follow-up comparison requires identical acquisition geometry)"
+        )
+    diff = followup - baseline
+    if relative:
+        scale = baseline.std()
+        diff = diff / scale if scale > 0 else np.zeros_like(diff)
+    return diff
+
+
+def lesion_burden(detection_map: np.ndarray, threshold: float = 0.5) -> Dict[str, float]:
+    """Summary of a CAD detection map: suspicious volume and intensity.
+
+    ``volume_fraction`` is the fraction of ROI positions called positive;
+    ``mean_score``/``max_score`` summarize the map itself.
+    """
+    m = np.asarray(detection_map, dtype=np.float64)
+    if m.size == 0:
+        raise ValueError("empty detection map")
+    positive = m >= threshold
+    return {
+        "volume_fraction": float(positive.mean()),
+        "positive_positions": int(positive.sum()),
+        "mean_score": float(m.mean()),
+        "max_score": float(m.max()),
+    }
+
+
+@dataclass(frozen=True)
+class ProgressionReport:
+    """Baseline-vs-follow-up assessment of suspicious tissue burden."""
+
+    baseline: Dict[str, float]
+    followup: Dict[str, float]
+    volume_change: float  # relative change of the positive fraction
+    status: str  # "progression" | "regression" | "stable"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.status}: suspicious volume "
+            f"{self.baseline['volume_fraction']:.2%} -> "
+            f"{self.followup['volume_fraction']:.2%} "
+            f"({self.volume_change:+.1%})"
+        )
+
+
+def assess_progression(
+    baseline_map: np.ndarray,
+    followup_map: np.ndarray,
+    threshold: float = 0.5,
+    stability_margin: float = 0.2,
+) -> ProgressionReport:
+    """Classify change in CAD-detected burden between two studies.
+
+    The call is based on the relative change of the positive-volume
+    fraction: beyond ``stability_margin`` either way is progression /
+    regression (mirroring response-criteria style thresholds); within it,
+    stable.  A burden appearing from zero counts as progression.
+    """
+    if baseline_map.shape != followup_map.shape:
+        raise ValueError("detection maps must share one acquisition geometry")
+    if not (0 <= stability_margin):
+        raise ValueError("stability_margin must be >= 0")
+    b = lesion_burden(baseline_map, threshold)
+    f = lesion_burden(followup_map, threshold)
+    if b["volume_fraction"] == 0:
+        change = np.inf if f["volume_fraction"] > 0 else 0.0
+    else:
+        change = (f["volume_fraction"] - b["volume_fraction"]) / b["volume_fraction"]
+    if change > stability_margin:
+        status = "progression"
+    elif change < -stability_margin:
+        status = "regression"
+    else:
+        status = "stable"
+    return ProgressionReport(
+        baseline=b, followup=f, volume_change=float(change), status=status
+    )

@@ -1,0 +1,157 @@
+"""A small from-scratch multilayer perceptron (NumPy only).
+
+The paper's motivating use of texture analysis (Section 1): "Images that
+have been analyzed by radiologists can be used along with the results of
+texture analysis to train a neural network.  Once trained, the neural
+network becomes a convenient tool for discovering cancerous tissue given
+the texture analysis results."
+
+This module provides that substrate: a binary classifier MLP with tanh
+hidden layers and a sigmoid output, trained by mini-batch gradient
+descent on binary cross-entropy.  Deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MLP", "TrainConfig"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Mini-batch gradient-descent hyperparameters."""
+
+    epochs: int = 200
+    batch_size: int = 64
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    l2: float = 1e-4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if not (0 <= self.momentum < 1):
+            raise ValueError("momentum must be in [0, 1)")
+
+
+class MLP:
+    """Binary-classification MLP: tanh hidden layers, sigmoid output.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[n_inputs, hidden..., 1]``; the final size must be 1.
+    seed:
+        Weight-initialization seed (Xavier scaling).
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], seed: int = 0):
+        sizes = [int(s) for s in layer_sizes]
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output layers")
+        if sizes[-1] != 1:
+            raise ValueError("binary classifier: output layer size must be 1")
+        if any(s < 1 for s in sizes):
+            raise ValueError(f"invalid layer sizes {sizes}")
+        rng = np.random.default_rng(seed)
+        self.sizes = sizes
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # -- inference ---------------------------------------------------------
+
+    def _forward(self, x: np.ndarray) -> List[np.ndarray]:
+        """Activations per layer (input first, output probability last)."""
+        acts = [x]
+        h = x
+        last = len(self.weights) - 1
+        for k, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            h = _sigmoid(z) if k == last else np.tanh(z)
+            acts.append(h)
+        return acts
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(class 1) for each row of ``x``; shape ``(n,)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.sizes[0]:
+            raise ValueError(f"expected {self.sizes[0]} features, got {x.shape[1]}")
+        return self._forward(x)[-1][:, 0]
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(x) >= threshold).astype(np.int64)
+
+    # -- training ----------------------------------------------------------
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean binary cross-entropy."""
+        p = np.clip(self.predict_proba(x), 1e-12, 1 - 1e-12)
+        y = np.asarray(y, dtype=np.float64)
+        return float(-(y * np.log(p) + (1 - y) * np.log(1 - p)).mean())
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        config: Optional[TrainConfig] = None,
+    ) -> List[float]:
+        """Train in place; returns the per-epoch training loss curve."""
+        config = config or TrainConfig()
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError(f"bad training shapes x{x.shape} y{y.shape}")
+        if set(np.unique(y)) - {0.0, 1.0}:
+            raise ValueError("labels must be 0/1")
+        rng = np.random.default_rng(config.seed)
+        vel_w = [np.zeros_like(w) for w in self.weights]
+        vel_b = [np.zeros_like(b) for b in self.biases]
+        losses = []
+        n = x.shape[0]
+        for _epoch in range(config.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, config.batch_size):
+                idx = order[start : start + config.batch_size]
+                self._step(x[idx], y[idx], config, vel_w, vel_b)
+            losses.append(self.loss(x, y))
+        return losses
+
+    def _step(self, xb, yb, config, vel_w, vel_b) -> None:
+        acts = self._forward(xb)
+        m = xb.shape[0]
+        # Output layer: d(BCE)/dz = p - y for sigmoid output.
+        delta = (acts[-1][:, 0] - yb)[:, None] / m
+        grads_w = []
+        grads_b = []
+        for k in range(len(self.weights) - 1, -1, -1):
+            grads_w.append(acts[k].T @ delta + config.l2 * self.weights[k])
+            grads_b.append(delta.sum(axis=0))
+            if k > 0:
+                delta = (delta @ self.weights[k].T) * (1.0 - acts[k] ** 2)
+        grads_w.reverse()
+        grads_b.reverse()
+        for k in range(len(self.weights)):
+            vel_w[k] = config.momentum * vel_w[k] - config.learning_rate * grads_w[k]
+            vel_b[k] = config.momentum * vel_b[k] - config.learning_rate * grads_b[k]
+            self.weights[k] += vel_w[k]
+            self.biases[k] += vel_b[k]

@@ -1,0 +1,14 @@
+"""Chunk partitioning with ROI overlap and piece stitching (Section 4.4)."""
+
+from .chunking import ChunkSpec, overlap, partition, partition_grid_shape
+from .stitch import ChunkAssembler, ChunkPiece, OutputStitcher
+
+__all__ = [
+    "ChunkSpec",
+    "overlap",
+    "partition",
+    "partition_grid_shape",
+    "ChunkAssembler",
+    "ChunkPiece",
+    "OutputStitcher",
+]

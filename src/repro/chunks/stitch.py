@@ -1,0 +1,188 @@
+"""Stitching: reassembling distributed pieces into complete arrays.
+
+Two stitch points exist in the pipeline (paper Section 4.3):
+
+* **Input stitch (IIC)** — each RFR filter reads only the slices local to
+  its storage node, so the pieces of one IIC-to-TEXTURE chunk arrive from
+  several RFR filters and must be assembled into the complete 4D chunk
+  before texture filters can raster-scan it
+  (:class:`ChunkAssembler`).
+* **Output stitch (HIC)** — Haralick parameter values arrive as per-chunk
+  portions with positional information and are placed into the full 4D
+  output volume of each parameter (:class:`OutputStitcher`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.roi import ROISpec, valid_positions_shape
+from .chunking import ChunkSpec
+
+__all__ = ["ChunkPiece", "ChunkAssembler", "OutputStitcher"]
+
+
+@dataclass
+class ChunkPiece:
+    """The portion of one chunk read by one RFR filter.
+
+    ``data`` has the chunk's full 4D input shape, zero-filled outside the
+    ``(t, z)`` slice planes listed in ``filled`` (the planes stored on the
+    originating node and covered by this chunk).
+    """
+
+    chunk_index: Tuple[int, ...]
+    data: np.ndarray
+    filled: List[Tuple[int, int]]  # global (t, z) plane keys present
+    source_node: int = 0
+
+
+class ChunkAssembler:
+    """Assembles the pieces of IIC-to-TEXTURE chunks (the IIC filter core).
+
+    Pieces may arrive in any order and interleaved across chunks; a chunk
+    is complete when every ``(t, z)`` plane it spans has been filled.
+    """
+
+    def __init__(self, chunk: ChunkSpec):
+        self.chunk = chunk
+        if len(chunk.lo) != 4:
+            raise ValueError("ChunkAssembler operates on 4D (x, y, z, t) chunks")
+        z0, z1 = chunk.lo[2], chunk.hi[2]
+        t0, t1 = chunk.lo[3], chunk.hi[3]
+        self._needed: Set[Tuple[int, int]] = {
+            (t, z) for t in range(t0, t1) for z in range(z0, z1)
+        }
+        self._have: Set[Tuple[int, int]] = set()
+        self._buffer = np.zeros(chunk.shape, dtype=np.int64)
+        self._dtype = None
+
+    @property
+    def is_complete(self) -> bool:
+        return self._have == self._needed
+
+    @property
+    def missing(self) -> Set[Tuple[int, int]]:
+        return self._needed - self._have
+
+    def add(self, piece: ChunkPiece) -> None:
+        """Merge one piece into the chunk buffer."""
+        if piece.chunk_index != self.chunk.index:
+            raise ValueError(
+                f"piece for chunk {piece.chunk_index} given to assembler "
+                f"for chunk {self.chunk.index}"
+            )
+        if piece.data.shape != self.chunk.shape:
+            raise ValueError(
+                f"piece shape {piece.data.shape} != chunk shape {self.chunk.shape}"
+            )
+        if self._dtype is None:
+            self._dtype = piece.data.dtype
+        z0, t0 = self.chunk.lo[2], self.chunk.lo[3]
+        for t, z in piece.filled:
+            if (t, z) not in self._needed:
+                raise ValueError(f"plane (t={t}, z={z}) not part of chunk {self.chunk.index}")
+            if (t, z) in self._have:
+                raise ValueError(f"plane (t={t}, z={z}) delivered twice")
+            self._buffer[:, :, z - z0, t - t0] = piece.data[:, :, z - z0, t - t0]
+            self._have.add((t, z))
+
+    def add_plane(self, t: int, z: int, plane: np.ndarray) -> None:
+        """Merge one complete ``(t, z)`` plane of the chunk's (x, y) extent.
+
+        This is the path fed by :class:`SlicePortion` traffic: the IIC
+        filter crops each arriving slice rectangle to the chunk's in-plane
+        region before calling this.
+        """
+        if (t, z) not in self._needed:
+            raise ValueError(f"plane (t={t}, z={z}) not part of chunk {self.chunk.index}")
+        if (t, z) in self._have:
+            raise ValueError(f"plane (t={t}, z={z}) delivered twice")
+        expected = (self.chunk.shape[0], self.chunk.shape[1])
+        if plane.shape != expected:
+            raise ValueError(f"plane shape {plane.shape} != chunk in-plane {expected}")
+        if self._dtype is None:
+            self._dtype = plane.dtype
+        z0, t0 = self.chunk.lo[2], self.chunk.lo[3]
+        self._buffer[:, :, z - z0, t - t0] = plane
+        self._have.add((t, z))
+
+    def result(self) -> np.ndarray:
+        """The assembled chunk; raises until assembly is complete."""
+        if not self.is_complete:
+            raise RuntimeError(
+                f"chunk {self.chunk.index} incomplete: missing {sorted(self.missing)}"
+            )
+        return self._buffer.astype(self._dtype if self._dtype is not None else np.int64)
+
+
+class OutputStitcher:
+    """Places per-chunk feature portions into full output volumes.
+
+    One output volume per Haralick parameter, each of shape
+    ``dataset_shape - roi + 1`` (the HIC filter of Section 4.3.3).  Also
+    tracks per-feature running min/max, which the JIW filter needs for
+    normalization.
+    """
+
+    def __init__(
+        self,
+        dataset_shape: Tuple[int, ...],
+        roi: ROISpec,
+        features: Sequence[str],
+    ):
+        self.out_shape = valid_positions_shape(dataset_shape, roi)
+        self.roi = roi
+        self.features = tuple(features)
+        if not self.features:
+            raise ValueError("at least one feature required")
+        self.volumes: Dict[str, np.ndarray] = {
+            name: np.zeros(self.out_shape, dtype=np.float64) for name in self.features
+        }
+        self._placed = np.zeros(self.out_shape, dtype=bool)
+
+    @property
+    def is_complete(self) -> bool:
+        return bool(self._placed.all())
+
+    @property
+    def coverage(self) -> float:
+        return float(self._placed.mean())
+
+    def place(self, chunk: ChunkSpec, values: Dict[str, np.ndarray]) -> None:
+        """Place the owned portion of one chunk's local scan output.
+
+        ``values[name]`` must be the full local raster-scan output of the
+        chunk (shape ``chunk.shape - roi + 1``); only the owned region is
+        copied into the global volume.
+        """
+        if set(values) != set(self.features):
+            raise ValueError(f"features {sorted(values)} != expected {sorted(self.features)}")
+        local_shape = tuple(s - r + 1 for s, r in zip(chunk.shape, self.roi.shape))
+        sel_local = chunk.local_own_slices(self.roi)
+        sel_global = chunk.own_slices()
+        if self._placed[sel_global].any():
+            raise ValueError(f"chunk {chunk.index} region already placed")
+        for name in self.features:
+            arr = np.asarray(values[name])
+            if arr.shape != local_shape:
+                raise ValueError(
+                    f"{name}: local output shape {arr.shape} != expected {local_shape}"
+                )
+            self.volumes[name][sel_global] = arr[sel_local]
+        self._placed[sel_global] = True
+
+    def result(self) -> Dict[str, np.ndarray]:
+        if not self.is_complete:
+            raise RuntimeError(
+                f"output incomplete: {self.coverage:.1%} of positions placed"
+            )
+        return self.volumes
+
+    def minmax(self, name: str) -> Tuple[float, float]:
+        """Current min/max of one parameter volume (JIW normalization)."""
+        vol = self.volumes[name]
+        return float(vol.min()), float(vol.max())

@@ -1,0 +1,197 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro phantom  --out DIR [--shape X Y Z T] [--nodes N] [--format raw|dicom]
+    repro info     DATASET_DIR
+    repro analyze  DATASET_DIR [--variant hmp|split] [--copies N] ...
+    repro simulate [--figure 7a|7b|8|9|10|11] [--scale S]
+
+``phantom`` generates a synthetic DCE-MRI study and writes it as a
+disk-resident dataset; ``analyze`` runs the parallel pipeline over a
+dataset on this machine; ``simulate`` regenerates a paper figure's series
+on the simulated 2004 testbeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel 4D Haralick texture analysis (SC 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("phantom", help="generate a synthetic study on disk")
+    p.add_argument("--out", required=True, help="dataset directory to create")
+    p.add_argument("--shape", nargs=4, type=int, default=[64, 64, 16, 8],
+                   metavar=("X", "Y", "Z", "T"))
+    p.add_argument("--lesions", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--nodes", type=int, default=4, help="storage nodes")
+    p.add_argument("--format", choices=("raw", "dicom"), default="raw")
+
+    p = sub.add_parser("info", help="describe a disk-resident dataset")
+    p.add_argument("dataset", help="dataset directory")
+
+    p = sub.add_parser("analyze", help="run the parallel pipeline")
+    p.add_argument("dataset", help="dataset directory")
+    p.add_argument("--variant", choices=("hmp", "split"), default="hmp")
+    p.add_argument("--copies", type=int, default=2, help="texture filter copies")
+    p.add_argument("--iic-copies", type=int, default=1)
+    p.add_argument("--levels", type=int, default=32)
+    p.add_argument("--roi", nargs=4, type=int, default=[5, 5, 5, 3],
+                   metavar=("RX", "RY", "RZ", "RT"))
+    p.add_argument("--features", nargs="+",
+                   default=["asm", "correlation", "sum_of_squares", "idm"])
+    p.add_argument("--sparse", action="store_true",
+                   help="use the sparse co-occurrence representation")
+    p.add_argument("--scheduling", choices=("demand_driven", "round_robin"),
+                   default="demand_driven")
+    p.add_argument("--intensity-max", type=float, default=4095.0)
+    p.add_argument("--images-out", help="also write PGM image series here")
+
+    p = sub.add_parser("simulate", help="regenerate a paper figure series")
+    p.add_argument("--figure", choices=("7a", "7b", "8", "9", "10", "11"),
+                   default="8")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload scale (1.0 = paper's dataset)")
+
+    return parser
+
+
+def _cmd_phantom(args) -> int:
+    from .data.synthetic import paper_dataset_config, generate_phantom, PhantomConfig
+    from .storage.dataset import write_dataset
+
+    base = paper_dataset_config(scale=1.0, seed=args.seed, num_lesions=args.lesions)
+    config = PhantomConfig(
+        shape=tuple(args.shape), lesions=base.lesions, seed=args.seed
+    )
+    volume = generate_phantom(config)
+    dataset = write_dataset(
+        volume, args.out, num_nodes=args.nodes, file_format=args.format
+    )
+    print(f"wrote {dataset.shape} study ({volume.nbytes / 1e6:.1f} MB) to "
+          f"{args.out}: {args.nodes} nodes, format={args.format}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .storage.dataset import DiskDataset4D
+
+    ds = DiskDataset4D.open(args.dataset)
+    slices = ds.num_slices * ds.num_timesteps
+    print(f"dataset:          {args.dataset}")
+    print(f"shape (x,y,z,t):  {ds.shape}")
+    print(f"bytes per pixel:  {ds.bytes_per_pixel}")
+    print(f"file format:      {ds.file_format}")
+    print(f"storage nodes:    {ds.num_nodes}")
+    print(f"slice files:      {slices}")
+    total = slices * ds.shape[0] * ds.shape[1] * ds.bytes_per_pixel
+    print(f"total size:       {total / 1e6:.1f} MB")
+    for n in range(ds.num_nodes):
+        print(f"  node {n}: {len(ds.slices_on_node(n))} slices")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .filters.messages import TextureParams
+    from .pipeline.config import AnalysisConfig
+    from .pipeline.report import format_breakdown
+    from .pipeline.run import run_pipeline
+
+    params = TextureParams(
+        roi_shape=tuple(args.roi),
+        levels=args.levels,
+        features=tuple(args.features),
+        intensity_range=(0.0, args.intensity_max),
+        sparse=args.sparse,
+    )
+    kwargs = dict(
+        texture=params,
+        variant=args.variant,
+        num_iic_copies=args.iic_copies,
+        scheduling=args.scheduling,
+    )
+    if args.variant == "hmp":
+        kwargs["num_texture_copies"] = args.copies
+    else:
+        hcc = max(1, args.copies - max(1, args.copies // 5))
+        kwargs["num_hcc_copies"] = hcc
+        kwargs["num_hpc_copies"] = max(1, args.copies - hcc)
+    if args.images_out:
+        kwargs["output"] = "images"
+        kwargs["output_dir"] = args.images_out
+    config = AnalysisConfig(**kwargs)
+    result = run_pipeline(args.dataset, config)
+    print(format_breakdown(result.run, order=("RFR", "IIC", "HMP", "HCC", "HPC")))
+    for name, vol in result.volumes.items():
+        print(f"{name:<16} shape={vol.shape} min={vol.min():.4f} "
+              f"max={vol.max():.4f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .sim import SimRuntime, paper_workload
+    from .sim import layouts
+
+    wl = paper_workload(scale=args.scale)
+    print(f"workload: {wl.dataset_shape} ({wl.total_rois / 1e6:.1f}M ROIs)")
+
+    def run(layout):
+        return SimRuntime(wl, *layout).run()
+
+    fig = args.figure
+    if fig in ("7a", "7b", "8", "9"):
+        for n in (1, 2, 4, 8, 16):
+            if fig == "7a":
+                f = run(layouts.homogeneous_hmp(n, sparse=False)).makespan
+                s = run(layouts.homogeneous_hmp(n, sparse=True)).makespan
+                print(f"n={n:2d}: HMP full={f:9.1f}s sparse={s:9.1f}s")
+            elif fig == "7b":
+                f = run(layouts.homogeneous_split(n, sparse=False)).makespan
+                s = run(layouts.homogeneous_split(n, sparse=True)).makespan
+                print(f"n={n:2d}: split full={f:9.1f}s sparse={s:9.1f}s")
+            elif fig == "8":
+                a = run(layouts.homogeneous_split(n, sparse=True, overlap=False)).makespan
+                b = run(layouts.homogeneous_split(n, sparse=True, overlap=True)).makespan
+                c = run(layouts.homogeneous_hmp(n, sparse=False)).makespan
+                print(f"n={n:2d}: no-overlap={a:8.1f}s overlap={b:8.1f}s HMP={c:8.1f}s")
+            else:
+                rep = run(layouts.homogeneous_split(n, sparse=True))
+                print(f"n={n:2d}: RFR={rep.filter_busy_mean('RFR'):6.1f} "
+                      f"IIC={rep.filter_busy_mean('IIC'):6.1f} "
+                      f"HCC={rep.filter_busy_mean('HCC'):8.1f} "
+                      f"HPC={rep.filter_busy_mean('HPC'):6.1f} "
+                      f"USO={rep.filter_busy_mean('USO'):6.1f}")
+    elif fig == "10":
+        print(f"HMP (23 copies):         {run(layouts.fig10_hmp()).makespan:9.1f}s")
+        print(f"split (18 HCC + 18 HPC): "
+              f"{run(layouts.fig10_split(sparse=True)).makespan:9.1f}s")
+    else:
+        for policy in ("round_robin", "demand_driven"):
+            print(f"{policy:>14}: {run(layouts.fig11_layout(policy)).makespan:9.1f}s")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "phantom": _cmd_phantom,
+        "info": _cmd_info,
+        "analyze": _cmd_analyze,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Core 4D Haralick texture analysis kernels (paper Section 3).
+
+Submodules
+----------
+quantization
+    Grey-level requantization (16-bit MRI -> G levels).
+directions
+    N-dimensional displacement vectors and half-space uniqueness.
+roi
+    ROI window geometry and raster-scan position grids.
+cooccurrence
+    Dense co-occurrence matrices: per-window reference kernel and the
+    vectorized batched scan.
+sparse
+    Sparse (upper-triangle triplet) co-occurrence representation.
+features
+    The fourteen Haralick features, vectorized over matrix batches.
+features_sparse
+    Zero-skip and sparse-form feature computation.
+raster
+    Sequential raster scan (reference and production paths).
+analysis
+    ``haralick_transform`` — the high-level sequential API.
+"""
+
+from .analysis import HaralickConfig, haralick_transform
+from .directional import anisotropy, directional_features, directional_statistics
+from .masking import mask_statistics, mask_to_positions, masked_feature_samples
+from .multidistance import multi_distance_transform, stack_distance_features
+from .cooccurrence import cooccurrence_matrix, cooccurrence_scan
+from .directions import all_directions, direction_count, unique_directions
+from .features import (
+    HARALICK_FEATURES,
+    PAPER_FEATURES,
+    haralick_feature_vector,
+    haralick_features,
+)
+from .features_sparse import features_from_sparse, features_nonzero
+from .quantization import quantize_equalized, quantize_linear
+from .raster import raster_scan, raster_scan_batches, raster_scan_reference
+from .roi import ROISpec, iter_roi_origins, valid_positions_shape
+from .sparse import SparseCooc, batch_sparse_from_dense, sparse_from_dense
+
+__all__ = [
+    "HaralickConfig",
+    "haralick_transform",
+    "anisotropy",
+    "directional_features",
+    "directional_statistics",
+    "mask_to_positions",
+    "masked_feature_samples",
+    "mask_statistics",
+    "multi_distance_transform",
+    "stack_distance_features",
+    "cooccurrence_matrix",
+    "cooccurrence_scan",
+    "all_directions",
+    "direction_count",
+    "unique_directions",
+    "HARALICK_FEATURES",
+    "PAPER_FEATURES",
+    "haralick_features",
+    "haralick_feature_vector",
+    "features_from_sparse",
+    "features_nonzero",
+    "quantize_linear",
+    "quantize_equalized",
+    "raster_scan",
+    "raster_scan_batches",
+    "raster_scan_reference",
+    "ROISpec",
+    "iter_roi_origins",
+    "valid_positions_shape",
+    "SparseCooc",
+    "sparse_from_dense",
+    "batch_sparse_from_dense",
+]

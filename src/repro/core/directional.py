@@ -1,0 +1,79 @@
+"""Per-direction Haralick statistics (mean and range over directions).
+
+The default pipeline accumulates one co-occurrence matrix per ROI over
+*all* unique directions (rotation-invariant, as in the paper's Fig. 2
+pseudo-code).  Haralick's original formulation instead computes each
+feature once per direction and reports the **mean and range** over
+directions — 28 statistics from the 14 features.  This module provides
+that variant for users who need direction-sensitive texture (e.g.
+anisotropic structures such as vessels).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cooccurrence import cooccurrence_matrix, resolve_directions
+from .directions import Direction
+from .features import PAPER_FEATURES, haralick_features
+
+__all__ = ["directional_features", "directional_statistics", "anisotropy"]
+
+
+def directional_features(
+    window: np.ndarray,
+    levels: int,
+    features: Optional[Sequence[str]] = None,
+    directions: Optional[Sequence[Direction]] = None,
+    distance: int = 1,
+) -> Dict[str, np.ndarray]:
+    """Feature values per direction for one ROI window.
+
+    Returns ``{name: array of shape (n_directions,)}`` in the order of
+    the resolved direction list.  Directions whose displacement does not
+    fit in the window yield a zero matrix and hence zero features.
+    """
+    window = np.asarray(window)
+    wanted = tuple(features) if features is not None else PAPER_FEATURES
+    dirs = resolve_directions(window.ndim, directions, 1)  # unit forms
+    mats = np.stack(
+        [
+            cooccurrence_matrix(window, levels, directions=[v], distance=distance)
+            for v in dirs
+        ]
+    )
+    vals = haralick_features(mats, wanted)
+    return {name: vals[name] for name in wanted}
+
+
+def directional_statistics(
+    window: np.ndarray,
+    levels: int,
+    features: Optional[Sequence[str]] = None,
+    directions: Optional[Sequence[Direction]] = None,
+    distance: int = 1,
+) -> Dict[str, Tuple[float, float]]:
+    """Haralick's classic per-feature ``(mean, range)`` over directions."""
+    per_dir = directional_features(window, levels, features, directions, distance)
+    return {
+        name: (float(v.mean()), float(v.max() - v.min()))
+        for name, v in per_dir.items()
+    }
+
+
+def anisotropy(
+    window: np.ndarray,
+    levels: int,
+    feature: str = "contrast",
+    directions: Optional[Sequence[Direction]] = None,
+    distance: int = 1,
+) -> float:
+    """Directional anisotropy of one feature: range / (|mean| + eps).
+
+    0 for perfectly isotropic texture; grows with oriented structure.
+    """
+    stats = directional_statistics(window, levels, [feature], directions, distance)
+    mean, rng = stats[feature]
+    return rng / (abs(mean) + 1e-12)

@@ -1,0 +1,89 @@
+"""Displacement (direction) vectors for N-dimensional co-occurrence.
+
+The co-occurrence matrix counts pixel pairs separated by a displacement
+``d * v`` where ``d`` is a distance and ``v`` a unit direction.  In 2D there
+are 8 neighbour directions of which only 4 are unique because ``v`` and
+``-v`` yield the same (symmetric) matrix — paper Section 3 and Appendix
+Fig. 12.  In 4D there are ``3**4 - 1 = 80`` neighbour offsets, of which 40
+are unique.
+
+Directions are represented as integer offset tuples, e.g. ``(1, 0, 0, 0)``
+or ``(1, -1, 0, 1)``.  The *canonical half-space* representative of
+``{v, -v}`` is the one whose first non-zero component is positive.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "all_directions",
+    "unique_directions",
+    "canonical_direction",
+    "is_canonical",
+    "scale_direction",
+    "direction_count",
+]
+
+Direction = Tuple[int, ...]
+
+
+def all_directions(ndim: int) -> list[Direction]:
+    """All ``3**ndim - 1`` unit-neighbourhood offsets (excluding zero)."""
+    if ndim < 1:
+        raise ValueError(f"ndim must be >= 1, got {ndim}")
+    return [v for v in product((-1, 0, 1), repeat=ndim) if any(c != 0 for c in v)]
+
+
+def canonical_direction(v: Sequence[int]) -> Direction:
+    """Return the canonical representative of ``{v, -v}``.
+
+    The canonical form has a positive first non-zero component, matching
+    the paper's observation that opposite angles yield identical
+    co-occurrence matrices.
+    """
+    v = tuple(int(c) for c in v)
+    if all(c == 0 for c in v):
+        raise ValueError("zero displacement has no direction")
+    for c in v:
+        if c > 0:
+            return v
+        if c < 0:
+            return tuple(-x for x in v)
+    raise AssertionError("unreachable")
+
+
+def is_canonical(v: Sequence[int]) -> bool:
+    """True when ``v`` is the canonical representative of ``{v, -v}``."""
+    return tuple(int(c) for c in v) == canonical_direction(v)
+
+
+def unique_directions(ndim: int) -> list[Direction]:
+    """The ``(3**ndim - 1) / 2`` unique directions (half-space canonical).
+
+    2D -> 4 directions, 3D -> 13, 4D -> 40.
+    """
+    return sorted({canonical_direction(v) for v in all_directions(ndim)})
+
+
+def direction_count(ndim: int) -> int:
+    """Number of unique directions in ``ndim`` dimensions."""
+    return (3**ndim - 1) // 2
+
+
+def scale_direction(v: Sequence[int], distance: int) -> Direction:
+    """Scale a unit direction by an integer distance."""
+    if distance < 1:
+        raise ValueError(f"distance must be >= 1, got {distance}")
+    return tuple(int(c) * distance for c in v)
+
+
+def as_offset_array(directions: Iterable[Sequence[int]]) -> np.ndarray:
+    """Stack direction tuples into an ``(n, ndim)`` int array."""
+    arr = np.asarray(list(directions), dtype=np.int64)
+    if arr.ndim != 2:
+        raise ValueError("directions must be a sequence of equal-length tuples")
+    return arr

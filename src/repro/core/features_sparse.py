@@ -1,0 +1,197 @@
+"""Haralick features computed from sparse / non-zero entries only.
+
+Paper Section 4.4.1 describes two optimizations over the naive full-matrix
+feature computation:
+
+* **zero-skip**: on the full (dense) representation, test each entry for
+  zero before adding it to the running sums — this alone processed a
+  typical MRI dataset in one-fourth the time;
+* **sparse form**: store only non-zero, non-duplicated entries, compute
+  parameters directly from the triplets (no conversion back to a dense
+  array), and ship the smaller representation over the network between
+  the HCC and HPC filters.
+
+Both reduce the work to the non-zero entries; the NumPy equivalents here
+are ``features_nonzero`` (gathers non-zero entries of a dense matrix, then
+computes from the gathered triplets) and ``features_from_sparse`` (computes
+directly from a :class:`~repro.core.sparse.SparseCooc`).
+
+Results match :func:`repro.core.features.haralick_features` to floating-
+point accuracy; the ``mcc`` feature falls back to a dense submatrix since
+it requires an eigendecomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .features import HARALICK_FEATURES, PAPER_FEATURES, feature_index
+from .sparse import SparseCooc
+
+__all__ = ["features_from_entries", "features_from_sparse", "features_nonzero"]
+
+
+def _entropy_terms(w: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(w)
+    nz = w > 0
+    out[nz] = w[nz] * np.log(w[nz])
+    return out
+
+
+def _mcc_from_entries(
+    i: np.ndarray, j: np.ndarray, w: np.ndarray, levels: int
+) -> float:
+    """Dense-submatrix fallback for the maximal correlation coefficient."""
+    from .features import _mcc  # shared implementation
+
+    p = np.zeros((levels, levels))
+    np.add.at(p, (i, j), w)
+    px = p.sum(axis=1)
+    py = p.sum(axis=0)
+    return _mcc(p, px, py)
+
+
+def features_from_entries(
+    i: np.ndarray,
+    j: np.ndarray,
+    weights: np.ndarray,
+    levels: int,
+    features: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Haralick features from an explicit entry list of one matrix.
+
+    ``weights`` are probabilities or raw counts at cells ``(i[k], j[k])``
+    (normalized internally); duplicate cells are allowed and accumulate.
+    """
+    wanted = tuple(features) if features is not None else HARALICK_FEATURES
+    for name in wanted:
+        feature_index(name)
+
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    w = np.asarray(weights, dtype=np.float64)
+    if not (i.shape == j.shape == w.shape) or i.ndim != 1:
+        raise ValueError("i, j, weights must be 1-D arrays of equal length")
+    total = w.sum()
+    if total <= 0:
+        return {name: 0.0 for name in wanted}
+    w = w / total
+
+    fi = i.astype(np.float64)
+    fj = j.astype(np.float64)
+    px = np.bincount(i, weights=w, minlength=levels)
+    py = np.bincount(j, weights=w, minlength=levels)
+    lev = np.arange(levels, dtype=np.float64)
+    mu_x = float(px @ lev)
+    mu_y = float(py @ lev)
+    var_x = float(px @ (lev**2)) - mu_x**2
+    var_y = float(py @ (lev**2)) - mu_y**2
+
+    need = set(wanted)
+    out: Dict[str, float] = {}
+
+    if {"contrast", "sum_average", "sum_variance", "sum_entropy",
+        "difference_variance", "difference_entropy"} & need:
+        p_sum = np.bincount(i + j, weights=w, minlength=2 * levels - 1)
+        p_diff = np.bincount(np.abs(i - j), weights=w, minlength=levels)
+        ks = np.arange(2 * levels - 1, dtype=np.float64)
+        kd = lev
+
+    if "asm" in need:
+        # ASM needs the *cell* probabilities squared; merge duplicates first.
+        cell = np.bincount(i * levels + j, weights=w, minlength=levels * levels)
+        out["asm"] = float((cell**2).sum())
+    if "contrast" in need:
+        out["contrast"] = float(p_diff @ (kd**2))
+    if "correlation" in need:
+        num = float((w * fi * fj).sum()) - mu_x * mu_y
+        denom = np.sqrt(max(var_x, 0.0) * max(var_y, 0.0))
+        out["correlation"] = num / denom if denom > 0 else 0.0
+    if "sum_of_squares" in need:
+        out["sum_of_squares"] = float((w * (fi - mu_x) ** 2).sum())
+    if "idm" in need:
+        out["idm"] = float((w / (1.0 + (fi - fj) ** 2)).sum())
+    if "sum_average" in need or "sum_variance" in need:
+        f6 = float(p_sum @ ks)
+        if "sum_average" in need:
+            out["sum_average"] = f6
+    if "sum_variance" in need:
+        out["sum_variance"] = float((p_sum * (ks - f6) ** 2).sum())
+    if "sum_entropy" in need:
+        out["sum_entropy"] = float(-_entropy_terms(p_sum).sum())
+    if "entropy" in need or "imc1" in need or "imc2" in need:
+        cell = np.bincount(i * levels + j, weights=w, minlength=levels * levels)
+        hxy = float(-_entropy_terms(cell).sum())
+        if "entropy" in need:
+            out["entropy"] = hxy
+    if "difference_variance" in need:
+        mean_d = float(p_diff @ kd)
+        out["difference_variance"] = float((p_diff * (kd - mean_d) ** 2).sum())
+    if "difference_entropy" in need:
+        out["difference_entropy"] = float(-_entropy_terms(p_diff).sum())
+    if "imc1" in need or "imc2" in need:
+        pxy = np.outer(px, py)
+        hxy1_terms = np.zeros_like(pxy)
+        nz = pxy > 0
+        cellm = np.bincount(i * levels + j, weights=w, minlength=levels * levels)
+        cellm = cellm.reshape(levels, levels)
+        hxy1_terms[nz] = cellm[nz] * np.log(pxy[nz])
+        hxy1 = float(-hxy1_terms.sum())
+        hxy2 = float(-_entropy_terms(pxy).sum())
+        hx = float(-_entropy_terms(px).sum())
+        hy = float(-_entropy_terms(py).sum())
+        if "imc1" in need:
+            hmax = max(hx, hy)
+            out["imc1"] = (hxy - hxy1) / hmax if hmax > 0 else 0.0
+        if "imc2" in need:
+            out["imc2"] = float(
+                np.sqrt(np.clip(1.0 - np.exp(-2.0 * (hxy2 - hxy)), 0.0, 1.0))
+            )
+    if "mcc" in need:
+        out["mcc"] = _mcc_from_entries(i, j, w, levels)
+
+    return {name: out[name] for name in wanted}
+
+
+def _expand_sparse(sp: SparseCooc) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand upper-triangle triplets into symmetric entry lists."""
+    diag = sp.rows == sp.cols
+    off = ~diag
+    half = sp.counts[off] / 2.0
+    i = np.concatenate([sp.rows[diag], sp.rows[off], sp.cols[off]])
+    j = np.concatenate([sp.cols[diag], sp.cols[off], sp.rows[off]])
+    w = np.concatenate([sp.counts[diag].astype(np.float64), half, half])
+    return i, j, w
+
+
+def features_from_sparse(
+    sp: SparseCooc, features: Optional[Sequence[str]] = None
+) -> Dict[str, float]:
+    """Haralick features directly from a sparse co-occurrence matrix.
+
+    No dense ``(G, G)`` array is materialized (except for ``mcc``),
+    matching the paper's "processed directly from the sparse form"
+    optimization.  Default feature set: the paper's four parameters.
+    """
+    wanted = tuple(features) if features is not None else PAPER_FEATURES
+    i, j, w = _expand_sparse(sp)
+    return features_from_entries(i, j, w, sp.levels, wanted)
+
+
+def features_nonzero(
+    matrix: np.ndarray, features: Optional[Sequence[str]] = None
+) -> Dict[str, float]:
+    """Zero-skip feature computation on a dense matrix.
+
+    Gathers the non-zero entries first and runs all sums over them only —
+    the NumPy analog of the paper's "check each entry for zero before
+    adding" optimization that yielded a 4x speedup on sparse MRI data.
+    """
+    wanted = tuple(features) if features is not None else PAPER_FEATURES
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    i, j = np.nonzero(matrix)
+    return features_from_entries(i, j, matrix[i, j], matrix.shape[0], wanted)

@@ -1,0 +1,80 @@
+"""Masked analysis: restrict attention to a spatial region of interest.
+
+Clinical studies rarely analyze a whole field of view — a breast mask, a
+prostate contour.  These helpers map a voxel-level 3D mask onto the ROI
+output grid (a position is *in* when its ROI center voxel is masked) and
+extract masked feature samples for downstream statistics or CAD
+training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .roi import ROISpec, valid_positions_shape
+
+__all__ = ["mask_to_positions", "masked_feature_samples", "mask_statistics"]
+
+
+def mask_to_positions(
+    mask: np.ndarray, dataset_shape: Tuple[int, ...], roi: ROISpec
+) -> np.ndarray:
+    """Map a 3D (x, y, z) voxel mask onto the 4D ROI-position grid.
+
+    Position ``o`` is selected when the spatial center voxel of its
+    window, ``o_d + roi_d // 2``, lies inside the mask; the mask applies
+    to every time step.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 3:
+        raise ValueError(f"expected a 3-D (x, y, z) mask, got {mask.ndim}-D")
+    if roi.ndim != 4 or len(dataset_shape) != 4:
+        raise ValueError("mask_to_positions operates on 4-D analyses")
+    if mask.shape != dataset_shape[:3]:
+        raise ValueError(
+            f"mask shape {mask.shape} != dataset spatial shape {dataset_shape[:3]}"
+        )
+    grid = valid_positions_shape(dataset_shape, roi)
+    rx, ry, rz, _rt = roi.shape
+    gx, gy, gz, gt = grid
+    centers = mask[
+        rx // 2 : rx // 2 + gx, ry // 2 : ry // 2 + gy, rz // 2 : rz // 2 + gz
+    ]
+    return np.broadcast_to(centers[:, :, :, None], grid).copy()
+
+
+def masked_feature_samples(
+    features: Dict[str, np.ndarray], positions: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Flattened per-feature values at the selected positions."""
+    positions = np.asarray(positions, dtype=bool)
+    out = {}
+    for name, vol in features.items():
+        if vol.shape != positions.shape:
+            raise ValueError(
+                f"{name}: feature shape {vol.shape} != mask shape {positions.shape}"
+            )
+        out[name] = vol[positions]
+    return out
+
+
+def mask_statistics(
+    features: Dict[str, np.ndarray], positions: np.ndarray
+) -> Dict[str, Dict[str, float]]:
+    """Per-feature summary statistics inside the masked region."""
+    samples = masked_feature_samples(features, positions)
+    stats = {}
+    for name, vals in samples.items():
+        if vals.size == 0:
+            stats[name] = {"n": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+        else:
+            stats[name] = {
+                "n": int(vals.size),
+                "mean": float(vals.mean()),
+                "std": float(vals.std()),
+                "min": float(vals.min()),
+                "max": float(vals.max()),
+            }
+    return stats

@@ -1,0 +1,67 @@
+"""Multi-distance texture analysis.
+
+Haralick texture is scale-sensitive: distance-1 pairs capture fine
+texture, larger displacements coarse structure.  Running the transform
+at several distances and concatenating the features is the standard way
+to build scale-aware texture signatures (and enlarges CAD feature
+vectors).  Each distance requires the ROI to accommodate the scaled
+displacement in at least one dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .analysis import HaralickConfig, haralick_transform
+
+__all__ = ["multi_distance_transform", "stack_distance_features"]
+
+
+def multi_distance_transform(
+    data: np.ndarray,
+    config: Optional[HaralickConfig] = None,
+    distances: Sequence[int] = (1, 2),
+    quantized: bool = False,
+) -> Dict[int, Dict[str, np.ndarray]]:
+    """Run the analysis once per displacement distance.
+
+    Returns ``{distance: {feature: volume}}``; all outputs share the
+    same grid (the ROI size is distance-independent).  Distances whose
+    scaled displacement exceeds every ROI dimension would produce empty
+    matrices and are rejected.
+    """
+    config = config or HaralickConfig()
+    if not distances:
+        raise ValueError("need at least one distance")
+    seen = set()
+    out: Dict[int, Dict[str, np.ndarray]] = {}
+    for d in distances:
+        d = int(d)
+        if d < 1:
+            raise ValueError(f"distance must be >= 1, got {d}")
+        if d in seen:
+            raise ValueError(f"duplicate distance {d}")
+        seen.add(d)
+        if all(d >= r for r in config.roi_shape):
+            raise ValueError(
+                f"distance {d} exceeds every ROI dimension {config.roi_shape}"
+            )
+        from dataclasses import replace
+
+        out[d] = haralick_transform(
+            data, replace(config, distance=d), quantized=quantized
+        )
+    return out
+
+
+def stack_distance_features(
+    per_distance: Dict[int, Dict[str, np.ndarray]]
+) -> Dict[str, np.ndarray]:
+    """Flatten ``{distance: {feature: vol}}`` to ``{"feature@d": vol}``."""
+    out = {}
+    for d in sorted(per_distance):
+        for name, vol in per_distance[d].items():
+            out[f"{name}@{d}"] = vol
+    return out

@@ -1,0 +1,82 @@
+"""Region-of-interest (ROI) geometry for 4D raster scanning.
+
+The raster scan (paper Fig. 1 / Fig. 2) slides a fixed-size ROI window over
+the dataset; the window must lie entirely within the dataset bounds, so a
+dataset of shape ``S`` and ROI of shape ``R`` yields ``S - R + 1`` valid
+window origins per dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["ROISpec", "valid_positions_shape", "iter_roi_origins"]
+
+
+@dataclass(frozen=True)
+class ROISpec:
+    """Fixed ROI window dimensions ``(x, y, z, t)``.
+
+    The paper's experiments use ``5 x 5 x 5 x 3`` (Section 5.1).
+    """
+
+    shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.shape) == 0:
+            raise ValueError("ROI must have at least one dimension")
+        if any(int(s) < 1 for s in self.shape):
+            raise ValueError(f"ROI dimensions must be >= 1, got {self.shape}")
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def fits_in(self, dataset_shape: Tuple[int, ...]) -> bool:
+        """True when at least one ROI window fits inside ``dataset_shape``."""
+        if len(dataset_shape) != self.ndim:
+            raise ValueError(
+                f"dataset ndim {len(dataset_shape)} != ROI ndim {self.ndim}"
+            )
+        return all(d >= r for d, r in zip(dataset_shape, self.shape))
+
+
+def valid_positions_shape(
+    dataset_shape: Tuple[int, ...], roi: ROISpec
+) -> Tuple[int, ...]:
+    """Shape of the grid of valid ROI origins: ``S - R + 1`` per dim.
+
+    Raises ``ValueError`` when the ROI does not fit.
+    """
+    if not roi.fits_in(dataset_shape):
+        raise ValueError(f"ROI {roi.shape} does not fit in dataset {dataset_shape}")
+    return tuple(d - r + 1 for d, r in zip(dataset_shape, roi.shape))
+
+
+def iter_roi_origins(
+    dataset_shape: Tuple[int, ...], roi: ROISpec
+) -> Iterator[Tuple[int, ...]]:
+    """Iterate ROI origin coordinates in raster (C) order.
+
+    Mirrors the nested ``foreach x/y/z/t`` loops of the paper's Fig. 2
+    pseudo-code.
+    """
+    grid = valid_positions_shape(dataset_shape, roi)
+
+    def rec(prefix: Tuple[int, ...], dims: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+        if not dims:
+            yield prefix
+            return
+        for i in range(dims[0]):
+            yield from rec(prefix + (i,), dims[1:])
+
+    return rec((), grid)

@@ -1,0 +1,132 @@
+"""Sparse co-occurrence matrix representation (paper Section 4.4.1).
+
+Typical requantized (``G = 32``) MRI ROIs produce co-occurrence matrices
+with ~1% non-zero entries (the paper measured an average of 10.7 non-zero
+entries out of 1024, counting symmetric duplicates once).  The sparse form
+stores only non-zero, non-duplicated entries as ``(row, col, count)``
+triplets with ``row <= col``; positional information maps each entry back
+to its place in the full matrix.
+
+The sparse form both speeds up Haralick parameter computation (only
+non-zero entries are visited) and shrinks the network payload between the
+HCC and HPC filters when the split-filter pipeline is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["SparseCooc", "sparse_from_dense", "batch_sparse_from_dense"]
+
+# Per-matrix wire header: grey-level count, entry count, pair total.
+_HEADER_BYTES = 8
+
+
+def _entry_bytes(levels: int) -> int:
+    """Wire bytes per stored entry: packed linear position + 2 B count.
+
+    The position ``row * G + col`` fits in 2 bytes for G <= 256 (every
+    practical requantization, paper uses G = 32); larger grey-level
+    counts need a 4-byte position.
+    """
+    return (2 if levels * levels <= 65536 else 4) + 2
+
+
+@dataclass(frozen=True)
+class SparseCooc:
+    """Upper-triangular sparse co-occurrence matrix.
+
+    Attributes
+    ----------
+    levels:
+        Grey-level count ``G`` (the dense matrix is ``G x G``).
+    rows, cols:
+        Entry coordinates with ``rows[k] <= cols[k]``.
+    counts:
+        Pair counts.  Off-diagonal counts are the *symmetric total*
+        (i.e. the dense matrix holds ``counts[k] / 2`` at ``(r, c)`` and at
+        ``(c, r)`` summed to ``counts[k]``); diagonal counts are stored
+        as-is.
+    """
+
+    levels: int
+    rows: np.ndarray
+    cols: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        rows = np.asarray(self.rows, dtype=np.int64)
+        cols = np.asarray(self.cols, dtype=np.int64)
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if not (rows.shape == cols.shape == counts.shape) or rows.ndim != 1:
+            raise ValueError("rows, cols, counts must be 1-D arrays of equal length")
+        if rows.size:
+            if rows.min() < 0 or cols.max() >= self.levels:
+                raise ValueError("entry coordinates out of range")
+            if np.any(rows > cols):
+                raise ValueError("sparse form stores the upper triangle (row <= col)")
+            if np.any(counts <= 0):
+                raise ValueError("sparse form stores only non-zero entries")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "counts", counts)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (non-zero, non-duplicated) entries."""
+        return int(self.rows.size)
+
+    @property
+    def total(self) -> int:
+        """Total pair count of the underlying dense symmetric matrix."""
+        return int(self.counts.sum())
+
+    @property
+    def density(self) -> float:
+        """Stored entries over unique cells ``G*(G+1)/2``."""
+        return self.nnz / (self.levels * (self.levels + 1) / 2)
+
+    def wire_bytes(self) -> int:
+        """Serialized size used by the network cost model."""
+        return _HEADER_BYTES + self.nnz * _entry_bytes(self.levels)
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the full symmetric ``(G, G)`` count matrix."""
+        out = np.zeros((self.levels, self.levels), dtype=np.int64)
+        diag = self.rows == self.cols
+        out[self.rows[diag], self.cols[diag]] = self.counts[diag]
+        off = ~diag
+        half = self.counts[off] // 2
+        out[self.rows[off], self.cols[off]] = half
+        out[self.cols[off], self.rows[off]] = half
+        return out
+
+
+def sparse_from_dense(matrix: np.ndarray) -> SparseCooc:
+    """Convert a dense symmetric co-occurrence count matrix to sparse form.
+
+    Raises ``ValueError`` if ``matrix`` is not square and symmetric —
+    asymmetric matrices cannot be represented by upper-triangle storage.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    if not np.array_equal(matrix, matrix.T):
+        raise ValueError("co-occurrence matrix must be symmetric")
+    levels = matrix.shape[0]
+    r, c = np.nonzero(np.triu(matrix))
+    vals = matrix[r, c]
+    # Off-diagonal entries represent both (r, c) and (c, r): store the sum.
+    vals = np.where(r == c, vals, 2 * vals)
+    return SparseCooc(levels=levels, rows=r, cols=c, counts=vals)
+
+
+def batch_sparse_from_dense(matrices: np.ndarray) -> List[SparseCooc]:
+    """Convert a ``(B, G, G)`` stack of dense matrices to sparse forms."""
+    matrices = np.asarray(matrices)
+    if matrices.ndim != 3:
+        raise ValueError(f"expected (B, G, G), got shape {matrices.shape}")
+    return [sparse_from_dense(m) for m in matrices]

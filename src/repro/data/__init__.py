@@ -1,0 +1,17 @@
+"""4D image data: volumes, the synthetic DCE-MRI phantom, file formats."""
+
+from .formats import read_pgm, read_raw_slice, write_pgm, write_raw_slice
+from .synthetic import Lesion, PhantomConfig, generate_phantom, paper_dataset_config
+from .volume import Volume4D
+
+__all__ = [
+    "Volume4D",
+    "Lesion",
+    "PhantomConfig",
+    "generate_phantom",
+    "paper_dataset_config",
+    "read_pgm",
+    "read_raw_slice",
+    "write_pgm",
+    "write_raw_slice",
+]

@@ -1,0 +1,178 @@
+"""Minimal DICOM file support (explicit VR little endian, uncompressed).
+
+The paper notes the raw-file reader "may be easily replaced by a filter
+which reads DICOM format images" (Section 4.3).  This module implements
+the minimal, standard-conformant subset needed for that: single-frame
+MONOCHROME2 MR images with 8- or 16-bit unsigned pixels, written and
+parsed as real DICOM Part-10 files — 128-byte preamble, ``DICM`` magic,
+explicit-VR little-endian data elements, even-length values, and an OW
+pixel-data element.  Full DICOM (sequences, compressed transfer
+syntaxes, implicit VR) is intentionally out of scope.
+
+Slice position metadata travels in Instance Number (z) and Temporal
+Position Identifier (t), matching the dataset index tuples of paper
+Section 4.2.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+__all__ = ["write_dicom_slice", "read_dicom_slice", "parse_elements", "DicomError"]
+
+# (group, element) tags used by the writer.
+TAG_MODALITY = (0x0008, 0x0060)
+TAG_INSTANCE_NUMBER = (0x0020, 0x0013)
+TAG_TEMPORAL_POSITION = (0x0020, 0x0100)
+TAG_SAMPLES_PER_PIXEL = (0x0028, 0x0002)
+TAG_PHOTOMETRIC = (0x0028, 0x0004)
+TAG_ROWS = (0x0028, 0x0010)
+TAG_COLUMNS = (0x0028, 0x0011)
+TAG_BITS_ALLOCATED = (0x0028, 0x0100)
+TAG_BITS_STORED = (0x0028, 0x0101)
+TAG_HIGH_BIT = (0x0028, 0x0102)
+TAG_PIXEL_REPRESENTATION = (0x0028, 0x0103)
+TAG_PIXEL_DATA = (0x7FE0, 0x0010)
+
+_LONG_VRS = {b"OB", b"OW", b"OF", b"SQ", b"UT", b"UN"}
+
+
+class DicomError(ValueError):
+    """Raised for files outside the supported DICOM subset."""
+
+
+def _element(tag: Tuple[int, int], vr: bytes, value: bytes) -> bytes:
+    """Encode one explicit-VR little-endian data element."""
+    if len(value) % 2:
+        value += b"\x00" if vr not in (b"CS", b"IS", b"SH", b"LO") else b" "
+    head = struct.pack("<HH", tag[0], tag[1]) + vr
+    if vr in _LONG_VRS:
+        return head + b"\x00\x00" + struct.pack("<I", len(value)) + value
+    if len(value) > 0xFFFF:
+        raise DicomError(f"value too long for short VR {vr!r}")
+    return head + struct.pack("<H", len(value)) + value
+
+
+def _us(tag: Tuple[int, int], value: int) -> bytes:
+    return _element(tag, b"US", struct.pack("<H", value))
+
+
+def _is(tag: Tuple[int, int], value: int) -> bytes:
+    return _element(tag, b"IS", str(int(value)).encode("ascii"))
+
+
+def _cs(tag: Tuple[int, int], value: str) -> bytes:
+    return _element(tag, b"CS", value.encode("ascii"))
+
+
+def write_dicom_slice(
+    path: str, img: np.ndarray, t: int = 0, z: int = 0
+) -> int:
+    """Write a 2D unsigned image as a DICOM file; returns bytes written.
+
+    ``img`` must be uint8 or uint16; rows map to DICOM Rows (axis 0).
+    """
+    img = np.asarray(img)
+    if img.ndim != 2:
+        raise DicomError(f"expected a 2-D image, got shape {img.shape}")
+    if img.dtype == np.uint8:
+        bits = 8
+    elif img.dtype == np.uint16:
+        bits = 16
+    else:
+        raise DicomError(f"unsupported pixel dtype {img.dtype}; use uint8/uint16")
+    rows, cols = img.shape
+    if rows > 0xFFFF or cols > 0xFFFF:
+        raise DicomError(f"image too large for DICOM dimensions: {img.shape}")
+
+    pixel_bytes = np.ascontiguousarray(img, dtype=f"<u{bits // 8}").tobytes()
+    body = b"".join(
+        [
+            _cs(TAG_MODALITY, "MR"),
+            _is(TAG_INSTANCE_NUMBER, z),
+            _is(TAG_TEMPORAL_POSITION, t),
+            _us(TAG_SAMPLES_PER_PIXEL, 1),
+            _cs(TAG_PHOTOMETRIC, "MONOCHROME2"),
+            _us(TAG_ROWS, rows),
+            _us(TAG_COLUMNS, cols),
+            _us(TAG_BITS_ALLOCATED, bits),
+            _us(TAG_BITS_STORED, bits),
+            _us(TAG_HIGH_BIT, bits - 1),
+            _us(TAG_PIXEL_REPRESENTATION, 0),
+            _element(TAG_PIXEL_DATA, b"OW", pixel_bytes),
+        ]
+    )
+    blob = b"\x00" * 128 + b"DICM" + body
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    return len(blob)
+
+
+def parse_elements(raw: bytes) -> Dict[Tuple[int, int], Tuple[bytes, bytes]]:
+    """Parse explicit-VR LE data elements into ``{tag: (vr, value)}``."""
+    if len(raw) < 132 or raw[128:132] != b"DICM":
+        raise DicomError("not a DICOM Part-10 file (missing DICM magic)")
+    out: Dict[Tuple[int, int], Tuple[bytes, bytes]] = {}
+    pos = 132
+    n = len(raw)
+    while pos + 8 <= n:
+        group, element = struct.unpack_from("<HH", raw, pos)
+        vr = raw[pos + 4 : pos + 6]
+        if not vr.isalpha():
+            raise DicomError(
+                f"element {(group, element)}: implicit VR or corrupt stream"
+            )
+        if vr in _LONG_VRS:
+            (length,) = struct.unpack_from("<I", raw, pos + 8)
+            start = pos + 12
+        else:
+            (length,) = struct.unpack_from("<H", raw, pos + 6)
+            start = pos + 8
+        end = start + length
+        if end > n:
+            raise DicomError(f"element {(group, element)}: truncated value")
+        out[(group, element)] = (vr, raw[start:end])
+        pos = end
+    return out
+
+
+def _get_us(elements, tag) -> int:
+    try:
+        vr, value = elements[tag]
+    except KeyError:
+        raise DicomError(f"missing required tag {tag}") from None
+    if vr != b"US" or len(value) != 2:
+        raise DicomError(f"tag {tag}: expected US, got {vr!r}")
+    return struct.unpack("<H", value)[0]
+
+
+def read_dicom_slice(path: str) -> Tuple[np.ndarray, Dict[str, int]]:
+    """Read a DICOM slice; returns ``(image, {"t": ..., "z": ...})``."""
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    elements = parse_elements(raw)
+    rows = _get_us(elements, TAG_ROWS)
+    cols = _get_us(elements, TAG_COLUMNS)
+    bits = _get_us(elements, TAG_BITS_ALLOCATED)
+    if bits not in (8, 16):
+        raise DicomError(f"unsupported BitsAllocated {bits}")
+    if _get_us(elements, TAG_PIXEL_REPRESENTATION) != 0:
+        raise DicomError("signed pixel data not supported")
+    vr, pixels = elements.get(TAG_PIXEL_DATA, (None, None))
+    if pixels is None:
+        raise DicomError("missing PixelData")
+    expected = rows * cols * (bits // 8)
+    if len(pixels) < expected:
+        raise DicomError(
+            f"PixelData has {len(pixels)} bytes, expected {expected}"
+        )
+    dtype = np.dtype(f"<u{bits // 8}")
+    img = np.frombuffer(pixels[:expected], dtype=dtype).reshape(rows, cols)
+    meta = {}
+    for key, tag in (("t", TAG_TEMPORAL_POSITION), ("z", TAG_INSTANCE_NUMBER)):
+        if tag in elements:
+            meta[key] = int(elements[tag][1].decode("ascii").strip() or 0)
+    return img.astype(dtype.newbyteorder("=")), meta

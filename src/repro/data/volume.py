@@ -1,0 +1,97 @@
+"""In-memory 4D image volume container.
+
+A :class:`Volume4D` wraps a ``(x, y, z, t)`` NumPy array together with the
+metadata the storage and pipeline layers need (dtype on disk, intensity
+range).  MRI convention used throughout the repo: axis 0/1 are in-slice
+``x``/``y``, axis 2 is the slice index ``z`` within a 3D volume, axis 3 is
+the time step ``t`` (paper Section 4.2: a 4D dataset is a series of 3D
+volumes, each a stack of 2D image slices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Volume4D"]
+
+
+@dataclass
+class Volume4D:
+    """A 4D (x, y, z, t) image volume.
+
+    Attributes
+    ----------
+    data:
+        The voxel array, shape ``(nx, ny, nz, nt)``.
+    """
+
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.data.ndim != 4:
+            raise ValueError(f"Volume4D requires a 4-D array, got {self.data.ndim}-D")
+
+    @property
+    def shape(self) -> Tuple[int, int, int, int]:
+        return self.data.shape  # type: ignore[return-value]
+
+    @property
+    def num_slices(self) -> int:
+        """Slices per 3D volume (z extent)."""
+        return self.data.shape[2]
+
+    @property
+    def num_timesteps(self) -> int:
+        return self.data.shape[3]
+
+    @property
+    def slice_shape(self) -> Tuple[int, int]:
+        """In-plane (x, y) dimensions of one 2D image slice."""
+        return self.data.shape[0], self.data.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def get_slice(self, t: int, z: int) -> np.ndarray:
+        """The 2D image slice ``z`` of the 3D volume at time step ``t``.
+
+        This is the unit of storage distribution (paper Section 4.2: each
+        2D image slice lives in its own file, indexed by ``(t, z)``).
+        """
+        nz, nt = self.num_slices, self.num_timesteps
+        if not (0 <= t < nt):
+            raise IndexError(f"time step {t} out of range [0, {nt})")
+        if not (0 <= z < nz):
+            raise IndexError(f"slice {z} out of range [0, {nz})")
+        return self.data[:, :, z, t]
+
+    def set_slice(self, t: int, z: int, img: np.ndarray) -> None:
+        """Store a 2D image slice at ``(t, z)``."""
+        img = np.asarray(img)
+        if img.shape != self.slice_shape:
+            raise ValueError(f"slice shape {img.shape} != {self.slice_shape}")
+        self.data[:, :, z, t] = img
+
+    def iter_slices(self):
+        """Yield ``(t, z, slice)`` in time-major order."""
+        for t in range(self.num_timesteps):
+            for z in range(self.num_slices):
+                yield t, z, self.get_slice(t, z)
+
+    @classmethod
+    def empty(
+        cls, shape: Tuple[int, int, int, int], dtype=np.uint16
+    ) -> "Volume4D":
+        return cls(np.zeros(shape, dtype=dtype))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Volume4D):
+            return NotImplemented
+        return self.data.shape == other.data.shape and bool(
+            np.array_equal(self.data, other.data)
+        )

@@ -1,0 +1,39 @@
+"""DataCutter-style filter-stream middleware (paper Section 4.1)."""
+
+from .buffers import DataBuffer, EndOfStream
+from .filter import Filter, FilterContext
+from .graph import FilterGraph, FilterSpec, StreamEdge
+from .placement import Placement
+from .runtime_local import LocalRuntime, RunResult
+from .runtime_mp import MPRuntime
+from .scheduling import (
+    CopyState,
+    DemandDrivenPolicy,
+    ExplicitPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from .xmlspec import graph_from_xml, graph_to_xml
+
+__all__ = [
+    "DataBuffer",
+    "EndOfStream",
+    "Filter",
+    "FilterContext",
+    "FilterGraph",
+    "FilterSpec",
+    "StreamEdge",
+    "Placement",
+    "LocalRuntime",
+    "MPRuntime",
+    "RunResult",
+    "CopyState",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "DemandDrivenPolicy",
+    "ExplicitPolicy",
+    "make_policy",
+    "graph_from_xml",
+    "graph_to_xml",
+]

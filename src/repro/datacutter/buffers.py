@@ -1,0 +1,52 @@
+"""Data buffers exchanged between filters over streams.
+
+DataCutter streams deliver data "in user-defined data chunks (data
+buffers)" (paper Section 4.1).  A :class:`DataBuffer` wraps an arbitrary
+payload with the bookkeeping both runtimes need:
+
+* ``size_bytes`` — the serialized size, used by the network cost model
+  (co-located deliveries are pointer copies and ignore it);
+* ``metadata`` — application hints (e.g. ROI counts) read by compute cost
+  models and by explicit routing.
+
+``EndOfStream`` markers propagate shutdown: each producer copy emits one
+on every outgoing stream when it finishes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["DataBuffer", "EndOfStream"]
+
+_buffer_ids = itertools.count()
+
+
+@dataclass
+class DataBuffer:
+    """One unit of data flowing down a stream."""
+
+    payload: Any
+    size_bytes: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    buffer_id: int = field(default_factory=lambda: next(_buffer_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+    def __repr__(self) -> str:  # compact, payloads can be huge
+        return (
+            f"DataBuffer(id={self.buffer_id}, size={self.size_bytes}B, "
+            f"meta={self.metadata})"
+        )
+
+
+@dataclass(frozen=True)
+class EndOfStream:
+    """Marker: one producer copy has finished writing a stream."""
+
+    producer: str
+    copy_index: int

@@ -1,0 +1,82 @@
+"""Placement of filter copies onto nodes.
+
+Placement drives the paper's performance story: co-locating the HCC and
+HPC filters on one node turns their stream into pointer copies (Fig. 8
+"Overlap"), while placing them on separate nodes adds network traffic but
+dedicates a CPU to each.  A :class:`Placement` maps every
+``(filter, copy_index)`` to a node identifier; node identifiers are
+resolved by the cluster model (``repro.sim.clusters``) — the threaded
+runtime ignores placement except for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .graph import FilterGraph
+
+__all__ = ["Placement"]
+
+
+@dataclass
+class Placement:
+    """Assignment of filter copies to nodes."""
+
+    assignments: Dict[Tuple[str, int], str] = field(default_factory=dict)
+
+    def place(self, filter_name: str, copy_index: int, node: str) -> None:
+        key = (filter_name, int(copy_index))
+        if key in self.assignments:
+            raise ValueError(f"copy {key} already placed on {self.assignments[key]}")
+        self.assignments[key] = node
+
+    def place_copies(self, filter_name: str, nodes: Sequence[str]) -> None:
+        """Place copies 0..n-1 of a filter on the listed nodes."""
+        for i, node in enumerate(nodes):
+            self.place(filter_name, i, node)
+
+    def place_round_robin(
+        self, filter_name: str, copies: int, nodes: Sequence[str]
+    ) -> None:
+        """Spread ``copies`` copies over ``nodes`` in round-robin order."""
+        if not nodes:
+            raise ValueError("no nodes to place on")
+        for i in range(copies):
+            self.place(filter_name, i, nodes[i % len(nodes)])
+
+    def node_of(self, filter_name: str, copy_index: int) -> str:
+        try:
+            return self.assignments[(filter_name, copy_index)]
+        except KeyError:
+            raise KeyError(
+                f"copy ({filter_name!r}, {copy_index}) has no placement"
+            ) from None
+
+    def copies_on(self, node: str) -> List[Tuple[str, int]]:
+        return sorted(k for k, v in self.assignments.items() if v == node)
+
+    def nodes(self) -> List[str]:
+        return sorted(set(self.assignments.values()))
+
+    def colocated(
+        self, a: Tuple[str, int], b: Tuple[str, int]
+    ) -> bool:
+        """True when two copies share a node (stream becomes pointer copy)."""
+        return self.node_of(*a) == self.node_of(*b)
+
+    def validate_for(self, graph: FilterGraph) -> None:
+        """Every copy of every filter in ``graph`` must be placed."""
+        missing = []
+        for spec in graph.filters.values():
+            for i in range(spec.copies):
+                if (spec.name, i) not in self.assignments:
+                    missing.append((spec.name, i))
+        if missing:
+            raise ValueError(f"unplaced filter copies: {missing[:8]}")
+        extra = [
+            k for k in self.assignments
+            if k[0] not in graph.filters or k[1] >= graph.filters[k[0]].copies
+        ]
+        if extra:
+            raise ValueError(f"placements for unknown copies: {extra[:8]}")

@@ -1,0 +1,290 @@
+"""Multiprocessing runtime: one OS process per filter copy.
+
+The closest local analog of DataCutter's deployment model: filter copies
+are separate processes (as the paper's filters are separate executables
+on cluster nodes) and every buffer crossing a stream is genuinely
+serialized through an OS pipe — so, unlike the threaded runtime, the
+sparse co-occurrence representation actually shrinks inter-filter
+traffic here, and replicated texture filters scale past the GIL.
+
+Semantics (stream policies, explicit routing, end-of-stream protocol,
+result deposits) match :class:`~repro.datacutter.runtime_local.LocalRuntime`
+exactly; both execute the same :class:`~repro.datacutter.graph.FilterGraph`.
+
+Notes
+-----
+* Requires a ``fork``-capable platform (Linux): filter factories may be
+  closures and are called inside the child.
+* Demand-driven scheduling uses shared queue-depth counters; with
+  multiple producer processes the decision is approximate (reads are not
+  globally serialized with deliveries), which mirrors the real
+  DataCutter scheduler observing consumption asynchronously.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from .buffers import DataBuffer, EndOfStream
+from .filter import FilterContext
+from .graph import FilterGraph, StreamEdge
+from .runtime_local import RunResult
+
+__all__ = ["MPRuntime"]
+
+_CTRL_DONE = "__copy_done__"
+_CTRL_ERROR = "__copy_error__"
+_CTRL_DEPOSIT = "__deposit__"
+
+
+class _SharedEdge:
+    """Cross-process routing state for one stream edge."""
+
+    def __init__(self, edge: StreamEdge, num_consumers: int, max_queue: int, ctx):
+        self.edge = edge
+        self.num_consumers = num_consumers
+        self.queues = [ctx.Queue(maxsize=max_queue) for _ in range(num_consumers)]
+        self.lock = ctx.Lock()
+        # Shared per-consumer depth and assignment counters.
+        self.queued = ctx.Array("l", [0] * num_consumers)
+        self.assigned = ctx.Array("l", [0] * num_consumers)
+        self.rr_next = ctx.Value("l", 0)
+        self.sent = ctx.Value("l", 0)
+
+    def choose(self, buffer: DataBuffer) -> int:
+        policy = self.edge.policy
+        with self.lock:
+            if policy == "round_robin":
+                idx = self.rr_next.value % self.num_consumers
+                self.rr_next.value += 1
+            elif policy == "demand_driven":
+                depths = [
+                    (self.queued[i], self.assigned[i], i)
+                    for i in range(self.num_consumers)
+                ]
+                idx = min(depths)[2]
+            else:
+                raise RuntimeError(
+                    f"stream {self.edge.stream!r} is explicit: dest_copy required"
+                )
+            self.queued[idx] += 1
+            self.assigned[idx] += 1
+            self.sent.value += 1
+        return idx
+
+    def assign_explicit(self, idx: int) -> None:
+        if not (0 <= idx < self.num_consumers):
+            raise RuntimeError(
+                f"stream {self.edge.stream!r}: dest copy {idx} out of range"
+            )
+        with self.lock:
+            self.queued[idx] += 1
+            self.assigned[idx] += 1
+            self.sent.value += 1
+
+    def on_consume(self, idx: int) -> None:
+        with self.lock:
+            self.queued[idx] -= 1
+
+
+class _MPContext(FilterContext):
+    def __init__(self, filter_name, copy_index, num_copies, out_edges, results_q):
+        super().__init__(filter_name, copy_index, num_copies)
+        self._out = out_edges
+        self._results_q = results_q
+
+    def send(self, stream, payload, size_bytes=0, metadata=None, dest_copy=None):
+        try:
+            shared = self._out[stream]
+        except KeyError:
+            raise RuntimeError(
+                f"filter {self.filter_name!r} has no output stream {stream!r}"
+            ) from None
+        buf = DataBuffer(
+            payload=payload, size_bytes=size_bytes, metadata=dict(metadata or {})
+        )
+        if shared.edge.policy == "explicit":
+            if dest_copy is None:
+                raise RuntimeError(
+                    f"stream {stream!r} is explicit: dest_copy required"
+                )
+            idx = dest_copy
+            shared.assign_explicit(idx)
+        elif dest_copy is not None:
+            raise RuntimeError(
+                f"stream {stream!r} is {shared.edge.policy}: dest_copy only "
+                "valid on explicit streams"
+            )
+        else:
+            idx = shared.choose(buf)
+        shared.queues[idx].put((stream, buf))
+
+    def deposit(self, key, value):
+        self._results_q.put((_CTRL_DEPOSIT, key, value))
+
+
+def _copy_main(
+    graph: FilterGraph,
+    spec_name: str,
+    copy_index: int,
+    in_edges: Dict[str, _SharedEdge],
+    out_edges: Dict[str, _SharedEdge],
+    results_q,
+) -> None:
+    """Child-process entry point for one filter copy."""
+    spec = graph.filters[spec_name]
+    t_busy = 0.0
+    failed = False
+    try:
+        filt = spec.factory()
+        ctx = _MPContext(spec_name, copy_index, spec.copies, out_edges, results_q)
+        eos_needed = {e.stream: graph.copies(e.src) for e in graph.in_edges(spec_name)}
+        eos_seen = {stream: 0 for stream in eos_needed}
+
+        t0 = time.perf_counter()
+        filt.initialize(ctx)
+        t_busy += time.perf_counter() - t0
+        if not eos_needed:
+            t0 = time.perf_counter()
+            filt.generate(ctx)
+            t_busy += time.perf_counter() - t0
+        else:
+            open_streams = set(eos_needed)
+            while open_streams:
+                # Poll each open input edge's queue for this copy.
+                item = None
+                for stream in list(open_streams):
+                    shared = in_edges[stream]
+                    try:
+                        item = shared.queues[copy_index].get(timeout=0.01)
+                    except queue_mod.Empty:
+                        continue
+                    break
+                if item is None:
+                    continue
+                stream, payload = item
+                if isinstance(payload, EndOfStream):
+                    eos_seen[stream] += 1
+                    if eos_seen[stream] == eos_needed[stream]:
+                        open_streams.discard(stream)
+                    continue
+                t0 = time.perf_counter()
+                filt.process(stream, payload, ctx)
+                t_busy += time.perf_counter() - t0
+                in_edges[stream].on_consume(copy_index)
+        t0 = time.perf_counter()
+        filt.finalize(ctx)
+        t_busy += time.perf_counter() - t0
+    except BaseException:  # noqa: BLE001 - reported to parent
+        failed = True
+        results_q.put((_CTRL_ERROR, spec_name, copy_index, traceback.format_exc()))
+    finally:
+        # EOS to all downstream copies, then report completion.  The put
+        # is bounded so a crashed consumer cannot wedge this producer.
+        for e in graph.out_edges(spec_name):
+            shared = out_edges[e.stream]
+            marker = EndOfStream(producer=spec_name, copy_index=copy_index)
+            for q in shared.queues:
+                try:
+                    q.put((e.stream, marker), timeout=30)
+                except queue_mod.Full:
+                    pass
+        if not failed:
+            results_q.put((_CTRL_DONE, spec_name, copy_index, t_busy))
+
+
+class MPRuntime:
+    """Executes a filter graph with one process per filter copy."""
+
+    def __init__(self, graph: FilterGraph, max_queue: int = 16):
+        graph.validate()
+        for name in graph.filters:
+            streams = [e.stream for e in graph.in_edges(name)]
+            if len(streams) != len(set(streams)):
+                raise ValueError(
+                    f"filter {name!r} has duplicate input stream names: {streams}"
+                )
+        self.graph = graph
+        self.max_queue = max_queue
+
+    def run(self, timeout: Optional[float] = None) -> RunResult:
+        graph = self.graph
+        ctx = mp.get_context("fork")
+        results_q = ctx.Queue()
+
+        edges: Dict[Tuple[str, str], _SharedEdge] = {}
+        for edge in graph.edges:
+            edges[(edge.src, edge.stream)] = _SharedEdge(
+                edge, graph.copies(edge.dst), self.max_queue, ctx
+            )
+
+        procs: List[mp.Process] = []
+        total_copies = 0
+        start = time.perf_counter()
+        for spec in graph.filters.values():
+            in_edges = {
+                e.stream: edges[(e.src, e.stream)] for e in graph.in_edges(spec.name)
+            }
+            out_edges = {
+                e.stream: edges[(spec.name, e.stream)]
+                for e in graph.out_edges(spec.name)
+            }
+            for i in range(spec.copies):
+                p = ctx.Process(
+                    target=_copy_main,
+                    args=(graph, spec.name, i, in_edges, out_edges, results_q),
+                    name=f"{spec.name}[{i}]",
+                )
+                p.start()
+                procs.append(p)
+                total_copies += 1
+
+        results: Dict[str, List[Any]] = {}
+        busy: Dict[Tuple[str, int], float] = {}
+        errors: List[str] = []
+        done = 0
+        deadline = None if timeout is None else start + timeout
+        while done < total_copies:
+            remaining = None if deadline is None else max(0.1, deadline - time.perf_counter())
+            try:
+                msg = results_q.get(timeout=remaining)
+            except queue_mod.Empty:
+                for p in procs:
+                    p.terminate()
+                raise TimeoutError(f"pipeline did not finish within {timeout}s")
+            kind = msg[0]
+            if kind == _CTRL_DEPOSIT:
+                _, key, value = msg
+                results.setdefault(key, []).append(value)
+            elif kind == _CTRL_DONE:
+                _, name, idx, t_busy = msg
+                busy[(name, idx)] = t_busy
+                done += 1
+            elif kind == _CTRL_ERROR:
+                _, name, idx, tb = msg
+                errors.append(f"{name}[{idx}]:\n{tb}")
+                done += 1
+
+        for p in procs:
+            p.join(timeout=10)
+            if p.is_alive():
+                p.terminate()
+        elapsed = time.perf_counter() - start
+
+        if errors:
+            raise RuntimeError(
+                f"{len(errors)} filter copies failed; first:\n{errors[0]}"
+            )
+        buffers_sent = {
+            f"{src}:{stream}": e.sent.value for (src, stream), e in edges.items()
+        }
+        return RunResult(
+            results=results,
+            elapsed=elapsed,
+            busy_time=busy,
+            buffers_sent=buffers_sent,
+        )

@@ -1,0 +1,136 @@
+"""Buffer scheduling policies for transparent filter copies.
+
+When a stream fans out to several transparent copies of a consumer
+filter, the DataCutter scheduler decides which copy receives each buffer
+(paper Section 4.1):
+
+* **round robin** — copies take turns, so each receives roughly the same
+  number of buffers;
+* **demand driven** — buffers go "to the transparent filter copies that
+  can process them the fastest", tracked through buffer consumption: the
+  copy with the fewest unconsumed (queued, in-flight) buffers wins.
+
+Both runtimes consult the same policy objects through the
+:class:`CopyState` view, so scheduling behaviour — the subject of the
+paper's Fig. 11 experiment — is identical in real and simulated runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .buffers import DataBuffer
+
+__all__ = [
+    "CopyState",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "DemandDrivenPolicy",
+    "ExplicitPolicy",
+    "make_policy",
+]
+
+
+@dataclass
+class CopyState:
+    """Scheduler-visible state of one consumer copy."""
+
+    copy_index: int
+    queued: int = 0  # buffers delivered but not yet consumed
+    assigned: int = 0  # total buffers ever assigned
+    assigned_bytes: int = 0
+
+    def on_assign(self, buffer: DataBuffer) -> None:
+        self.queued += 1
+        self.assigned += 1
+        self.assigned_bytes += buffer.size_bytes
+
+    def on_consume(self) -> None:
+        if self.queued <= 0:
+            raise RuntimeError(f"copy {self.copy_index} consumed more than assigned")
+        self.queued -= 1
+
+
+class SchedulingPolicy(abc.ABC):
+    """Chooses the consumer copy for each buffer on one stream edge."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose(self, copies: List[CopyState], buffer: DataBuffer) -> int:
+        """Return the copy index that should receive ``buffer``."""
+
+    def requires_explicit_dest(self) -> bool:
+        return False
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Cycle through copies; each receives ~the same number of buffers."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, copies: List[CopyState], buffer: DataBuffer) -> int:
+        if not copies:
+            raise ValueError("no consumer copies")
+        idx = self._next % len(copies)
+        self._next += 1
+        return copies[idx].copy_index
+
+
+class DemandDrivenPolicy(SchedulingPolicy):
+    """Send to the copy with the fewest unconsumed buffers.
+
+    A copy that drains its queue quickly (fast node) keeps its queue
+    short and therefore attracts more buffers — the consumption-rate
+    behaviour of the DataCutter demand-driven scheduler.  Ties break by
+    fewest total assigned buffers, then lowest copy index (deterministic).
+    """
+
+    name = "demand_driven"
+
+    def choose(self, copies: List[CopyState], buffer: DataBuffer) -> int:
+        if not copies:
+            raise ValueError("no consumer copies")
+        best = min(copies, key=lambda c: (c.queued, c.assigned, c.copy_index))
+        return best.copy_index
+
+
+class ExplicitPolicy(SchedulingPolicy):
+    """Producer addresses the destination copy itself (paper 4.1).
+
+    Needed where data placement is semantic — e.g. every piece of one
+    RFR-to-IIC chunk must reach the *same* IIC copy to be stitched.
+    """
+
+    name = "explicit"
+
+    def choose(self, copies: List[CopyState], buffer: DataBuffer) -> int:
+        raise RuntimeError(
+            "explicit streams require dest_copy on every send; the "
+            "scheduler must not be consulted"
+        )
+
+    def requires_explicit_dest(self) -> bool:
+        return True
+
+
+_POLICIES = {
+    "round_robin": RoundRobinPolicy,
+    "demand_driven": DemandDrivenPolicy,
+    "explicit": ExplicitPolicy,
+}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by name (fresh state per stream edge)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; valid: {sorted(_POLICIES)}"
+        ) from None

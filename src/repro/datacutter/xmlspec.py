@@ -1,0 +1,89 @@
+"""XML descriptions of filter networks.
+
+DataCutter applications express the filter network as an XML document
+(paper Section 4.3).  The schema used here::
+
+    <filtergraph>
+      <filter name="RFR" type="raw_file_reader" copies="4"/>
+      <filter name="IIC" type="input_image_constructor" copies="1"/>
+      <stream name="rfr2iic" src="RFR" dst="IIC" policy="explicit"/>
+    </filtergraph>
+
+``type`` keys into a registry of filter factories supplied by the
+application (the filter *implementations* are code; the XML only wires
+them together).  Factories receive no arguments, so parameterized filters
+are registered as closures.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Callable, Dict
+
+from .filter import Filter
+from .graph import FilterGraph
+
+__all__ = ["graph_from_xml", "graph_to_xml"]
+
+FilterFactory = Callable[[], Filter]
+
+
+def graph_from_xml(doc: str, registry: Dict[str, FilterFactory]) -> FilterGraph:
+    """Build a :class:`FilterGraph` from an XML document.
+
+    ``registry`` maps each ``type`` attribute to a filter factory.
+    """
+    try:
+        root = ET.fromstring(doc)
+    except ET.ParseError as exc:
+        raise ValueError(f"invalid filter-graph XML: {exc}") from exc
+    if root.tag != "filtergraph":
+        raise ValueError(f"expected <filtergraph> root, got <{root.tag}>")
+    graph = FilterGraph()
+    # Record type names so the graph can be serialized back.
+    graph._xml_types: Dict[str, str] = {}  # type: ignore[attr-defined]
+    for el in root.iter("filter"):
+        name = el.get("name")
+        ftype = el.get("type")
+        if not name or not ftype:
+            raise ValueError("<filter> requires name and type attributes")
+        if ftype not in registry:
+            raise ValueError(
+                f"filter type {ftype!r} not in registry; known: {sorted(registry)}"
+            )
+        copies = int(el.get("copies", "1"))
+        graph.add_filter(name, registry[ftype], copies=copies)
+        graph._xml_types[name] = ftype  # type: ignore[attr-defined]
+    for el in root.iter("stream"):
+        name = el.get("name")
+        src = el.get("src")
+        dst = el.get("dst")
+        if not name or not src or not dst:
+            raise ValueError("<stream> requires name, src and dst attributes")
+        graph.connect(src, name, dst, policy=el.get("policy", "demand_driven"))
+    graph.validate()
+    return graph
+
+
+def graph_to_xml(graph: FilterGraph) -> str:
+    """Serialize a graph (built by :func:`graph_from_xml`) back to XML."""
+    types = getattr(graph, "_xml_types", {})
+    root = ET.Element("filtergraph")
+    for spec in graph.filters.values():
+        ET.SubElement(
+            root,
+            "filter",
+            name=spec.name,
+            type=types.get(spec.name, spec.name),
+            copies=str(spec.copies),
+        )
+    for edge in graph.edges:
+        ET.SubElement(
+            root,
+            "stream",
+            name=edge.stream,
+            src=edge.src,
+            dst=edge.dst,
+            policy=edge.policy,
+        )
+    return ET.tostring(root, encoding="unicode")

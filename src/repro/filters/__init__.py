@@ -1,0 +1,49 @@
+"""The eight application filters of the Haralick pipeline (Section 4.3).
+
+Input filters: :class:`RawFileReader` (RFR), :class:`InputImageConstructor`
+(IIC).  Texture filters: :class:`HaralickMatrixProducer` (HMP, combined) or
+the split :class:`HaralickCoMatrixCalculator` (HCC) +
+:class:`HaralickParameterCalculator` (HPC).  Output filters:
+:class:`UnstitchedOutput` (USO), :class:`HaralickImageConstructor` (HIC),
+:class:`JPGImageWriter` (JIW).
+"""
+
+from .hcc import HaralickCoMatrixCalculator
+from .hic import HaralickImageConstructor
+from .hmp import HaralickMatrixProducer
+from .hpc import HaralickParameterCalculator
+from .iic import InputImageConstructor
+from .jiw import JPGImageWriter, normalize_volume
+from .messages import (
+    FeaturePortion,
+    MatrixPacket,
+    ParameterVolume,
+    SlicePortion,
+    TextureChunk,
+    TextureParams,
+    iic_copy_for_chunk,
+)
+from .rfr import RawFileReader, inplane_blocks
+from .uso import UnstitchedOutput, combine_uso_outputs, read_uso_records
+
+__all__ = [
+    "RawFileReader",
+    "InputImageConstructor",
+    "HaralickMatrixProducer",
+    "HaralickCoMatrixCalculator",
+    "HaralickParameterCalculator",
+    "UnstitchedOutput",
+    "HaralickImageConstructor",
+    "JPGImageWriter",
+    "normalize_volume",
+    "TextureParams",
+    "SlicePortion",
+    "TextureChunk",
+    "MatrixPacket",
+    "FeaturePortion",
+    "ParameterVolume",
+    "iic_copy_for_chunk",
+    "inplane_blocks",
+    "combine_uso_outputs",
+    "read_uso_records",
+]

@@ -1,0 +1,55 @@
+"""HCC — HaralickCoMatrixCalculator (paper Section 4.3.2).
+
+Computes only the co-occurrence matrices of the ROIs in each arriving
+chunk.  Matrices are packed into output buffers and shipped to the HPC
+filter whenever a fraction of the chunk (default 1/8 — Section 5.1) has
+been processed, so parameter computation pipelines behind matrix
+computation.
+
+With ``params.sparse`` the matrices travel in the sparse triplet form,
+which "can greatly reduce the data traffic leaving the HCC filter"
+(Section 4.4.1) — the mechanism behind Fig. 7(b).
+"""
+
+from __future__ import annotations
+
+from ..core.cooccurrence import cooccurrence_scan
+from ..core.sparse import batch_sparse_from_dense
+from ..datacutter.buffers import DataBuffer
+from ..datacutter.filter import Filter, FilterContext
+from .messages import MatrixPacket, TextureChunk, TextureParams
+
+__all__ = ["HaralickCoMatrixCalculator"]
+
+
+class HaralickCoMatrixCalculator(Filter):
+    """Co-occurrence-matrix-only texture filter (split pipeline stage 1)."""
+
+    name = "HCC"
+
+    def __init__(self, params: TextureParams, out_stream: str = "hcc2hpc"):
+        self.params = params
+        self.out_stream = out_stream
+
+    def process(self, stream: str, buffer: DataBuffer, ctx: FilterContext) -> None:
+        tc = buffer.payload
+        if not isinstance(tc, TextureChunk):
+            raise TypeError(f"HCC expected TextureChunk, got {type(tc).__name__}")
+        p = self.params
+        q = p.quantize(tc.data)
+        batch = p.packet_rois(tc.chunk)
+        for start, mats in cooccurrence_scan(
+            q, p.roi, p.levels, distance=p.distance, batch=batch
+        ):
+            if p.sparse:
+                packet = MatrixPacket(
+                    chunk=tc.chunk, start=start, sparse=batch_sparse_from_dense(mats)
+                )
+            else:
+                packet = MatrixPacket(chunk=tc.chunk, start=start, dense=mats)
+            ctx.send(
+                self.out_stream,
+                packet,
+                size_bytes=packet.wire_bytes(p.levels),
+                metadata={"kind": "matrices", "count": packet.count},
+            )

@@ -1,0 +1,99 @@
+"""HIC — HaralickImageConstructor, the output stitch (paper Section 4.3.3).
+
+Uses the positional information in arriving feature portions to place
+parameter values into the full 4D output dataset of each Haralick
+parameter.  Once every parameter volume is completely assembled, each is
+forwarded (with its min/max for normalization) to the next filter — the
+JIW image writer — and deposited in the runtime result store for
+programmatic consumers.
+
+HIC runs as a single copy: it holds the global output volumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..chunks.chunking import ChunkSpec
+from ..chunks.stitch import OutputStitcher
+from ..core.roi import ROISpec
+from ..datacutter.buffers import DataBuffer
+from ..datacutter.filter import Filter, FilterContext
+from .messages import FeaturePortion, ParameterVolume
+
+__all__ = ["HaralickImageConstructor"]
+
+
+class HaralickImageConstructor(Filter):
+    """Stitches feature portions into complete parameter volumes."""
+
+    name = "HIC"
+
+    def __init__(
+        self,
+        dataset_shape: Tuple[int, ...],
+        roi_shape: Tuple[int, ...],
+        features: Sequence[str],
+        out_stream: Optional[str] = "hic2jiw",
+        deposit_key: str = "volumes",
+    ):
+        self.roi = ROISpec(roi_shape)
+        self.stitcher = OutputStitcher(dataset_shape, self.roi, features)
+        self.out_stream = out_stream
+        self.deposit_key = deposit_key
+        # Per-chunk accumulation of flat feature values until full.
+        self._partial: Dict[Tuple[int, ...], Dict[str, np.ndarray]] = {}
+        self._filled: Dict[Tuple[int, ...], int] = {}
+        self._chunks: Dict[Tuple[int, ...], ChunkSpec] = {}
+
+    def process(self, stream: str, buffer: DataBuffer, ctx: FilterContext) -> None:
+        portion = buffer.payload
+        if not isinstance(portion, FeaturePortion):
+            raise TypeError(f"HIC expected FeaturePortion, got {type(portion).__name__}")
+        chunk = portion.chunk
+        key = chunk.index
+        local_grid = tuple(
+            s - r + 1 for s, r in zip(chunk.shape, self.roi.shape)
+        )
+        npos = int(np.prod(local_grid))
+        if key not in self._partial:
+            self._partial[key] = {
+                name: np.zeros(npos) for name in self.stitcher.features
+            }
+            self._filled[key] = 0
+            self._chunks[key] = chunk
+        store = self._partial[key]
+        count = portion.count
+        for name in self.stitcher.features:
+            if name not in portion.values:
+                raise ValueError(f"portion missing feature {name!r}")
+            store[name][portion.start : portion.start + count] = portion.values[name]
+        self._filled[key] += count
+        if self._filled[key] > npos:
+            raise RuntimeError(f"chunk {key}: received more values than positions")
+        if self._filled[key] == npos:
+            local = {
+                name: arr.reshape(local_grid) for name, arr in store.items()
+            }
+            self.stitcher.place(self._chunks[key], local)
+            del self._partial[key], self._filled[key], self._chunks[key]
+
+    def finalize(self, ctx: FilterContext) -> None:
+        if self._partial:
+            raise RuntimeError(
+                f"HIC: input ended with {len(self._partial)} incomplete chunks"
+            )
+        volumes = self.stitcher.result()
+        for name, vol in volumes.items():
+            vmin, vmax = self.stitcher.minmax(name)
+            if self.out_stream is not None:
+                pv = ParameterVolume(feature=name, volume=vol, vmin=vmin, vmax=vmax)
+                ctx.send(
+                    self.out_stream,
+                    pv,
+                    size_bytes=pv.nbytes,
+                    metadata={"kind": "volume", "feature": name},
+                )
+        ctx.deposit(self.deposit_key, volumes)

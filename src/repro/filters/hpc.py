@@ -1,0 +1,51 @@
+"""HPC — HaralickParameterCalculator (paper Section 4.3.2).
+
+Computes the user-selected Haralick parameters from the co-occurrence
+matrices received from HCC filters.  Dense packets go through the
+vectorized batch kernel; sparse packets are "processed directly from the
+sparse form, and no conversion back to a co-occurrence array is needed"
+(Section 4.4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.features import haralick_features
+from ..core.features_sparse import features_from_sparse
+from ..datacutter.buffers import DataBuffer
+from ..datacutter.filter import Filter, FilterContext
+from .messages import FeaturePortion, MatrixPacket, TextureParams
+
+__all__ = ["HaralickParameterCalculator"]
+
+
+class HaralickParameterCalculator(Filter):
+    """Parameter-only texture filter (split pipeline stage 2)."""
+
+    name = "HPC"
+
+    def __init__(self, params: TextureParams, out_stream: str = "tex2out"):
+        self.params = params
+        self.out_stream = out_stream
+
+    def process(self, stream: str, buffer: DataBuffer, ctx: FilterContext) -> None:
+        packet = buffer.payload
+        if not isinstance(packet, MatrixPacket):
+            raise TypeError(f"HPC expected MatrixPacket, got {type(packet).__name__}")
+        p = self.params
+        if packet.sparse is not None:
+            vals = {name: np.empty(len(packet.sparse)) for name in p.features}
+            for k, sp in enumerate(packet.sparse):
+                f = features_from_sparse(sp, p.features)
+                for name in p.features:
+                    vals[name][k] = f[name]
+        else:
+            vals = haralick_features(packet.dense, p.features)
+        portion = FeaturePortion(chunk=packet.chunk, start=packet.start, values=vals)
+        ctx.send(
+            self.out_stream,
+            portion,
+            size_bytes=portion.nbytes,
+            metadata={"kind": "features", "count": portion.count},
+        )

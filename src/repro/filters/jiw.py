@@ -1,0 +1,71 @@
+"""JIW — JPGImageWriter (paper Section 4.3.3).
+
+Receives assembled parameter volumes with their min/max, normalizes each
+value into ``[0, 1]`` (zero -> black, one -> white), converts the 4D data
+into a series of 2D grayscale images and writes them to disk.
+
+Substitution note (see DESIGN.md): the paper writes JPEG; no JPEG codec
+is available offline, so images are written as binary PGM — the identical
+normalize-and-write pipeline with a different container.  The class keeps
+the paper's name.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from ..data.formats import write_pgm
+from ..datacutter.buffers import DataBuffer
+from ..datacutter.filter import Filter, FilterContext
+from .messages import ParameterVolume
+
+__all__ = ["JPGImageWriter", "normalize_volume"]
+
+
+def normalize_volume(volume: np.ndarray, vmin: float, vmax: float) -> np.ndarray:
+    """Scale values into [0, 1] using the global parameter min/max.
+
+    A constant volume (``vmin == vmax``) maps to all-black, matching the
+    "zero results in a black pixel" convention.
+    """
+    if vmax < vmin:
+        raise ValueError(f"vmax {vmax} < vmin {vmin}")
+    if vmax == vmin:
+        return np.zeros_like(volume, dtype=np.float64)
+    return np.clip((volume - vmin) / (vmax - vmin), 0.0, 1.0)
+
+
+class JPGImageWriter(Filter):
+    """Writes normalized parameter volumes as 2D grayscale image series."""
+
+    name = "JIW"
+
+    def __init__(self, output_dir: str):
+        self.output_dir = output_dir
+
+    def initialize(self, ctx: FilterContext) -> None:
+        os.makedirs(self.output_dir, exist_ok=True)
+
+    def process(self, stream: str, buffer: DataBuffer, ctx: FilterContext) -> None:
+        pv = buffer.payload
+        if not isinstance(pv, ParameterVolume):
+            raise TypeError(f"JIW expected ParameterVolume, got {type(pv).__name__}")
+        if pv.volume.ndim != 4:
+            raise ValueError(f"JIW expects 4D volumes, got {pv.volume.ndim}D")
+        norm = normalize_volume(pv.volume, pv.vmin, pv.vmax)
+        feature_dir = os.path.join(self.output_dir, pv.feature)
+        os.makedirs(feature_dir, exist_ok=True)
+        written = 0
+        _, _, nz, nt = norm.shape
+        for t in range(nt):
+            for z in range(nz):
+                path = os.path.join(feature_dir, f"t{t:04d}_z{z:04d}.pgm")
+                write_pgm(path, norm[:, :, z, t])
+                written += 1
+        ctx.deposit(
+            "images",
+            {"feature": pv.feature, "dir": feature_dir, "count": written},
+        )

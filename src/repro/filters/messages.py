@@ -1,0 +1,201 @@
+"""Payload types and shared parameters for the application filters.
+
+Every stream in the Haralick pipeline carries one of the dataclasses
+below.  ``TextureParams`` bundles the analysis parameters every texture
+filter needs; the paper's experimental defaults (Section 5.1) are the
+dataclass defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..chunks.chunking import ChunkSpec
+from ..core.features import PAPER_FEATURES, feature_index
+from ..core.roi import ROISpec
+from ..core.sparse import SparseCooc
+
+__all__ = [
+    "TextureParams",
+    "SlicePortion",
+    "TextureChunk",
+    "MatrixPacket",
+    "FeaturePortion",
+    "ParameterVolume",
+    "iic_copy_for_chunk",
+    "texture_wire_bytes",
+]
+
+
+@dataclass(frozen=True)
+class TextureParams:
+    """Analysis parameters shared by all texture filters.
+
+    ``intensity_range`` fixes the global requantization window so that
+    every chunk is quantized identically regardless of which filter copy
+    processes it.  ``packet_fraction`` is the fraction of a chunk's ROIs
+    per HCC output packet (the paper sends a packet whenever 1/8 of a
+    chunk has been processed).
+    """
+
+    roi_shape: Tuple[int, ...] = (5, 5, 5, 3)
+    levels: int = 32
+    features: Tuple[str, ...] = PAPER_FEATURES
+    distance: int = 1
+    intensity_range: Tuple[float, float] = (0.0, 65535.0)
+    packet_fraction: float = 1.0 / 8.0
+    sparse: bool = False
+
+    def __post_init__(self) -> None:
+        for name in self.features:
+            feature_index(name)
+        if not self.features:
+            raise ValueError("at least one feature required")
+        if not (0 < self.packet_fraction <= 1):
+            raise ValueError("packet_fraction must be in (0, 1]")
+        lo, hi = self.intensity_range
+        if hi <= lo:
+            raise ValueError(f"invalid intensity range [{lo}, {hi}]")
+        ROISpec(self.roi_shape)  # validates
+
+    @property
+    def roi(self) -> ROISpec:
+        return ROISpec(self.roi_shape)
+
+    def packet_rois(self, chunk: ChunkSpec) -> int:
+        """ROIs per matrix/feature packet for one chunk."""
+        total = chunk.num_rois
+        return max(1, int(np.ceil(total * self.packet_fraction)))
+
+    def quantize(self, data: np.ndarray) -> np.ndarray:
+        from ..core.quantization import quantize_linear
+
+        lo, hi = self.intensity_range
+        return quantize_linear(data, self.levels, lo=lo, hi=hi)
+
+
+@dataclass
+class SlicePortion:
+    """A 2D sub-rectangle of one slice file (RFR -> IIC traffic)."""
+
+    t: int
+    z: int
+    x0: int
+    x1: int
+    y0: int
+    y1: int
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.data.shape != (self.x1 - self.x0, self.y1 - self.y0):
+            raise ValueError(
+                f"portion data shape {self.data.shape} != declared "
+                f"({self.x1 - self.x0}, {self.y1 - self.y0})"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+@dataclass
+class TextureChunk:
+    """A fully assembled IIC-to-TEXTURE chunk (IIC -> HMP/HCC traffic)."""
+
+    chunk: ChunkSpec
+    data: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+@dataclass
+class MatrixPacket:
+    """A batch of co-occurrence matrices (HCC -> HPC traffic).
+
+    Exactly one of ``dense`` / ``sparse`` is set, matching the full or
+    sparse matrix representation under evaluation (paper Section 4.4.1).
+    ``start`` is the flat index of the first ROI position in the chunk's
+    local raster-scan order.
+    """
+
+    chunk: ChunkSpec
+    start: int
+    dense: Optional[np.ndarray] = None
+    sparse: Optional[List[SparseCooc]] = None
+
+    def __post_init__(self) -> None:
+        if (self.dense is None) == (self.sparse is None):
+            raise ValueError("exactly one of dense/sparse must be set")
+
+    @property
+    def count(self) -> int:
+        return len(self.sparse) if self.sparse is not None else self.dense.shape[0]
+
+    def wire_bytes(self, levels: int) -> int:
+        """Serialized size for the network cost model."""
+        if self.sparse is not None:
+            return sum(sp.wire_bytes() for sp in self.sparse)
+        # Full form: G*G 2-byte counts per matrix (ROI pair counts fit
+        # comfortably in 16 bits for the paper's ROI sizes).
+        return self.count * levels * levels * 2
+
+
+@dataclass
+class FeaturePortion:
+    """Haralick parameter values for a run of ROI positions
+    (HMP/HPC -> output-filter traffic)."""
+
+    chunk: ChunkSpec
+    start: int
+    values: Dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        lengths = {v.shape for v in self.values.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"inconsistent value lengths: {lengths}")
+
+    @property
+    def count(self) -> int:
+        return next(iter(self.values.values())).shape[0] if self.values else 0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(int(v.nbytes) for v in self.values.values())
+
+
+def iic_copy_for_chunk(chunk_linear_index: int, num_iic_copies: int) -> int:
+    """Which IIC copy assembles a given chunk.
+
+    Pieces of the same chunk must meet at one copy (paper Section 5.2:
+    this is why IIC copies are *explicit*); chunks round-robin over the
+    copies so each IIC handles a similar share.
+    """
+    if num_iic_copies < 1:
+        raise ValueError("need at least one IIC copy")
+    return chunk_linear_index % num_iic_copies
+
+
+def texture_wire_bytes(portion_nbytes: int) -> int:
+    """Wire size of a feature portion (float64 values + positions)."""
+    return portion_nbytes
+
+
+@dataclass
+class ParameterVolume:
+    """A complete stitched 4D output volume for one Haralick parameter
+    (HIC -> JIW traffic), with the min/max the JIW filter needs for
+    normalization (paper Section 4.3.3)."""
+
+    feature: str
+    volume: np.ndarray
+    vmin: float
+    vmax: float
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.volume.nbytes)

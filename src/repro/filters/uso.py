@@ -1,0 +1,124 @@
+"""USO — UnstitchedOutput (paper Section 4.3.3).
+
+Writes Haralick parameter streams straight to disk: each copy opens one
+file per parameter and appends ``(position, value)`` records as portions
+arrive.  Postprocessing applications (computer-aided diagnosis) consume
+these files; :func:`read_uso_records` and :func:`combine_uso_outputs`
+reconstruct full volumes from any number of USO copies' files.
+
+Only *owned* positions are written — overlap-region duplicates computed
+by neighbouring chunks are dropped here, so the union of all records
+covers every output position exactly once.
+
+Record format (little-endian): ``ndim`` uint32 coordinates + 1 float64.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..chunks.chunking import flat_to_global, owned_flat_mask
+from ..core.roi import ROISpec
+from ..datacutter.buffers import DataBuffer
+from ..datacutter.filter import Filter, FilterContext
+from .messages import FeaturePortion
+
+__all__ = ["UnstitchedOutput", "read_uso_records", "combine_uso_outputs"]
+
+
+class UnstitchedOutput(Filter):
+    """Streams parameter records to per-feature files."""
+
+    name = "USO"
+
+    def __init__(self, output_dir: str, roi_shape: Tuple[int, ...]):
+        self.output_dir = output_dir
+        self.roi = ROISpec(roi_shape)
+        self._files: Dict[str, "object"] = {}
+        self._counts: Dict[str, int] = {}
+
+    def initialize(self, ctx: FilterContext) -> None:
+        os.makedirs(self.output_dir, exist_ok=True)
+
+    def _file(self, feature: str, ctx: FilterContext):
+        if feature not in self._files:
+            path = os.path.join(
+                self.output_dir, f"{feature}_copy{ctx.copy_index:03d}.uso"
+            )
+            self._files[feature] = open(path, "wb")
+            self._counts[feature] = 0
+        return self._files[feature]
+
+    def process(self, stream: str, buffer: DataBuffer, ctx: FilterContext) -> None:
+        portion = buffer.payload
+        if not isinstance(portion, FeaturePortion):
+            raise TypeError(f"USO expected FeaturePortion, got {type(portion).__name__}")
+        mask = owned_flat_mask(portion.chunk, self.roi)
+        count = portion.count
+        owned = mask[portion.start : portion.start + count]
+        if not owned.any():
+            return
+        flat = np.arange(portion.start, portion.start + count)[owned]
+        coords = flat_to_global(portion.chunk, self.roi, flat).astype("<u4")
+        for feature, values in portion.values.items():
+            fh = self._file(feature, ctx)
+            vals = np.asarray(values, dtype="<f8")[owned]
+            rec = np.empty(
+                coords.shape[0],
+                dtype=[("pos", "<u4", (coords.shape[1],)), ("val", "<f8")],
+            )
+            rec["pos"] = coords
+            rec["val"] = vals
+            fh.write(rec.tobytes())
+            self._counts[feature] += coords.shape[0]
+
+    def finalize(self, ctx: FilterContext) -> None:
+        for feature, fh in self._files.items():
+            fh.close()
+            ctx.deposit(
+                "uso_files",
+                {
+                    "feature": feature,
+                    "path": os.path.join(
+                        self.output_dir, f"{feature}_copy{ctx.copy_index:03d}.uso"
+                    ),
+                    "records": self._counts[feature],
+                },
+            )
+
+
+def read_uso_records(path: str, ndim: int = 4) -> Tuple[np.ndarray, np.ndarray]:
+    """Read one USO file; returns ``(coords (n, ndim), values (n,))``."""
+    dtype = np.dtype([("pos", "<u4", (ndim,)), ("val", "<f8")])
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if len(raw) % dtype.itemsize:
+        raise ValueError(f"{path}: truncated USO file")
+    rec = np.frombuffer(raw, dtype=dtype)
+    return rec["pos"].astype(np.int64), rec["val"].copy()
+
+
+def combine_uso_outputs(
+    paths: List[str], out_shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Rebuild one parameter volume from all USO copies' files.
+
+    Raises if any output position is missing or written twice.
+    """
+    volume = np.full(out_shape, np.nan)
+    seen = np.zeros(out_shape, dtype=bool)
+    for path in paths:
+        coords, vals = read_uso_records(path, ndim=len(out_shape))
+        idx = tuple(coords.T)
+        if seen[idx].any():
+            raise ValueError(f"{path}: duplicate output positions")
+        volume[idx] = vals
+        seen[idx] = True
+    if not seen.all():
+        raise ValueError(
+            f"USO outputs incomplete: {int((~seen).sum())} positions missing"
+        )
+    return volume

@@ -1,0 +1,20 @@
+"""End-to-end parallel analysis: configs, graph builders, drivers."""
+
+from .builder import build_graph, plan_chunks
+from .config import AnalysisConfig, clip_chunk_shape
+from .report import filter_breakdown, format_breakdown
+from .run import PipelineResult, run_pipeline
+from .sequential import iter_chunk_features, transform_disk_dataset
+
+__all__ = [
+    "AnalysisConfig",
+    "clip_chunk_shape",
+    "build_graph",
+    "plan_chunks",
+    "filter_breakdown",
+    "format_breakdown",
+    "PipelineResult",
+    "run_pipeline",
+    "iter_chunk_features",
+    "transform_disk_dataset",
+]

@@ -1,0 +1,50 @@
+"""Per-filter timing reports (the measurement behind paper Fig. 9)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..datacutter.runtime_local import RunResult
+
+__all__ = ["filter_breakdown", "format_breakdown"]
+
+
+def filter_breakdown(run: RunResult) -> Dict[str, Dict[str, float]]:
+    """Summarize busy time per filter across its copies.
+
+    Returns ``{filter: {copies, total, mean, max}}`` where ``total`` sums
+    all copies' busy seconds, ``mean``/``max`` are per-copy statistics
+    (the paper's Fig. 9 plots the per-filter processing time; ``max``
+    approximates the critical-path contribution of a replicated filter).
+    """
+    per_filter: Dict[str, List[float]] = {}
+    for (name, _copy), busy in run.busy_time.items():
+        per_filter.setdefault(name, []).append(busy)
+    out = {}
+    for name, times in per_filter.items():
+        out[name] = {
+            "copies": float(len(times)),
+            "total": sum(times),
+            "mean": sum(times) / len(times),
+            "max": max(times),
+        }
+    return out
+
+
+def format_breakdown(run: RunResult, order: Tuple[str, ...] = ()) -> str:
+    """Human-readable per-filter timing table."""
+    stats = filter_breakdown(run)
+    names = [n for n in order if n in stats] + sorted(
+        n for n in stats if n not in order
+    )
+    lines = [
+        f"{'filter':<8} {'copies':>6} {'total(s)':>10} {'mean(s)':>10} {'max(s)':>10}"
+    ]
+    for name in names:
+        s = stats[name]
+        lines.append(
+            f"{name:<8} {int(s['copies']):>6} {s['total']:>10.4f} "
+            f"{s['mean']:>10.4f} {s['max']:>10.4f}"
+        )
+    lines.append(f"elapsed wall-clock: {run.elapsed:.4f}s")
+    return "\n".join(lines)

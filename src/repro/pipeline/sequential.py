@@ -1,0 +1,70 @@
+"""Sequential out-of-core analysis of a disk-resident dataset.
+
+For users without a cluster (or threads): processes a dataset chunk by
+chunk in one process, holding at most one IIC-to-TEXTURE chunk plus the
+output volumes in memory.  Numerically identical to both the in-memory
+``haralick_transform`` and the parallel pipelines; useful as a baseline
+and for datasets that merely exceed RAM rather than patience.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..chunks.chunking import ChunkSpec
+from ..chunks.stitch import OutputStitcher
+from ..core.raster import raster_scan
+from ..storage.dataset import DiskDataset4D
+from .builder import plan_chunks
+from .config import AnalysisConfig
+
+__all__ = ["transform_disk_dataset", "iter_chunk_features"]
+
+
+def _read_chunk(dataset: DiskDataset4D, chunk: ChunkSpec) -> np.ndarray:
+    return dataset.read_chunk(
+        (chunk.lo[0], chunk.hi[0]),
+        (chunk.lo[1], chunk.hi[1]),
+        (chunk.lo[2], chunk.hi[2]),
+        (chunk.lo[3], chunk.hi[3]),
+    )
+
+
+def iter_chunk_features(
+    dataset: DiskDataset4D, config: AnalysisConfig
+) -> Iterator[Tuple[ChunkSpec, Dict[str, np.ndarray]]]:
+    """Yield ``(chunk, local feature volumes)`` one chunk at a time.
+
+    The local volumes cover the chunk's full scan grid (including
+    overlap positions); use :meth:`ChunkSpec.local_own_slices` to select
+    the owned region.  Memory high-water mark is one chunk's input plus
+    its outputs.
+    """
+    params = config.texture
+    for chunk in plan_chunks(dataset.shape, config):
+        data = _read_chunk(dataset, chunk)
+        q = params.quantize(data)
+        local = raster_scan(
+            q,
+            params.roi,
+            params.levels,
+            features=params.features,
+            distance=params.distance,
+        )
+        yield chunk, local
+
+
+def transform_disk_dataset(
+    dataset_root: str, config: Optional[AnalysisConfig] = None
+) -> Dict[str, np.ndarray]:
+    """Full sequential out-of-core run; returns stitched feature volumes."""
+    config = config or AnalysisConfig()
+    dataset = DiskDataset4D.open(dataset_root)
+    stitcher = OutputStitcher(
+        dataset.shape, config.texture.roi, config.texture.features
+    )
+    for chunk, local in iter_chunk_features(dataset, config):
+        stitcher.place(chunk, local)
+    return stitcher.result()

@@ -1,0 +1,49 @@
+"""Discrete-event cluster simulator (the paper's Section 5 testbeds)."""
+
+from .clusters import MBIT, OPTERON, PIII, XEON, ClusterSpec, SimCluster
+from .costmodel import PAPER_COSTS, CostModel, measure_costs
+from .events import Environment, Resource, Store
+from .layouts import (
+    fig10_hmp,
+    fig10_split,
+    fig11_layout,
+    homogeneous_hmp,
+    homogeneous_split,
+    paper_hcc_hpc_counts,
+)
+from .network import NetworkModel, POINTER_COPY_TIME
+from .nodes import SimNode
+from .simruntime import SimPipelineSpec, SimReport, SimRuntime
+from .trace import format_timeline, span_utilization
+from .workload import SimWorkload, paper_workload
+
+__all__ = [
+    "ClusterSpec",
+    "SimCluster",
+    "PIII",
+    "XEON",
+    "OPTERON",
+    "MBIT",
+    "CostModel",
+    "PAPER_COSTS",
+    "measure_costs",
+    "Environment",
+    "Resource",
+    "Store",
+    "NetworkModel",
+    "POINTER_COPY_TIME",
+    "SimNode",
+    "SimPipelineSpec",
+    "SimReport",
+    "SimRuntime",
+    "format_timeline",
+    "span_utilization",
+    "SimWorkload",
+    "paper_workload",
+    "homogeneous_hmp",
+    "homogeneous_split",
+    "paper_hcc_hpc_counts",
+    "fig10_hmp",
+    "fig10_split",
+    "fig11_layout",
+]

@@ -1,0 +1,125 @@
+"""Cluster presets matching the paper's testbeds (Section 5).
+
+* **PIII** — 24 single-CPU Pentium III nodes, 512 MB, switched
+  100 Mbit/s FastEthernet.
+* **XEON** — 5 dual-2.4 GHz Xeon nodes, 2 GB, Gigabit switch.
+* **OPTERON** — 6 dual-1.4 GHz Opteron nodes, 8 GB, Gigabit switch.
+
+PIII connects to XEON and OPTERON through a *shared* 100 Mbit/s path;
+XEON and OPTERON share a Gigabit path.  Speed factors are relative to a
+PIII node (1.0); the Xeon/Opteron factors below reproduce the rough
+per-core throughput ratios of the era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import Environment
+from .network import NetworkModel
+from .nodes import SimNode
+
+__all__ = ["ClusterSpec", "SimCluster", "PIII", "XEON", "OPTERON", "PAPER_UPLINKS", "MBIT"]
+
+MBIT = 1e6 / 8.0  # bytes/s per Mbit/s
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of one homogeneous cluster."""
+
+    name: str
+    num_nodes: int
+    cpus_per_node: int
+    speed: float
+    port_bw: float  # bytes/s per NIC direction
+    latency: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"cluster {self.name}: need at least one node")
+
+
+# Speed factors are per-core throughput relative to a PIII node on this
+# (memory-bound, integer-heavy) kernel.  The 2.4 GHz Xeon is a Netburst
+# core with weak per-clock throughput; the 1.4 GHz Opteron's short
+# pipeline and on-die memory controller make it the faster node despite
+# the lower clock — consistent with the paper's Fig. 11 observation that
+# the OPTERON HCC copies drain buffers faster.
+PIII = ClusterSpec("piii", 24, 1, 1.0, 100 * MBIT)
+XEON = ClusterSpec("xeon", 5, 2, 1.8, 1000 * MBIT)
+OPTERON = ClusterSpec("opteron", 6, 2, 2.2, 1000 * MBIT)
+
+#: Default inter-cluster links: (cluster, cluster, bytes/s).
+PAPER_UPLINKS: Tuple[Tuple[str, str, float], ...] = (
+    ("piii", "xeon", 100 * MBIT),
+    ("piii", "opteron", 100 * MBIT),
+    ("xeon", "opteron", 1000 * MBIT),
+)
+
+
+class SimCluster:
+    """A bound simulation testbed: environment + nodes + network."""
+
+    def __init__(
+        self,
+        specs: Sequence[ClusterSpec],
+        uplinks: Sequence[Tuple[str, str, float]] = (),
+        env: Optional[Environment] = None,
+    ):
+        self.env = env or Environment()
+        self.network = NetworkModel(self.env)
+        self.nodes: Dict[str, SimNode] = {}
+        self.specs = {s.name: s for s in specs}
+        if len(self.specs) != len(specs):
+            raise ValueError("duplicate cluster names")
+        for spec in specs:
+            for i in range(spec.num_nodes):
+                node = SimNode(
+                    name=f"{spec.name}{i:02d}",
+                    cluster=spec.name,
+                    cpus=spec.cpus_per_node,
+                    speed=spec.speed,
+                )
+                node.bind(self.env)
+                self.network.add_node(node, spec.port_bw, spec.latency)
+                self.nodes[node.name] = node
+        for a, b, bw in uplinks:
+            if a not in self.specs or b not in self.specs:
+                continue  # uplink endpoints not part of this testbed
+            self.network.add_uplink(a, b, bw)
+
+    # -- queries -----------------------------------------------------------
+
+    def node(self, name: str) -> SimNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def cluster_nodes(self, cluster: str) -> List[str]:
+        return sorted(n for n, node in self.nodes.items() if node.cluster == cluster)
+
+    # -- presets -----------------------------------------------------------
+
+    @classmethod
+    def piii(cls, num_nodes: int = 24) -> "SimCluster":
+        """The homogeneous PIII testbed of Section 5.2."""
+        spec = ClusterSpec(
+            "piii", num_nodes, PIII.cpus_per_node, PIII.speed, PIII.port_bw
+        )
+        return cls([spec])
+
+    @classmethod
+    def heterogeneous(
+        cls, include: Sequence[str] = ("piii", "xeon", "opteron")
+    ) -> "SimCluster":
+        """The Section 5.3 testbed (any subset of the three clusters)."""
+        all_specs = {"piii": PIII, "xeon": XEON, "opteron": OPTERON}
+        unknown = set(include) - set(all_specs)
+        if unknown:
+            raise ValueError(f"unknown clusters {sorted(unknown)}")
+        specs = [all_specs[name] for name in include]
+        links = [l for l in PAPER_UPLINKS if l[0] in include and l[1] in include]
+        return cls(specs, uplinks=links)

@@ -1,0 +1,212 @@
+"""A small deterministic discrete-event simulation kernel.
+
+Provides the minimum machinery the cluster simulator needs — simpy-style
+generator processes, timeouts, FIFO stores and capacity resources — with
+fully deterministic ordering (ties in time break by scheduling sequence
+number).
+
+Usage::
+
+    env = Environment()
+
+    def worker(env, store):
+        while True:
+            item = yield store.get()
+            yield env.timeout(1.5)
+
+    env.process(worker(env, store))
+    env.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+__all__ = ["Environment", "Event", "Timeout", "Process", "Store", "Resource"]
+
+
+class Event:
+    """An occurrence that processes can wait on."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now; waiting processes resume this instant."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.env._schedule(self, delay=0.0)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.triggered = True
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """Wraps a generator; each yielded event resumes it when triggered.
+
+    The process event itself triggers when the generator returns, with
+    the generator's return value.
+    """
+
+    def __init__(self, env: "Environment", gen: Generator):
+        super().__init__(env)
+        self.gen = gen
+        # Bootstrap on the next tick.
+        boot = Event(env)
+        boot.triggered = True
+        env._schedule(boot, delay=0.0)
+        boot.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self.gen.send(event.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(getattr(stop, "value", None))
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {type(target).__name__}; expected an Event"
+            )
+        target.callbacks.append(self._resume)
+
+
+class Environment:
+    """Event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, gen: Generator) -> Process:
+        return Process(self, gen)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or the clock passes ``until``).
+
+        Returns the final clock value.
+        """
+        while self._queue:
+            t, _seq, event = heapq.heappop(self._queue)
+            if until is not None and t > until:
+                self.now = until
+                heapq.heappush(self._queue, (t, _seq, event))
+                return self.now
+            self.now = t
+            # Snapshot: callbacks appended during iteration belong to
+            # re-triggered states, not this firing.
+            callbacks, event.callbacks = event.callbacks, []
+            for cb in callbacks:
+                cb(event)
+        return self.now
+
+
+class Store:
+    """Unbounded FIFO queue of items with blocking get."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.items: List[Any] = []
+        self._getters: List[Event] = []
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting.
+
+    ``request()`` returns an event that triggers when a slot is granted;
+    ``release()`` frees one slot.  The convenience ``use(duration)``
+    returns a generator that acquires, holds for ``duration``, releases.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: List[Event] = []
+        self.busy_time = 0.0  # aggregate occupancy for utilization stats
+        self._last_change = 0.0
+
+    def _account(self) -> None:
+        self.busy_time += self.in_use * (self.env.now - self._last_change)
+        self._last_change = self.env.now
+
+    def request(self) -> Event:
+        event = Event(self.env)
+        if self.in_use < self.capacity:
+            self._account()
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError(f"resource {self.name!r} released when idle")
+        if self._waiters:
+            # Hand the slot straight to the next waiter.
+            self._waiters.pop(0).succeed()
+        else:
+            self._account()
+            self.in_use -= 1
+
+    def use(self, duration: float) -> Generator:
+        """Generator: acquire -> hold ``duration`` -> release."""
+        yield self.request()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()
+
+    def utilization(self, horizon: float) -> float:
+        """Mean occupancy fraction over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        total = self.busy_time + self.in_use * (horizon - self._last_change)
+        return total / (self.capacity * horizon)

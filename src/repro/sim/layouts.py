@@ -1,0 +1,193 @@
+"""Standard filter layouts for the paper's experiments (Section 5).
+
+Each helper returns a ``(SimPipelineSpec, SimCluster, Placement)`` triple
+ready for :class:`~repro.sim.simruntime.SimRuntime`.
+
+Homogeneous layouts (Section 5.2) use the PIII cluster: the dataset sits
+on 4 I/O nodes, one node runs the IIC filter, one runs USO, and the
+remaining nodes run texture filters.  Heterogeneous layouts reproduce the
+Fig. 10 and Fig. 11 configurations exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..datacutter.placement import Placement
+from .clusters import SimCluster
+from .simruntime import SimPipelineSpec
+
+__all__ = [
+    "homogeneous_hmp",
+    "homogeneous_split",
+    "homogeneous_replicated",
+    "paper_hcc_hpc_counts",
+    "fig10_hmp",
+    "fig10_split",
+    "fig11_layout",
+]
+
+
+def paper_hcc_hpc_counts(n_tex_nodes: int) -> Tuple[int, int]:
+    """The ~4:1 HCC:HPC node split of Section 5.2 (16 -> 13 + 3)."""
+    if n_tex_nodes < 2:
+        return 1, 1
+    hpc = max(1, round(n_tex_nodes / 5))
+    return n_tex_nodes - hpc, hpc
+
+
+def _piii_base(n_tex_nodes: int, num_iic: int = 1, num_uso: int = 1):
+    """PIII cluster with RFR/IIC/USO placed; returns (cluster, placement,
+    list of texture node names)."""
+    num_io = 4
+    total = num_io + num_iic + num_uso + n_tex_nodes
+    cluster = SimCluster.piii(max(total, 6))
+    nodes = cluster.cluster_nodes("piii")
+    placement = Placement()
+    placement.place_copies("RFR", nodes[:num_io])
+    placement.place_copies("IIC", nodes[num_io : num_io + num_iic])
+    placement.place_copies(
+        "USO", nodes[num_io + num_iic : num_io + num_iic + num_uso]
+    )
+    tex_nodes = nodes[num_io + num_iic + num_uso : num_io + num_iic + num_uso + n_tex_nodes]
+    return cluster, placement, tex_nodes
+
+
+def homogeneous_hmp(
+    n_tex_nodes: int, sparse: bool = False, num_iic: int = 1
+) -> Tuple[SimPipelineSpec, SimCluster, Placement]:
+    """Fig. 7(a) layout: one HMP copy per texture node."""
+    cluster, placement, tex_nodes = _piii_base(n_tex_nodes, num_iic=num_iic)
+    placement.place_copies("HMP", tex_nodes)
+    spec = SimPipelineSpec(
+        variant="hmp", sparse=sparse, num_tex=n_tex_nodes, num_iic=num_iic
+    )
+    return spec, cluster, placement
+
+
+def homogeneous_split(
+    n_tex_nodes: int,
+    sparse: bool = True,
+    overlap: bool = False,
+    num_iic: int = 1,
+) -> Tuple[SimPipelineSpec, SimCluster, Placement]:
+    """Fig. 7(b) / Fig. 8 layouts.
+
+    ``overlap=False``: texture nodes are split ~4:1 between HCC-only and
+    HPC-only nodes (one filter per node).  ``overlap=True``: every
+    texture node runs one HCC *and* one HPC copy, sharing its single CPU
+    but exchanging matrices by pointer copy.
+    """
+    cluster, placement, tex_nodes = _piii_base(n_tex_nodes, num_iic=num_iic)
+    if overlap:
+        n_hcc = n_hpc = n_tex_nodes
+        placement.place_copies("HCC", tex_nodes)
+        placement.place_copies("HPC", tex_nodes)
+    elif n_tex_nodes == 1:
+        # One-node configuration: both copies co-located (Section 5.2).
+        n_hcc = n_hpc = 1
+        placement.place_copies("HCC", tex_nodes)
+        placement.place_copies("HPC", tex_nodes)
+    else:
+        n_hcc, n_hpc = paper_hcc_hpc_counts(n_tex_nodes)
+        placement.place_copies("HCC", tex_nodes[:n_hcc])
+        placement.place_copies("HPC", tex_nodes[n_hcc:])
+    spec = SimPipelineSpec(
+        variant="split",
+        sparse=sparse,
+        num_hcc=n_hcc,
+        num_hpc=n_hpc,
+        num_iic=num_iic,
+    )
+    return spec, cluster, placement
+
+
+def _fig10_base() -> Tuple[SimCluster, Placement, List[str], List[str]]:
+    """Fig. 10 substrate: 4 RFR + 4 IIC + 2 USO on PIII; texture filters
+    on 13 PIII nodes + 5 XEON nodes."""
+    cluster = SimCluster.heterogeneous(("piii", "xeon"))
+    piii = cluster.cluster_nodes("piii")
+    xeon = cluster.cluster_nodes("xeon")
+    placement = Placement()
+    placement.place_copies("RFR", piii[:4])
+    placement.place_copies("IIC", piii[4:8])
+    placement.place_copies("USO", piii[8:10])
+    tex_piii = piii[10:23]  # 13 PIII texture nodes
+    return cluster, placement, tex_piii, xeon
+
+
+def fig10_hmp(sparse: bool = False):
+    """Fig. 10 HMP arm: one HMP copy per *processor* -> 13 + 10 = 23."""
+    cluster, placement, tex_piii, xeon = _fig10_base()
+    tex_nodes = list(tex_piii) + [n for n in xeon for _ in range(2)]
+    placement.place_copies("HMP", tex_nodes)
+    spec = SimPipelineSpec(
+        variant="hmp", sparse=sparse, num_tex=len(tex_nodes), num_iic=4, num_uso=2
+    )
+    return spec, cluster, placement
+
+
+def fig10_split(sparse: bool = True):
+    """Fig. 10 split arm: HCC+HPC co-located on each of the 18 nodes."""
+    cluster, placement, tex_piii, xeon = _fig10_base()
+    tex_nodes = list(tex_piii) + list(xeon)
+    placement.place_copies("HCC", tex_nodes)
+    placement.place_copies("HPC", tex_nodes)
+    spec = SimPipelineSpec(
+        variant="split",
+        sparse=sparse,
+        num_hcc=len(tex_nodes),
+        num_hpc=len(tex_nodes),
+        num_iic=4,
+        num_uso=2,
+    )
+    return spec, cluster, placement
+
+
+def fig11_layout(scheduling: str, sparse: bool = False):
+    """Fig. 11: XEON + OPTERON, RFR/IIC/HPC/USO on OPTERON, 4 HCC copies
+    on each cluster, at most one filter per processor."""
+    cluster = SimCluster.heterogeneous(("xeon", "opteron"))
+    xeon = cluster.cluster_nodes("xeon")
+    opt = cluster.cluster_nodes("opteron")
+    placement = Placement()
+    # OPTERON: 6 dual-CPU nodes = 12 processors for 12 filter copies.
+    placement.place_copies("RFR", opt[:4])
+    placement.place("IIC", 0, opt[4])
+    placement.place_copies("USO", [opt[5]])
+    placement.place_copies("HPC", [opt[4], opt[5]])  # second CPUs
+    hcc_nodes = xeon[:4] + opt[:4]  # second CPUs on the RFR nodes
+    placement.place_copies("HCC", hcc_nodes)
+    spec = SimPipelineSpec(
+        variant="split",
+        sparse=sparse,
+        scheduling=scheduling,
+        num_hcc=8,
+        num_hpc=2,
+        num_iic=1,
+        num_uso=1,
+    )
+    return spec, cluster, placement
+
+
+def homogeneous_replicated(
+    n_tex_nodes: int, sparse: bool = False, num_uso: int = 1
+) -> Tuple[SimPipelineSpec, SimCluster, Placement]:
+    """Paper footnote 1: dataset replicated on every node, no RFR/IIC.
+
+    One HMP copy per texture node reads its chunks from the local
+    replica; only the USO output filter remains as a separate stage.
+    """
+    cluster = SimCluster.piii(max(n_tex_nodes + num_uso, 2))
+    nodes = cluster.cluster_nodes("piii")
+    placement = Placement()
+    placement.place_copies("USO", nodes[:num_uso])
+    placement.place_copies("HMP", nodes[num_uso : num_uso + n_tex_nodes])
+    spec = SimPipelineSpec(
+        variant="hmp",
+        sparse=sparse,
+        num_tex=n_tex_nodes,
+        num_uso=num_uso,
+        replicated_input=True,
+    )
+    return spec, cluster, placement

@@ -1,0 +1,125 @@
+"""Simulated switched networks with per-port and shared-uplink contention.
+
+Model (matching the paper's testbeds, Section 5):
+
+* every node has a full-duplex NIC: one *out port* and one *in port*
+  resource, each at the cluster's port bandwidth (switched Ethernet: two
+  different node pairs can communicate in parallel; two senders to the
+  same receiver contend on its in-port);
+* clusters are joined by *shared uplinks* (e.g. the single 100 Mbit/s
+  path between the PIII cluster and the others) — all inter-cluster
+  transfers serialize on that resource;
+* a transfer holds every resource on its path simultaneously for
+  ``bytes / min(path bandwidths)`` seconds, then delivers after the path
+  latency;
+* co-located filters exchange buffers by pointer copy: a fixed tiny cost
+  and no network resources (paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from .events import Environment, Resource
+from .nodes import SimNode
+
+__all__ = ["NetworkModel", "LinkStats", "POINTER_COPY_TIME"]
+
+#: Cost of handing a buffer to a co-located filter (pointer copy).
+POINTER_COPY_TIME = 1e-6
+
+
+@dataclass
+class LinkStats:
+    transfers: int = 0
+    bytes: int = 0
+
+
+class NetworkModel:
+    """Port + uplink contention model over a set of nodes."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._out_ports: Dict[str, Resource] = {}
+        self._in_ports: Dict[str, Resource] = {}
+        self._port_bw: Dict[str, float] = {}
+        self._latency: Dict[str, float] = {}
+        self._uplinks: Dict[Tuple[str, str], Resource] = {}
+        self._uplink_bw: Dict[Tuple[str, str], float] = {}
+        self._uplink_latency: Dict[Tuple[str, str], float] = {}
+        self.stats: Dict[str, LinkStats] = {}
+
+    # -- topology construction -------------------------------------------
+
+    def add_node(self, node: SimNode, port_bw: float, latency: float = 1e-4) -> None:
+        """Register a node's NIC (full duplex: separate in/out ports)."""
+        if node.name in self._out_ports:
+            raise ValueError(f"node {node.name!r} already registered")
+        self._out_ports[node.name] = Resource(self.env, 1, f"out:{node.name}")
+        self._in_ports[node.name] = Resource(self.env, 1, f"in:{node.name}")
+        self._port_bw[node.name] = port_bw
+        self._latency[node.name] = latency
+
+    def add_uplink(
+        self, cluster_a: str, cluster_b: str, bw: float, latency: float = 5e-4
+    ) -> None:
+        """Join two clusters with a single shared link."""
+        key = tuple(sorted((cluster_a, cluster_b)))
+        if key in self._uplinks:
+            raise ValueError(f"uplink {key} already exists")
+        self._uplinks[key] = Resource(self.env, 1, f"uplink:{key[0]}-{key[1]}")
+        self._uplink_bw[key] = bw
+        self._uplink_latency[key] = latency
+
+    def uplink_utilization(self, cluster_a: str, cluster_b: str, horizon: float) -> float:
+        key = tuple(sorted((cluster_a, cluster_b)))
+        return self._uplinks[key].utilization(horizon)
+
+    # -- transfers ---------------------------------------------------------
+
+    def _path(
+        self, src: SimNode, dst: SimNode
+    ) -> Tuple[List[Resource], float, float]:
+        """Resources to hold, bottleneck bandwidth, total latency."""
+        resources = [self._out_ports[src.name], self._in_ports[dst.name]]
+        bw = min(self._port_bw[src.name], self._port_bw[dst.name])
+        latency = self._latency[src.name] + self._latency[dst.name]
+        if src.cluster != dst.cluster:
+            key = tuple(sorted((src.cluster, dst.cluster)))
+            if key not in self._uplinks:
+                raise ValueError(
+                    f"no uplink between clusters {src.cluster!r} and {dst.cluster!r}"
+                )
+            resources.append(self._uplinks[key])
+            bw = min(bw, self._uplink_bw[key])
+            latency += self._uplink_latency[key]
+        # Global deadlock-free acquisition order.
+        resources.sort(key=lambda r: r.name)
+        return resources, bw, latency
+
+    def transfer(
+        self, src: SimNode, dst: SimNode, nbytes: int, tag: str = ""
+    ) -> Generator:
+        """Generator performing one transfer; completes at delivery time.
+
+        Co-located (same node) transfers cost :data:`POINTER_COPY_TIME`.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        stat = self.stats.setdefault(tag or f"{src.name}->{dst.name}", LinkStats())
+        stat.transfers += 1
+        stat.bytes += nbytes
+        if src.name == dst.name:
+            yield self.env.timeout(POINTER_COPY_TIME)
+            return
+        resources, bw, latency = self._path(src, dst)
+        duration = nbytes / bw
+        held = []
+        for r in resources:
+            yield r.request()
+            held.append(r)
+        yield self.env.timeout(duration)
+        for r in reversed(held):
+            r.release()
+        yield self.env.timeout(latency)

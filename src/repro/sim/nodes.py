@@ -1,0 +1,60 @@
+"""Simulated compute nodes.
+
+A :class:`SimNode` owns a CPU resource (capacity = processor count) and a
+relative speed factor.  Co-located filter copies contend for the CPUs —
+on the single-processor PIII nodes "the CPU has to multiplex between the
+two filters and its power has to be shared" (paper Section 5.2), whereas
+the dual-processor XEON/OPTERON nodes run two filters truly in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .events import Environment, Resource
+
+__all__ = ["SimNode"]
+
+
+@dataclass
+class SimNode:
+    """One cluster node in the simulation.
+
+    Attributes
+    ----------
+    name:
+        Unique node identifier (e.g. ``"piii03"``).
+    cluster:
+        Cluster the node belongs to (``"piii"``, ``"xeon"``, ...).
+    cpus:
+        Number of processors.
+    speed:
+        Relative compute speed (PIII == 1.0); service times divide by it.
+    disk_bw:
+        Local disk streaming bandwidth, bytes/s.
+    mem_bw:
+        Memory-copy bandwidth for stitch/reorganize work, bytes/s.
+    """
+
+    name: str
+    cluster: str
+    cpus: int = 1
+    speed: float = 1.0
+    disk_bw: float = 30e6
+    mem_bw: float = 200e6
+    cpu: Optional[Resource] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise ValueError(f"node {self.name}: cpus must be >= 1")
+        if self.speed <= 0:
+            raise ValueError(f"node {self.name}: speed must be > 0")
+
+    def bind(self, env: Environment) -> None:
+        """Create the CPU resource in a simulation environment."""
+        self.cpu = Resource(env, capacity=self.cpus, name=f"cpu:{self.name}")
+
+    def compute_time(self, work_seconds: float) -> float:
+        """Wall time for ``work_seconds`` of reference (PIII) work."""
+        return work_seconds / self.speed

@@ -1,0 +1,235 @@
+"""Simulated pipeline execution on a cluster model.
+
+``SimRuntime`` instantiates the simulated filter processes over a
+:class:`~repro.sim.clusters.SimCluster` according to a pipeline spec and
+placement, runs the event loop to completion, and reports the makespan
+plus per-filter busy times and traffic — the quantities plotted in the
+paper's Figs. 7-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..datacutter.placement import Placement
+from .clusters import SimCluster
+from .costmodel import CostModel, PAPER_COSTS
+from .events import Store
+from .network import LinkStats
+from .simfilters import (
+    SimCopy,
+    SimRouter,
+    hcc_proc,
+    hcc_source_proc,
+    hmp_proc,
+    hmp_source_proc,
+    hpc_proc,
+    iic_proc,
+    rfr_proc,
+    uso_proc,
+)
+from .workload import SimWorkload
+
+__all__ = ["SimPipelineSpec", "SimReport", "SimRuntime"]
+
+
+@dataclass(frozen=True)
+class SimPipelineSpec:
+    """Structure of the simulated filter network."""
+
+    variant: str = "hmp"  # "hmp" or "split"
+    sparse: bool = False
+    scheduling: str = "demand_driven"
+    num_iic: int = 1
+    num_tex: int = 1  # HMP copies (hmp variant)
+    num_hcc: int = 1
+    num_hpc: int = 1
+    num_uso: int = 1
+    #: Paper footnote 1: the dataset is replicated on every node and
+    #: read locally, eliminating the RFR and IIC filters entirely.
+    replicated_input: bool = False
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("hmp", "split"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        for n in (self.num_iic, self.num_tex, self.num_hcc, self.num_hpc, self.num_uso):
+            if n < 1:
+                raise ValueError("copy counts must be >= 1")
+
+    def filter_copy_counts(self, num_storage_nodes: int) -> Dict[str, int]:
+        if self.replicated_input:
+            counts = {"USO": self.num_uso}
+        else:
+            counts = {
+                "RFR": num_storage_nodes,
+                "IIC": self.num_iic,
+                "USO": self.num_uso,
+            }
+        if self.variant == "hmp":
+            counts["HMP"] = self.num_tex
+        else:
+            counts["HCC"] = self.num_hcc
+            counts["HPC"] = self.num_hpc
+        return counts
+
+
+@dataclass
+class SimReport:
+    """Results of one simulated run."""
+
+    makespan: float
+    busy: Dict[Tuple[str, int], float]
+    stream_bytes: Dict[str, int]
+    stream_buffers: Dict[str, int]
+    traffic: Dict[str, LinkStats]
+    #: Per-copy service spans (start, end, kind); populated when the
+    #: runtime was created with ``trace=True``.
+    spans: Optional[Dict[Tuple[str, int], List]] = None
+
+    def filter_busy(self, name: str) -> List[float]:
+        return [v for (f, _), v in sorted(self.busy.items()) if f == name]
+
+    def filter_busy_mean(self, name: str) -> float:
+        times = self.filter_busy(name)
+        return sum(times) / len(times) if times else 0.0
+
+    def filter_busy_max(self, name: str) -> float:
+        times = self.filter_busy(name)
+        return max(times) if times else 0.0
+
+
+class SimRuntime:
+    """Build and run one simulated pipeline execution."""
+
+    def __init__(
+        self,
+        workload: SimWorkload,
+        spec: SimPipelineSpec,
+        cluster: SimCluster,
+        placement: Placement,
+        costs: CostModel = PAPER_COSTS,
+        trace: bool = False,
+    ):
+        self.workload = workload
+        self.spec = spec
+        self.cluster = cluster
+        self.placement = placement
+        self.costs = costs
+        self.trace = trace
+        self._validate_placement()
+
+    def _validate_placement(self) -> None:
+        counts = self.spec.filter_copy_counts(self.workload.num_storage_nodes)
+        for name, n in counts.items():
+            for i in range(n):
+                node = self.placement.node_of(name, i)  # raises if missing
+                self.cluster.node(node)  # raises if unknown
+
+    def _make_copies(self, name: str, count: int) -> List[SimCopy]:
+        env = self.cluster.env
+        return [
+            SimCopy(
+                filter_name=name,
+                copy_index=i,
+                node=self.cluster.node(self.placement.node_of(name, i)),
+                store=Store(env),
+                events=[] if self.trace else None,
+            )
+            for i in range(count)
+        ]
+
+    def run(self) -> SimReport:
+        env = self.cluster.env
+        net = self.cluster.network
+        wl = self.workload
+        spec = self.spec
+        counts = spec.filter_copy_counts(wl.num_storage_nodes)
+
+        copies = {name: self._make_copies(name, n) for name, n in counts.items()}
+        tex_name = "HMP" if spec.variant == "hmp" else "HCC"
+
+        routers = {}
+        if not spec.replicated_input:
+            r_rfr2iic = SimRouter(
+                env, net, "rfr2iic", "explicit", copies["IIC"], counts["RFR"]
+            )
+            r_iic2tex = SimRouter(
+                env, net, "iic2tex", spec.scheduling, copies[tex_name], counts["IIC"]
+            )
+            routers = {"rfr2iic": r_rfr2iic, "iic2tex": r_iic2tex}
+        if spec.variant == "split":
+            routers["hcc2hpc"] = SimRouter(
+                env, net, "hcc2hpc", spec.scheduling, copies["HPC"], counts["HCC"],
+                prefer_local=True,
+            )
+            routers["tex2uso"] = SimRouter(
+                env, net, "tex2uso", spec.scheduling, copies["USO"], counts["HPC"]
+            )
+        else:
+            routers["tex2uso"] = SimRouter(
+                env, net, "tex2uso", spec.scheduling, copies["USO"], counts["HMP"]
+            )
+
+        if not spec.replicated_input:
+            for copy in copies["RFR"]:
+                env.process(rfr_proc(env, copy, wl, self.costs, r_rfr2iic))
+            for copy in copies["IIC"]:
+                env.process(
+                    iic_proc(env, copy, wl, self.costs, r_rfr2iic, r_iic2tex)
+                )
+        if spec.variant == "hmp":
+            for copy in copies["HMP"]:
+                if spec.replicated_input:
+                    env.process(
+                        hmp_source_proc(
+                            env, copy, wl, self.costs, routers["tex2uso"],
+                            spec.sparse, counts["HMP"],
+                        )
+                    )
+                else:
+                    env.process(
+                        hmp_proc(
+                            env, copy, wl, self.costs, r_iic2tex,
+                            routers["tex2uso"], spec.sparse,
+                        )
+                    )
+        else:
+            for copy in copies["HCC"]:
+                if spec.replicated_input:
+                    env.process(
+                        hcc_source_proc(
+                            env, copy, wl, self.costs, routers["hcc2hpc"],
+                            spec.sparse, counts["HCC"],
+                        )
+                    )
+                else:
+                    env.process(
+                        hcc_proc(
+                            env, copy, wl, self.costs, r_iic2tex,
+                            routers["hcc2hpc"], spec.sparse,
+                        )
+                    )
+            for copy in copies["HPC"]:
+                env.process(
+                    hpc_proc(
+                        env, copy, wl, self.costs, routers["hcc2hpc"],
+                        routers["tex2uso"], spec.sparse,
+                    )
+                )
+        for copy in copies["USO"]:
+            env.process(uso_proc(env, copy, wl, self.costs, routers["tex2uso"]))
+
+        makespan = env.run()
+        busy = {c.key: c.busy for group in copies.values() for c in group}
+        spans = None
+        if self.trace:
+            spans = {c.key: c.events for group in copies.values() for c in group}
+        return SimReport(
+            makespan=makespan,
+            busy=busy,
+            stream_bytes={k: r.bytes_sent for k, r in routers.items()},
+            stream_buffers={k: r.buffers_sent for k, r in routers.items()},
+            traffic=dict(net.stats),
+            spans=spans,
+        )

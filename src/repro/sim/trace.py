@@ -1,0 +1,71 @@
+"""Execution traces: text Gantt rendering of a simulated run.
+
+Enable tracing with ``SimRuntime(..., trace=True)``; every filter copy
+then records its service spans ``(start, end, kind)``, exposed on the
+report as ``spans``.  ``format_timeline`` renders them as an ASCII
+Gantt — the quickest way to see *why* a deployment behaves as it does
+(the IIC fill delay, a straggler texture copy, a saturated output
+stage).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["format_timeline", "span_utilization"]
+
+Span = Tuple[float, float, str]
+
+_KIND_CHARS = {
+    "compute": "#",
+    "stitch": "s",
+    "read": "r",
+    "write": "w",
+}
+
+
+def span_utilization(spans: Sequence[Span], horizon: float) -> float:
+    """Fraction of ``[0, horizon]`` covered by service spans."""
+    if horizon <= 0:
+        return 0.0
+    total = sum(t1 - t0 for t0, t1, _ in spans)
+    return min(total / horizon, 1.0)
+
+
+def format_timeline(
+    spans_by_copy: Dict[Tuple[str, int], List[Span]],
+    makespan: float,
+    width: int = 72,
+    order: Sequence[str] = ("RFR", "IIC", "HMP", "HCC", "HPC", "USO"),
+) -> str:
+    """Render per-copy service spans as an ASCII Gantt chart.
+
+    One row per filter copy; ``#``/``s``/``r``/``w`` mark compute /
+    stitch / read / write service, ``.`` idle or blocked.
+    """
+    if makespan <= 0:
+        raise ValueError("makespan must be positive")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+
+    def sort_key(item):
+        (name, idx), _ = item
+        try:
+            rank = order.index(name)
+        except ValueError:
+            rank = len(order)
+        return (rank, name, idx)
+
+    lines = [f"timeline: 0 .. {makespan:.1f}s  ({makespan / width:.2f}s/col)"]
+    for (name, idx), spans in sorted(spans_by_copy.items(), key=sort_key):
+        row = ["."] * width
+        for t0, t1, kind in spans:
+            c0 = int(t0 / makespan * width)
+            c1 = max(c0 + 1, int(t1 / makespan * width))
+            ch = _KIND_CHARS.get(kind, "#")
+            for c in range(c0, min(c1, width)):
+                row[c] = ch
+        util = span_utilization(spans, makespan)
+        lines.append(f"{name:>4}[{idx:02d}] |{''.join(row)}| {util:5.1%}")
+    lines.append("legend: # compute  s stitch  r read  w write  . idle/blocked")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Disk-resident dataset substrate (paper Section 4.2)."""
+
+from .dataset import DiskDataset4D, IOStats, node_dir_name, write_dataset
+from .distribution import assignment_table, round_robin_node, slices_for_node
+from .index import INDEX_FILENAME, NodeIndex
+
+__all__ = [
+    "DiskDataset4D",
+    "IOStats",
+    "write_dataset",
+    "node_dir_name",
+    "assignment_table",
+    "round_robin_node",
+    "slices_for_node",
+    "NodeIndex",
+    "INDEX_FILENAME",
+]

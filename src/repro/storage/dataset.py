@@ -1,0 +1,270 @@
+"""Disk-resident 4D datasets: writing, opening and reading slice files.
+
+Layout on disk (paper Section 4.2)::
+
+    <root>/node0000/index.json
+    <root>/node0000/t0000_z0000.raw
+    <root>/node0000/t0000_z0004.raw   # round-robin over 4 nodes
+    <root>/node0001/...
+
+Each 2D slice is a separate headerless raw file; a JSON index per node
+maps ``(t, z)`` tuples to filenames.  Reads go through
+:class:`IOStats`-instrumented helpers so tests and benchmarks can observe
+disk seek/read behaviour (the motivation for the RFR-to-IIC chunk size
+choice in Section 5.1: one whole slice per read avoids intra-slice seeks).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.dicomlite import read_dicom_slice, write_dicom_slice
+from ..data.formats import read_raw_slice, write_raw_slice
+from ..data.volume import Volume4D
+from .distribution import round_robin_node, slices_for_node
+from .index import NodeIndex
+
+__all__ = ["IOStats", "DiskDataset4D", "write_dataset", "node_dir_name"]
+
+
+def node_dir_name(node: int) -> str:
+    return f"node{node:04d}"
+
+
+def _slice_filename(t: int, z: int, file_format: str = "raw") -> str:
+    ext = {"raw": "raw", "dicom": "dcm"}[file_format]
+    return f"t{t:04d}_z{z:04d}.{ext}"
+
+
+@dataclass
+class IOStats:
+    """Counters for disk activity, used by tests and cost calibration."""
+
+    reads: int = 0
+    seeks: int = 0
+    bytes_read: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.seeks = 0
+        self.bytes_read = 0
+
+
+@dataclass
+class DiskDataset4D:
+    """An opened disk-resident 4D dataset distributed over storage nodes."""
+
+    root: str
+    shape: Tuple[int, int, int, int]
+    bytes_per_pixel: int
+    num_nodes: int
+    indexes: Dict[int, NodeIndex]
+    file_format: str = "raw"
+    stats: IOStats = field(default_factory=IOStats)
+
+    # -- opening ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, root: str) -> "DiskDataset4D":
+        """Open a dataset by loading every node index under ``root``."""
+        node_dirs = sorted(
+            d for d in os.listdir(root) if d.startswith("node") and
+            os.path.isdir(os.path.join(root, d))
+        )
+        if not node_dirs:
+            raise FileNotFoundError(f"no storage node directories under {root}")
+        indexes: Dict[int, NodeIndex] = {}
+        for d in node_dirs:
+            idx = NodeIndex.load(os.path.join(root, d))
+            indexes[idx.node] = idx
+        first = next(iter(indexes.values()))
+        if sorted(indexes) != list(range(first.num_nodes)):
+            raise ValueError(
+                f"incomplete dataset: found nodes {sorted(indexes)}, "
+                f"expected 0..{first.num_nodes - 1}"
+            )
+        for idx in indexes.values():
+            if (
+                idx.shape != first.shape
+                or idx.bytes_per_pixel != first.bytes_per_pixel
+                or idx.file_format != first.file_format
+            ):
+                raise ValueError("inconsistent metadata across node indexes")
+        return cls(
+            root=root,
+            shape=first.shape,
+            bytes_per_pixel=first.bytes_per_pixel,
+            num_nodes=first.num_nodes,
+            indexes=indexes,
+            file_format=first.file_format,
+        )
+
+    # -- geometry --------------------------------------------------------
+
+    @property
+    def slice_shape(self) -> Tuple[int, int]:
+        return self.shape[0], self.shape[1]
+
+    @property
+    def num_slices(self) -> int:
+        return self.shape[2]
+
+    @property
+    def num_timesteps(self) -> int:
+        return self.shape[3]
+
+    def node_of(self, t: int, z: int) -> int:
+        return round_robin_node(t, z, self.num_slices, self.num_nodes)
+
+    def slices_on_node(self, node: int) -> List[Tuple[int, int]]:
+        return slices_for_node(node, self.num_timesteps, self.num_slices, self.num_nodes)
+
+    def _slice_path(self, t: int, z: int) -> str:
+        node = self.node_of(t, z)
+        fn = self.indexes[node].filename(t, z)
+        return os.path.join(self.root, node_dir_name(node), fn)
+
+    # -- reads -----------------------------------------------------------
+
+    def read_slice(self, t: int, z: int) -> np.ndarray:
+        """Read one full 2D slice (a single sequential read, no seeks)."""
+        path = self._slice_path(t, z)
+        if self.file_format == "dicom":
+            img, meta = read_dicom_slice(path)
+            if img.shape != self.slice_shape:
+                raise ValueError(
+                    f"{path}: DICOM dims {img.shape} != dataset {self.slice_shape}"
+                )
+            if meta and (meta.get("t", t), meta.get("z", z)) != (t, z):
+                raise ValueError(
+                    f"{path}: DICOM position tags {meta} != index key (t={t}, z={z})"
+                )
+        else:
+            img = read_raw_slice(path, self.slice_shape, self.bytes_per_pixel)
+        self.stats.reads += 1
+        self.stats.bytes_read += img.size * self.bytes_per_pixel
+        return img
+
+    def read_slice_region(
+        self, t: int, z: int, x0: int, x1: int, y0: int, y1: int
+    ) -> np.ndarray:
+        """Read a rectangular sub-region of one slice.
+
+        Raw slices are row-major in ``x``; a sub-rectangle therefore costs
+        one seek per row (tracked in ``stats`` — this is exactly the seek
+        overhead the paper avoids by sizing RFR-to-IIC chunks to a whole
+        slice, Section 5.1).
+        """
+        nx, ny = self.slice_shape
+        if not (0 <= x0 < x1 <= nx and 0 <= y0 < y1 <= ny):
+            raise ValueError(f"invalid region x[{x0}:{x1}] y[{y0}:{y1}] of {nx}x{ny}")
+        if x0 == 0 and x1 == nx and y0 == 0 and y1 == ny:
+            return self.read_slice(t, z)
+        if self.file_format == "dicom":
+            # DICOM values are not seekable sub-regions: read whole slice.
+            return self.read_slice(t, z)[x0:x1, y0:y1]
+        path = self._slice_path(t, z)
+        bpp = self.bytes_per_pixel
+        dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32}[bpp]
+        rows = []
+        with open(path, "rb") as fh:
+            for x in range(x0, x1):
+                fh.seek((x * ny + y0) * bpp)
+                raw = fh.read((y1 - y0) * bpp)
+                rows.append(np.frombuffer(raw, dtype=np.dtype(dtype).newbyteorder("<")))
+                self.stats.seeks += 1
+                self.stats.reads += 1
+                self.stats.bytes_read += len(raw)
+        return np.stack(rows).astype(dtype)
+
+    def read_chunk(
+        self,
+        x: Tuple[int, int],
+        y: Tuple[int, int],
+        z: Tuple[int, int],
+        t: Tuple[int, int],
+        nodes: Optional[List[int]] = None,
+    ) -> np.ndarray:
+        """Read a 4D sub-volume ``[x0:x1, y0:y1, z0:z1, t0:t1]``.
+
+        ``nodes`` restricts reading to slices stored on the given storage
+        nodes (the RFR filter on one node can only see local files);
+        missing slices are returned zero-filled, to be stitched with the
+        other nodes' portions by the IIC filter.
+        """
+        (x0, x1), (y0, y1), (z0, z1), (t0, t1) = x, y, z, t
+        nx, ny, nz, nt = self.shape
+        if not (0 <= z0 < z1 <= nz and 0 <= t0 < t1 <= nt):
+            raise ValueError(f"invalid z[{z0}:{z1}] t[{t0}:{t1}] of {nz}x{nt}")
+        out = np.zeros(
+            (x1 - x0, y1 - y0, z1 - z0, t1 - t0),
+            dtype={1: np.uint8, 2: np.uint16, 4: np.uint32}[self.bytes_per_pixel],
+        )
+        nodeset = set(nodes) if nodes is not None else None
+        for tt in range(t0, t1):
+            for zz in range(z0, z1):
+                if nodeset is not None and self.node_of(tt, zz) not in nodeset:
+                    continue
+                out[:, :, zz - z0, tt - t0] = self.read_slice_region(
+                    tt, zz, x0, x1, y0, y1
+                )
+        return out
+
+    def read_all(self) -> Volume4D:
+        """Read the entire dataset into memory (small datasets only)."""
+        data = self.read_chunk(
+            (0, self.shape[0]), (0, self.shape[1]), (0, self.shape[2]), (0, self.shape[3])
+        )
+        return Volume4D(data)
+
+
+def write_dataset(
+    volume: Volume4D,
+    root: str,
+    num_nodes: int,
+    bytes_per_pixel: int = 2,
+    file_format: str = "raw",
+) -> DiskDataset4D:
+    """Distribute a 4D volume across ``num_nodes`` storage node dirs.
+
+    Creates one slice file per 2D slice (headerless raw by default, or
+    DICOM with ``file_format="dicom"``) plus an index file per node, then
+    reopens and returns the dataset.
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if file_format not in ("raw", "dicom"):
+        raise ValueError(f"unknown file_format {file_format!r}")
+    if file_format == "dicom" and bytes_per_pixel not in (1, 2):
+        raise ValueError("DICOM output supports 1 or 2 bytes per pixel")
+    nx, ny, nz, nt = volume.shape
+    os.makedirs(root, exist_ok=True)
+    indexes = [
+        NodeIndex(
+            node=n,
+            num_nodes=num_nodes,
+            shape=volume.shape,
+            bytes_per_pixel=bytes_per_pixel,
+            file_format=file_format,
+        )
+        for n in range(num_nodes)
+    ]
+    for n in range(num_nodes):
+        os.makedirs(os.path.join(root, node_dir_name(n)), exist_ok=True)
+    for t, z, img in volume.iter_slices():
+        node = round_robin_node(t, z, nz, num_nodes)
+        fn = _slice_filename(t, z, file_format)
+        path = os.path.join(root, node_dir_name(node), fn)
+        if file_format == "dicom":
+            dtype = {1: np.uint8, 2: np.uint16}[bytes_per_pixel]
+            write_dicom_slice(path, np.asarray(img, dtype=dtype), t=t, z=z)
+        else:
+            write_raw_slice(path, img, bytes_per_pixel)
+        indexes[node].add(t, z, fn)
+    for n in range(num_nodes):
+        indexes[n].save(os.path.join(root, node_dir_name(n)))
+    return DiskDataset4D.open(root)

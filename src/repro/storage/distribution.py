@@ -1,0 +1,57 @@
+"""Round-robin declustering of 2D slices across storage nodes.
+
+Paper Section 4.2: "2D image slices that make a 3D volume at a time step
+are distributed across storage nodes in round robin fashion.  Each 2D
+image is assigned to a single storage node and stored on disk in a
+separate file."  The round robin runs in ``(t, z)`` order so that the
+slices of any one 3D volume — the unit of common analysis queries — are
+spread evenly over all nodes, parallelizing retrieval.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "round_robin_node",
+    "assignment_table",
+    "slices_for_node",
+]
+
+SliceKey = Tuple[int, int]  # (time step, slice number)
+
+
+def round_robin_node(t: int, z: int, num_slices: int, num_nodes: int) -> int:
+    """Storage node owning slice ``(t, z)`` of a ``num_slices``-deep volume."""
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if num_slices < 1:
+        raise ValueError(f"num_slices must be >= 1, got {num_slices}")
+    if t < 0 or z < 0 or z >= num_slices:
+        raise ValueError(f"invalid slice key (t={t}, z={z})")
+    return (t * num_slices + z) % num_nodes
+
+
+def assignment_table(
+    num_timesteps: int, num_slices: int, num_nodes: int
+) -> Dict[SliceKey, int]:
+    """Full ``(t, z) -> node`` mapping for a dataset."""
+    return {
+        (t, z): round_robin_node(t, z, num_slices, num_nodes)
+        for t in range(num_timesteps)
+        for z in range(num_slices)
+    }
+
+
+def slices_for_node(
+    node: int, num_timesteps: int, num_slices: int, num_nodes: int
+) -> List[SliceKey]:
+    """All slice keys stored on ``node``, in ``(t, z)`` order."""
+    if not (0 <= node < num_nodes):
+        raise ValueError(f"node {node} out of range [0, {num_nodes})")
+    return [
+        (t, z)
+        for t in range(num_timesteps)
+        for z in range(num_slices)
+        if round_robin_node(t, z, num_slices, num_nodes) == node
+    ]

@@ -1,0 +1,85 @@
+"""Per-storage-node index files.
+
+Paper Section 4.2: "A simple index file is created on each storage node
+for the images assigned to that storage node.  In this index file, each
+image file is associated with a tuple" of the time step and the slice
+number within the 3D volume.
+
+The index is a small JSON document per node directory holding the
+dataset-global metadata (shape, bytes per pixel, node count) and one
+``[t, z, filename]`` entry per local slice file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["NodeIndex", "INDEX_FILENAME"]
+
+INDEX_FILENAME = "index.json"
+
+
+@dataclass
+class NodeIndex:
+    """Index of the slice files stored on one storage node."""
+
+    node: int
+    num_nodes: int
+    shape: Tuple[int, int, int, int]  # global (nx, ny, nz, nt)
+    bytes_per_pixel: int
+    file_format: str = "raw"  # "raw" or "dicom"
+    entries: Dict[Tuple[int, int], str] = field(default_factory=dict)
+
+    def add(self, t: int, z: int, filename: str) -> None:
+        key = (int(t), int(z))
+        if key in self.entries:
+            raise ValueError(f"duplicate index entry for slice {key}")
+        self.entries[key] = filename
+
+    def filename(self, t: int, z: int) -> str:
+        try:
+            return self.entries[(t, z)]
+        except KeyError:
+            raise KeyError(
+                f"slice (t={t}, z={z}) is not stored on node {self.node}"
+            ) from None
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self.entries
+
+    def keys(self) -> List[Tuple[int, int]]:
+        return sorted(self.entries)
+
+    def save(self, node_dir: str) -> str:
+        """Write the index JSON into ``node_dir``; returns the path."""
+        doc = {
+            "node": self.node,
+            "num_nodes": self.num_nodes,
+            "shape": list(self.shape),
+            "bytes_per_pixel": self.bytes_per_pixel,
+            "file_format": self.file_format,
+            "entries": [[t, z, fn] for (t, z), fn in sorted(self.entries.items())],
+        }
+        path = os.path.join(node_dir, INDEX_FILENAME)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        return path
+
+    @classmethod
+    def load(cls, node_dir: str) -> "NodeIndex":
+        path = os.path.join(node_dir, INDEX_FILENAME)
+        with open(path) as fh:
+            doc = json.load(fh)
+        idx = cls(
+            node=int(doc["node"]),
+            num_nodes=int(doc["num_nodes"]),
+            shape=tuple(int(s) for s in doc["shape"]),  # type: ignore[arg-type]
+            bytes_per_pixel=int(doc["bytes_per_pixel"]),
+            file_format=str(doc.get("file_format", "raw")),
+        )
+        for t, z, fn in doc["entries"]:
+            idx.add(int(t), int(z), fn)
+        return idx

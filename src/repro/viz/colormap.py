@@ -1,0 +1,83 @@
+"""Color-coded parameter maps written as binary PPM (P6) images.
+
+The paper's radiologists inspect "a color-coded representation of the
+vascular permeability characteristics"; here any scalar map (a Haralick
+parameter slice, a CAD detection map) is rendered through a small
+built-in colormap and written as a portable pixmap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["COLORMAPS", "apply_colormap", "write_ppm", "save_colormap_ppm"]
+
+# Control points (position, (r, g, b)) in [0, 1]; linearly interpolated.
+COLORMAPS: Dict[str, Tuple[Tuple[float, Tuple[float, float, float]], ...]] = {
+    # Black-body style heat map.
+    "hot": (
+        (0.0, (0.0, 0.0, 0.0)),
+        (0.4, (0.9, 0.0, 0.0)),
+        (0.8, (1.0, 0.9, 0.0)),
+        (1.0, (1.0, 1.0, 1.0)),
+    ),
+    # Blue -> white -> red diverging (permeability-style coding).
+    "coolwarm": (
+        (0.0, (0.23, 0.30, 0.75)),
+        (0.5, (0.95, 0.95, 0.95)),
+        (1.0, (0.71, 0.02, 0.15)),
+    ),
+    "gray": ((0.0, (0.0, 0.0, 0.0)), (1.0, (1.0, 1.0, 1.0))),
+}
+
+
+def apply_colormap(
+    img: np.ndarray,
+    cmap: str = "hot",
+    vmin: float = None,
+    vmax: float = None,
+) -> np.ndarray:
+    """Map a 2D scalar image to ``(h, w, 3)`` uint8 RGB."""
+    img = np.asarray(img, dtype=np.float64)
+    if img.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got {img.ndim}-D")
+    try:
+        points = COLORMAPS[cmap]
+    except KeyError:
+        raise ValueError(f"unknown colormap {cmap!r}; have {sorted(COLORMAPS)}") from None
+    lo = float(img.min()) if vmin is None else float(vmin)
+    hi = float(img.max()) if vmax is None else float(vmax)
+    norm = np.zeros_like(img) if hi <= lo else np.clip((img - lo) / (hi - lo), 0, 1)
+    xs = np.array([p for p, _ in points])
+    channels = []
+    for c in range(3):
+        ys = np.array([rgb[c] for _, rgb in points])
+        channels.append(np.interp(norm, xs, ys))
+    rgb = np.stack(channels, axis=-1)
+    return np.round(rgb * 255).astype(np.uint8)
+
+
+def write_ppm(path: str, rgb: np.ndarray) -> None:
+    """Write an ``(h, w, 3)`` uint8 array as a binary PPM (P6) file."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (h, w, 3) RGB, got shape {rgb.shape}")
+    if rgb.dtype != np.uint8:
+        raise ValueError(f"expected uint8 pixels, got {rgb.dtype}")
+    header = f"P6\n{rgb.shape[1]} {rgb.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(np.ascontiguousarray(rgb).tobytes())
+
+
+def save_colormap_ppm(
+    path: str,
+    img: np.ndarray,
+    cmap: str = "hot",
+    vmin: float = None,
+    vmax: float = None,
+) -> None:
+    """Render a scalar 2D map through a colormap and write it as PPM."""
+    write_ppm(path, apply_colormap(img, cmap=cmap, vmin=vmin, vmax=vmax))

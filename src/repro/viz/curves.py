@@ -1,0 +1,44 @@
+"""Time-versus-intensity curves of individual voxels (paper Section 1)."""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["time_intensity_curve", "write_curves_csv"]
+
+Voxel = Tuple[int, int, int]
+
+
+def time_intensity_curve(volume: np.ndarray, voxel: Voxel) -> np.ndarray:
+    """Intensity over time of one (x, y, z) voxel of a 4D volume."""
+    volume = np.asarray(volume)
+    if volume.ndim != 4:
+        raise ValueError(f"expected a 4-D (x, y, z, t) volume, got {volume.ndim}-D")
+    x, y, z = voxel
+    if not (0 <= x < volume.shape[0] and 0 <= y < volume.shape[1]
+            and 0 <= z < volume.shape[2]):
+        raise IndexError(f"voxel {voxel} outside volume {volume.shape[:3]}")
+    return volume[x, y, z, :].astype(np.float64)
+
+
+def write_curves_csv(
+    path: str, volume: np.ndarray, voxels: Sequence[Voxel]
+) -> Dict[Voxel, np.ndarray]:
+    """Write time-intensity curves of several voxels as one CSV.
+
+    Columns: ``t`` then one ``x_y_z`` column per voxel.  Returns the
+    curves keyed by voxel for programmatic use.
+    """
+    if not voxels:
+        raise ValueError("need at least one voxel")
+    curves = {tuple(v): time_intensity_curve(volume, tuple(v)) for v in voxels}
+    nt = np.asarray(volume).shape[3]
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["t"] + [f"{x}_{y}_{z}" for (x, y, z) in curves])
+        for t in range(nt):
+            writer.writerow([t] + [f"{curves[v][t]:.6g}" for v in curves])
+    return curves

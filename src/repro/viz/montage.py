@@ -1,0 +1,63 @@
+"""Montages: a 4D volume laid out as a (z x t) grid of 2D slices.
+
+The "cinematic viewing" substitute: every slice of every time step on
+one canvas, normalized to a shared intensity window so enhancement over
+time is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.formats import write_pgm
+
+__all__ = ["montage", "save_montage_pgm"]
+
+
+def montage(
+    volume: np.ndarray,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    border: int = 1,
+) -> np.ndarray:
+    """Lay a 4D (x, y, z, t) volume out as a normalized 2D grid.
+
+    Rows are z slices, columns are time steps; all tiles share one
+    ``[vmin, vmax]`` window (defaults to the volume's range).  Returns a
+    float image in ``[0, 1]`` with ``border``-pixel separators at 0.5.
+    """
+    volume = np.asarray(volume, dtype=np.float64)
+    if volume.ndim != 4:
+        raise ValueError(f"expected a 4-D volume, got {volume.ndim}-D")
+    if border < 0:
+        raise ValueError("border must be >= 0")
+    nx, ny, nz, nt = volume.shape
+    lo = float(volume.min()) if vmin is None else float(vmin)
+    hi = float(volume.max()) if vmax is None else float(vmax)
+    if hi <= lo:
+        norm = np.zeros_like(volume)
+    else:
+        norm = np.clip((volume - lo) / (hi - lo), 0.0, 1.0)
+    h = nz * nx + (nz - 1) * border
+    w = nt * ny + (nt - 1) * border
+    canvas = np.full((h, w), 0.5)
+    for z in range(nz):
+        for t in range(nt):
+            r = z * (nx + border)
+            c = t * (ny + border)
+            canvas[r : r + nx, c : c + ny] = norm[:, :, z, t]
+    return canvas
+
+
+def save_montage_pgm(
+    path: str,
+    volume: np.ndarray,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> Tuple[int, int]:
+    """Write the montage as a PGM; returns the image dimensions."""
+    img = montage(volume, vmin=vmin, vmax=vmax)
+    write_pgm(path, img)
+    return img.shape

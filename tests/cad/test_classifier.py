@@ -1,0 +1,143 @@
+"""Unit + integration tests for the CAD dataset and classifier."""
+
+import numpy as np
+import pytest
+
+from repro.cad.classifier import Metrics, TextureClassifier, roc_auc
+from repro.cad.dataset import TextureDataset, build_dataset, lesion_mask, roi_labels
+from repro.cad.network import TrainConfig
+from repro.core.analysis import HaralickConfig
+from repro.data.synthetic import Lesion, PhantomConfig
+
+
+def phantom_config(seed=0):
+    lesion = Lesion(center=(12, 12, 5), radius=5, amplitude=0.9, uptake_rate=1.2)
+    return PhantomConfig(
+        shape=(24, 24, 10, 5), lesions=(lesion,), seed=seed, noise_sigma=0.01
+    )
+
+
+HC = HaralickConfig(roi_shape=(5, 5, 3, 2), levels=16)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_random_scores(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=2000)
+        s = rng.random(2000)
+        assert abs(roc_auc(y, s) - 0.5) < 0.05
+
+    def test_inverted(self):
+        assert roc_auc(np.array([1, 1, 0, 0]), np.array([0.1, 0.2, 0.8, 0.9])) == 0.0
+
+    def test_ties_averaged(self):
+        assert roc_auc(np.array([0, 1]), np.array([0.5, 0.5])) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([1, 1]), np.array([0.5, 0.6]))
+
+
+class TestLesionMaskAndLabels:
+    def test_mask_geometry(self):
+        pc = phantom_config()
+        mask = lesion_mask(pc)
+        assert mask.shape == (24, 24, 10)
+        assert mask[12, 12, 5]  # center inside
+        assert not mask[0, 0, 0]
+        # Volume roughly 4/3 pi r^3, clipped at boundaries.
+        assert 300 < mask.sum() < 600
+
+    def test_no_lesions_all_negative(self):
+        pc = PhantomConfig(shape=(16, 16, 4, 4))
+        assert not lesion_mask(pc).any()
+
+    def test_labels_shape_matches_features(self):
+        pc = phantom_config()
+        labels = roi_labels(pc, HC)
+        assert labels.shape == HC.output_shape(pc.shape)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_labels_constant_over_time(self):
+        labels = roi_labels(phantom_config(), HC)
+        assert np.all(labels[..., 0] == labels[..., -1])
+
+
+class TestTextureDataset:
+    def test_build(self):
+        ds = build_dataset(phantom_config(), HC)
+        grid = HC.output_shape(phantom_config().shape)
+        assert ds.n == int(np.prod(grid))
+        assert ds.x.shape[1] == len(HC.features)
+        assert 0.05 < ds.positive_fraction < 0.5
+
+    def test_balanced_subsample(self):
+        ds = build_dataset(phantom_config(), HC)
+        sub = ds.balanced_subsample(100, seed=0)
+        assert sub.n == 200
+        assert sub.positive_fraction == pytest.approx(0.5)
+
+    def test_subsample_too_large(self):
+        ds = build_dataset(phantom_config(), HC)
+        with pytest.raises(ValueError):
+            ds.balanced_subsample(10**6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TextureDataset(np.zeros((3, 2)), np.zeros(4), ("a", "b"))
+        with pytest.raises(ValueError):
+            TextureDataset(np.zeros((3, 2)), np.zeros(3), ("a",))
+
+
+class TestTextureClassifier:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        ds = build_dataset(phantom_config(seed=0), HC)
+        clf = TextureClassifier(ds.feature_names, hidden=(12,), seed=0)
+        clf.fit(ds.balanced_subsample(200, seed=1), TrainConfig(epochs=100, seed=0))
+        return clf, ds
+
+    def test_detects_lesions_in_training_study(self, trained):
+        clf, ds = trained
+        metrics = clf.evaluate(ds)
+        assert metrics.auc > 0.95
+        assert metrics.sensitivity > 0.85
+        assert metrics.specificity > 0.85
+
+    def test_generalizes_to_new_study(self, trained):
+        clf, _ = trained
+        # Same lesion geometry, different noise realization.
+        ds2 = build_dataset(phantom_config(seed=9), HC)
+        metrics = clf.evaluate(ds2)
+        assert metrics.auc > 0.9
+
+    def test_detection_map(self, trained):
+        clf, _ = trained
+        pc = phantom_config(seed=3)
+        from repro.core.analysis import haralick_transform
+        from repro.data.synthetic import generate_phantom
+
+        vol = generate_phantom(pc)
+        features = haralick_transform(vol.data, HC)
+        pmap = clf.detection_map(features)
+        assert pmap.shape == HC.output_shape(pc.shape)
+        labels = roi_labels(pc, HC).astype(bool)
+        assert pmap[labels].mean() > pmap[~labels].mean() + 0.2
+
+    def test_untrained_predict_raises(self):
+        clf = TextureClassifier(("asm",))
+        with pytest.raises(RuntimeError):
+            clf.predict_proba(np.zeros((2, 1)))
+
+    def test_feature_mismatch_rejected(self):
+        ds = build_dataset(phantom_config(), HC)
+        clf = TextureClassifier(("asm", "idm"))
+        with pytest.raises(ValueError):
+            clf.fit(ds)
+
+    def test_metrics_str(self):
+        m = Metrics(0.9, 0.8, 0.95, 0.97, 10, 90)
+        assert "sens=0.800" in str(m)

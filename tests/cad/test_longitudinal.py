@@ -1,0 +1,127 @@
+"""Unit + integration tests for follow-up study comparison."""
+
+import numpy as np
+import pytest
+
+from repro.cad.longitudinal import (
+    ProgressionReport,
+    assess_progression,
+    change_map,
+    lesion_burden,
+)
+
+
+class TestChangeMap:
+    def test_absolute_difference(self):
+        a = np.zeros((3, 3))
+        b = np.full((3, 3), 2.0)
+        assert np.all(change_map(a, b) == 2.0)
+
+    def test_relative_scaling(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 2.0, size=(50, 50))
+        b = a + 2.0
+        rel = change_map(a, b, relative=True)
+        assert rel.mean() == pytest.approx(2.0 / a.std(), rel=1e-6)
+
+    def test_constant_baseline_relative(self):
+        a = np.ones((4, 4))
+        b = np.full((4, 4), 5.0)
+        assert np.all(change_map(a, b, relative=True) == 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            change_map(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestLesionBurden:
+    def test_burden_counts(self):
+        m = np.array([[0.9, 0.1], [0.7, 0.2]])
+        b = lesion_burden(m, threshold=0.5)
+        assert b["positive_positions"] == 2
+        assert b["volume_fraction"] == pytest.approx(0.5)
+        assert b["max_score"] == pytest.approx(0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lesion_burden(np.zeros((0,)))
+
+
+class TestAssessProgression:
+    def grown(self, frac0, frac1, n=100):
+        rng = np.random.default_rng(1)
+        a = (rng.random(n) < frac0).astype(float)
+        b = (rng.random(n) < frac1).astype(float)
+        return a, b
+
+    def test_progression(self):
+        a = np.zeros(100)
+        a[:10] = 1.0
+        b = np.zeros(100)
+        b[:30] = 1.0
+        report = assess_progression(a, b)
+        assert report.status == "progression"
+        assert report.volume_change == pytest.approx(2.0)
+        assert "progression" in str(report)
+
+    def test_regression(self):
+        a = np.zeros(100)
+        a[:30] = 1.0
+        b = np.zeros(100)
+        b[:10] = 1.0
+        assert assess_progression(a, b).status == "regression"
+
+    def test_stable(self):
+        a = np.zeros(100)
+        a[:20] = 1.0
+        b = np.zeros(100)
+        b[:22] = 1.0
+        assert assess_progression(a, b).status == "stable"
+
+    def test_new_lesion_is_progression(self):
+        a = np.zeros(50)
+        b = np.zeros(50)
+        b[0] = 1.0
+        report = assess_progression(a, b)
+        assert report.status == "progression"
+        assert report.volume_change == np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assess_progression(np.zeros(4), np.zeros(5))
+        with pytest.raises(ValueError):
+            assess_progression(np.zeros(4), np.zeros(4), stability_margin=-1)
+
+
+class TestEndToEndFollowUp:
+    def test_growing_lesion_detected_as_progression(self):
+        """Full workflow: two studies of the same patient, lesion grows."""
+        from repro.cad import TextureClassifier, TrainConfig, build_dataset
+        from repro.core import HaralickConfig, haralick_transform
+        from repro.data import Lesion, PhantomConfig, generate_phantom
+
+        hc = HaralickConfig(roi_shape=(5, 5, 3, 2), levels=16)
+
+        def study(radius, seed):
+            lesion = Lesion(center=(12, 12, 5), radius=radius, amplitude=0.9,
+                            uptake_rate=1.2)
+            return PhantomConfig(
+                shape=(24, 24, 10, 5), lesions=(lesion,), seed=seed,
+                noise_sigma=0.01,
+            )
+
+        # Train on the baseline study.
+        base_pc = study(radius=4.0, seed=0)
+        ds = build_dataset(base_pc, hc)
+        clf = TextureClassifier(ds.feature_names, hidden=(12,), seed=0)
+        clf.fit(ds.balanced_subsample(150, seed=1), TrainConfig(epochs=80, seed=0))
+
+        def detection_map(pc):
+            vol = generate_phantom(pc)
+            feats = haralick_transform(vol.data, hc)
+            return clf.detection_map(feats)
+
+        followup_pc = study(radius=6.5, seed=3)  # grown lesion, new visit
+        report = assess_progression(detection_map(base_pc), detection_map(followup_pc))
+        assert report.status == "progression"
+        assert report.followup["volume_fraction"] > report.baseline["volume_fraction"]

@@ -1,0 +1,102 @@
+"""Unit tests for the from-scratch MLP."""
+
+import numpy as np
+import pytest
+
+from repro.cad.network import MLP, TrainConfig
+
+
+class TestConstruction:
+    def test_layer_shapes(self):
+        mlp = MLP([4, 8, 3, 1])
+        assert [w.shape for w in mlp.weights] == [(4, 8), (8, 3), (3, 1)]
+        assert [b.shape for b in mlp.biases] == [(8,), (3,), (1,)]
+
+    @pytest.mark.parametrize("sizes", [[4], [4, 2], [4, 0, 1], [0, 1]])
+    def test_invalid_sizes(self, sizes):
+        with pytest.raises(ValueError):
+            MLP(sizes)
+
+    def test_deterministic_init(self):
+        a, b = MLP([3, 4, 1], seed=7), MLP([3, 4, 1], seed=7)
+        for wa, wb in zip(a.weights, b.weights):
+            assert np.array_equal(wa, wb)
+
+
+class TestInference:
+    def test_probabilities_in_range(self):
+        mlp = MLP([3, 5, 1])
+        x = np.random.default_rng(0).normal(size=(20, 3))
+        p = mlp.predict_proba(x)
+        assert p.shape == (20,)
+        assert np.all((p > 0) & (p < 1))
+
+    def test_predict_threshold(self):
+        mlp = MLP([2, 1], seed=0)
+        x = np.zeros((4, 2))
+        assert set(mlp.predict(x, threshold=0.0)) == {1}
+        assert set(mlp.predict(x, threshold=1.1)) == {0}
+
+    def test_wrong_feature_count(self):
+        with pytest.raises(ValueError):
+            MLP([3, 1]).predict_proba(np.zeros((2, 5)))
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        mlp = MLP([1, 1], seed=0)
+        mlp.weights[0][:] = 100.0
+        p = mlp.predict_proba(np.array([[1000.0], [-1000.0]]))
+        assert np.isfinite(p).all()
+
+
+class TestTraining:
+    def test_learns_linearly_separable(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(300, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        mlp = MLP([2, 8, 1], seed=0)
+        losses = mlp.fit(x, y, TrainConfig(epochs=80, seed=0))
+        assert losses[-1] < 0.25
+        assert (mlp.predict(x) == y).mean() > 0.92
+
+    def test_learns_xor(self):
+        """Non-linear boundary requires the hidden layer to work."""
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        x = np.repeat(x, 50, axis=0)
+        y = np.repeat(np.array([0, 1, 1, 0]), 50)
+        mlp = MLP([2, 12, 1], seed=3)
+        mlp.fit(x, y, TrainConfig(epochs=600, learning_rate=0.1, seed=0))
+        assert (mlp.predict(x) == y).mean() > 0.95
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(200, 3))
+        y = (x[:, 0] > 0).astype(int)
+        mlp = MLP([3, 6, 1], seed=0)
+        losses = mlp.fit(x, y, TrainConfig(epochs=40, seed=0))
+        assert losses[-1] < losses[0]
+
+    def test_deterministic_training(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(100, 2))
+        y = (x.sum(axis=1) > 0).astype(int)
+        results = []
+        for _ in range(2):
+            mlp = MLP([2, 4, 1], seed=5)
+            mlp.fit(x, y, TrainConfig(epochs=10, seed=5))
+            results.append(mlp.predict_proba(x))
+        assert np.array_equal(results[0], results[1])
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([2, 1]).fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([2, 1]).fit(np.zeros((3, 2)), np.array([0, 1]))
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(epochs=0), dict(learning_rate=0), dict(momentum=1.0)]
+    )
+    def test_train_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainConfig(**kwargs)

@@ -1,0 +1,145 @@
+"""Unit tests for chunk assembly (IIC) and output stitching (HIC)."""
+
+import numpy as np
+import pytest
+
+from repro.chunks.chunking import partition
+from repro.chunks.stitch import ChunkAssembler, ChunkPiece, OutputStitcher
+from repro.core.raster import raster_scan
+from repro.core.roi import ROISpec, valid_positions_shape
+
+
+def make_chunk(shape=(12, 10, 6, 4), roi=ROISpec((3, 3, 3, 2)), chunk_shape=(12, 10, 6, 4)):
+    return partition(shape, roi, chunk_shape)[0]
+
+
+def split_into_pieces(chunk, data, node_of, num_nodes):
+    """Mimic per-node RFR reads: zero-filled arrays + filled plane lists."""
+    pieces = []
+    z0, t0 = chunk.lo[2], chunk.lo[3]
+    for n in range(num_nodes):
+        piece_data = np.zeros(chunk.shape, dtype=data.dtype)
+        filled = []
+        for t in range(chunk.lo[3], chunk.hi[3]):
+            for z in range(chunk.lo[2], chunk.hi[2]):
+                if node_of(t, z) == n:
+                    piece_data[:, :, z - z0, t - t0] = data[
+                        chunk.lo[0] : chunk.hi[0], chunk.lo[1] : chunk.hi[1], z, t
+                    ]
+                    filled.append((t, z))
+        pieces.append(ChunkPiece(chunk.index, piece_data, filled, source_node=n))
+    return pieces
+
+
+class TestChunkAssembler:
+    def test_assembles_distributed_pieces(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 100, size=(12, 10, 6, 4))
+        chunk = make_chunk()
+        pieces = split_into_pieces(chunk, data, lambda t, z: (t * 6 + z) % 3, 3)
+        asm = ChunkAssembler(chunk)
+        for p in pieces:
+            asm.add(p)
+        assert asm.is_complete
+        assert np.array_equal(asm.result(), data)
+
+    def test_order_independent(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 100, size=(12, 10, 6, 4))
+        chunk = make_chunk()
+        pieces = split_into_pieces(chunk, data, lambda t, z: (t + z) % 2, 2)
+        asm = ChunkAssembler(chunk)
+        for p in reversed(pieces):
+            asm.add(p)
+        assert np.array_equal(asm.result(), data)
+
+    def test_incomplete_raises(self):
+        chunk = make_chunk()
+        asm = ChunkAssembler(chunk)
+        assert not asm.is_complete
+        assert len(asm.missing) == 6 * 4
+        with pytest.raises(RuntimeError):
+            asm.result()
+
+    def test_duplicate_plane_rejected(self):
+        chunk = make_chunk()
+        data = np.zeros((12, 10, 6, 4), dtype=int)
+        pieces = split_into_pieces(chunk, data, lambda t, z: 0, 1)
+        asm = ChunkAssembler(chunk)
+        asm.add(pieces[0])
+        with pytest.raises(ValueError):
+            asm.add(pieces[0])
+
+    def test_wrong_chunk_rejected(self):
+        chunks = partition((30, 10, 6, 4), ROISpec((3, 3, 3, 2)), (12, 10, 6, 4))
+        asm = ChunkAssembler(chunks[0])
+        piece = ChunkPiece(chunks[1].index, np.zeros(chunks[1].shape, dtype=int), [])
+        with pytest.raises(ValueError):
+            asm.add(piece)
+
+    def test_wrong_shape_rejected(self):
+        chunk = make_chunk()
+        with pytest.raises(ValueError):
+            ChunkAssembler(chunk).add(
+                ChunkPiece(chunk.index, np.zeros((2, 2, 2, 2), dtype=int), [])
+            )
+
+
+class TestOutputStitcher:
+    def test_stitched_equals_sequential(self):
+        """Chunked scan + stitch == whole-volume raster scan."""
+        rng = np.random.default_rng(2)
+        shape, roi = (20, 18, 8, 5), ROISpec((3, 3, 3, 2))
+        data = rng.integers(0, 8, size=shape)
+        want = raster_scan(data, roi, 8, features=["asm", "contrast"])
+
+        stitcher = OutputStitcher(shape, roi, ["asm", "contrast"])
+        for chunk in partition(shape, roi, (9, 9, 6, 4)):
+            local = raster_scan(data[chunk.slices()], roi, 8, features=["asm", "contrast"])
+            stitcher.place(chunk, local)
+        assert stitcher.is_complete
+        got = stitcher.result()
+        np.testing.assert_allclose(got["asm"], want["asm"])
+        np.testing.assert_allclose(got["contrast"], want["contrast"])
+
+    def test_incomplete_raises(self):
+        stitcher = OutputStitcher((10, 10), ROISpec((3, 3)), ["asm"])
+        assert stitcher.coverage == 0.0
+        with pytest.raises(RuntimeError):
+            stitcher.result()
+
+    def test_double_place_rejected(self):
+        shape, roi = (10, 10), ROISpec((3, 3))
+        chunk = partition(shape, roi, (10, 10))[0]
+        stitcher = OutputStitcher(shape, roi, ["asm"])
+        vals = {"asm": np.zeros((8, 8))}
+        stitcher.place(chunk, vals)
+        with pytest.raises(ValueError):
+            stitcher.place(chunk, vals)
+
+    def test_wrong_features_rejected(self):
+        shape, roi = (10, 10), ROISpec((3, 3))
+        chunk = partition(shape, roi, (10, 10))[0]
+        stitcher = OutputStitcher(shape, roi, ["asm"])
+        with pytest.raises(ValueError):
+            stitcher.place(chunk, {"contrast": np.zeros((8, 8))})
+
+    def test_wrong_local_shape_rejected(self):
+        shape, roi = (10, 10), ROISpec((3, 3))
+        chunk = partition(shape, roi, (10, 10))[0]
+        stitcher = OutputStitcher(shape, roi, ["asm"])
+        with pytest.raises(ValueError):
+            stitcher.place(chunk, {"asm": np.zeros((5, 5))})
+
+    def test_minmax_for_jiw_normalization(self):
+        shape, roi = (10, 10), ROISpec((3, 3))
+        chunk = partition(shape, roi, (10, 10))[0]
+        stitcher = OutputStitcher(shape, roi, ["asm"])
+        vals = np.linspace(0.25, 0.75, 64).reshape(8, 8)
+        stitcher.place(chunk, {"asm": vals})
+        lo, hi = stitcher.minmax("asm")
+        assert lo == pytest.approx(0.25) and hi == pytest.approx(0.75)
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(ValueError):
+            OutputStitcher((10, 10), ROISpec((3, 3)), [])

@@ -1,0 +1,78 @@
+"""Unit tests for the high-level sequential API."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import HaralickConfig, haralick_transform
+from repro.core.features import PAPER_FEATURES
+
+
+class TestHaralickConfig:
+    def test_paper_defaults(self):
+        cfg = HaralickConfig()
+        assert cfg.roi_shape == (5, 5, 5, 3)
+        assert cfg.levels == 32
+        assert cfg.features == PAPER_FEATURES
+        assert cfg.distance == 1
+
+    def test_output_shape(self):
+        cfg = HaralickConfig()
+        assert cfg.output_shape((256, 256, 32, 32)) == (252, 252, 28, 30)
+
+    def test_invalid_feature(self):
+        with pytest.raises(KeyError):
+            HaralickConfig(features=("nope",))
+
+    def test_empty_features(self):
+        with pytest.raises(ValueError):
+            HaralickConfig(features=())
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            HaralickConfig(distance=0)
+
+    def test_frozen(self):
+        cfg = HaralickConfig()
+        with pytest.raises(Exception):
+            cfg.levels = 16
+
+
+class TestHaralickTransform:
+    def test_raw_data_is_quantized(self):
+        rng = np.random.default_rng(0)
+        raw = rng.integers(0, 65536, size=(8, 8, 6, 4)).astype(np.uint16)
+        out = haralick_transform(raw, HaralickConfig(roi_shape=(3, 3, 3, 2), levels=8))
+        assert out["asm"].shape == (6, 6, 4, 3)
+
+    def test_quantized_passthrough(self):
+        rng = np.random.default_rng(1)
+        q = rng.integers(0, 8, size=(8, 8))
+        cfg = HaralickConfig(roi_shape=(3, 3), levels=8)
+        out = haralick_transform(q, cfg, quantized=True)
+        from repro.core.raster import raster_scan
+        from repro.core.roi import ROISpec
+
+        want = raster_scan(q, ROISpec((3, 3)), 8)
+        np.testing.assert_allclose(out["asm"], want["asm"])
+
+    def test_quantized_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            haralick_transform(
+                np.full((8, 8), 99),
+                HaralickConfig(roi_shape=(3, 3), levels=8),
+                quantized=True,
+            )
+
+    def test_ndim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            haralick_transform(np.zeros((8, 8)), HaralickConfig())
+
+    def test_2d_config_works(self):
+        """The library is N-dimensional; 2D is the classic Haralick case."""
+        rng = np.random.default_rng(2)
+        img = rng.random((16, 16))
+        out = haralick_transform(
+            img, HaralickConfig(roi_shape=(7, 7), levels=16, features=("entropy",))
+        )
+        assert out["entropy"].shape == (10, 10)
+        assert np.all(out["entropy"] >= 0)

@@ -1,0 +1,75 @@
+"""Unit tests for per-direction Haralick statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.directional import (
+    anisotropy,
+    directional_features,
+    directional_statistics,
+)
+from repro.core.directions import direction_count, unique_directions
+
+
+class TestDirectionalFeatures:
+    def test_one_value_per_direction(self):
+        rng = np.random.default_rng(0)
+        window = rng.integers(0, 8, size=(6, 6))
+        out = directional_features(window, 8, features=["contrast"])
+        assert out["contrast"].shape == (direction_count(2),)
+
+    def test_matches_single_direction_calls(self):
+        rng = np.random.default_rng(1)
+        window = rng.integers(0, 6, size=(5, 5))
+        from repro.core.cooccurrence import cooccurrence_matrix
+        from repro.core.features import haralick_features
+
+        out = directional_features(window, 6, features=["entropy"])
+        for k, v in enumerate(unique_directions(2)):
+            m = cooccurrence_matrix(window, 6, directions=[v])
+            want = haralick_features(m, ["entropy"])["entropy"]
+            assert out["entropy"][k] == pytest.approx(float(want))
+
+    def test_4d_window(self):
+        rng = np.random.default_rng(2)
+        window = rng.integers(0, 4, size=(4, 4, 4, 3))
+        out = directional_features(window, 4, features=["asm"])
+        assert out["asm"].shape == (40,)
+
+
+class TestDirectionalStatistics:
+    def test_mean_and_range(self):
+        rng = np.random.default_rng(3)
+        window = rng.integers(0, 6, size=(6, 6))
+        stats = directional_statistics(window, 6, features=["contrast", "asm"])
+        per = directional_features(window, 6, features=["contrast", "asm"])
+        for name in ("contrast", "asm"):
+            mean, rng_ = stats[name]
+            assert mean == pytest.approx(per[name].mean())
+            assert rng_ == pytest.approx(per[name].max() - per[name].min())
+
+    def test_isotropic_texture_small_range(self):
+        # A checkerboard alternates identically along x and y.
+        window = np.indices((8, 8)).sum(axis=0) % 2
+        stats = directional_statistics(window, 2, features=["contrast"])
+        mean, rng_ = stats["contrast"]
+        assert mean > 0
+
+    def test_constant_window(self):
+        stats = directional_statistics(np.zeros((5, 5), int), 4, features=["asm"])
+        mean, rng_ = stats["asm"]
+        assert mean == pytest.approx(1.0)
+        assert rng_ == pytest.approx(0.0)
+
+
+class TestAnisotropy:
+    def test_striped_texture_is_anisotropic(self):
+        # Horizontal stripes: zero contrast along rows, high across.
+        window = np.tile(np.arange(8)[:, None] % 2, (1, 8))
+        striped = anisotropy(window, 2, feature="contrast")
+        rng = np.random.default_rng(4)
+        noise = anisotropy(rng.integers(0, 2, size=(8, 8)), 2, feature="contrast")
+        assert striped > 2 * noise
+
+    def test_constant_is_isotropic(self):
+        assert anisotropy(np.zeros((6, 6), int), 4, feature="asm") == pytest.approx(0.0)

@@ -1,0 +1,80 @@
+"""Unit tests for displacement direction enumeration."""
+
+import pytest
+
+from repro.core.directions import (
+    all_directions,
+    as_offset_array,
+    canonical_direction,
+    direction_count,
+    is_canonical,
+    scale_direction,
+    unique_directions,
+)
+
+
+class TestAllDirections:
+    @pytest.mark.parametrize("ndim,count", [(1, 2), (2, 8), (3, 26), (4, 80)])
+    def test_counts(self, ndim, count):
+        assert len(all_directions(ndim)) == count
+
+    def test_excludes_zero(self):
+        assert (0, 0) not in all_directions(2)
+
+    def test_invalid_ndim(self):
+        with pytest.raises(ValueError):
+            all_directions(0)
+
+
+class TestUniqueDirections:
+    @pytest.mark.parametrize("ndim,count", [(1, 1), (2, 4), (3, 13), (4, 40)])
+    def test_paper_counts(self, ndim, count):
+        """2D has 4 unique directions (paper Fig. 12); 4D has 40."""
+        assert len(unique_directions(ndim)) == count
+        assert direction_count(ndim) == count
+
+    @pytest.mark.parametrize("ndim", [1, 2, 3, 4])
+    def test_no_opposite_pairs(self, ndim):
+        dirs = set(unique_directions(ndim))
+        for v in dirs:
+            assert tuple(-c for c in v) not in dirs
+
+    @pytest.mark.parametrize("ndim", [2, 3, 4])
+    def test_covers_all_with_negation(self, ndim):
+        dirs = unique_directions(ndim)
+        both = set(dirs) | {tuple(-c for c in v) for v in dirs}
+        assert both == set(all_directions(ndim))
+
+    def test_2d_matches_paper_figure_12(self):
+        # 0, 45, 90, 135 degrees in (x, y) offsets.
+        assert set(unique_directions(2)) == {(1, 0), (1, 1), (0, 1), (1, -1)}
+
+
+class TestCanonical:
+    def test_first_nonzero_positive(self):
+        assert canonical_direction((-1, 0, 1, 0)) == (1, 0, -1, 0)
+        assert canonical_direction((0, -1)) == (0, 1)
+        assert canonical_direction((1, -1)) == (1, -1)
+
+    def test_idempotent(self):
+        for v in all_directions(4):
+            c = canonical_direction(v)
+            assert canonical_direction(c) == c
+            assert is_canonical(c)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_direction((0, 0, 0))
+
+
+class TestScaleAndStack:
+    def test_scale(self):
+        assert scale_direction((1, 0, -1, 1), 3) == (3, 0, -3, 3)
+
+    def test_scale_invalid_distance(self):
+        with pytest.raises(ValueError):
+            scale_direction((1, 0), 0)
+
+    def test_offset_array(self):
+        arr = as_offset_array(unique_directions(4))
+        assert arr.shape == (40, 4)

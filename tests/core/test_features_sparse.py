@@ -1,0 +1,82 @@
+"""Unit tests: sparse / zero-skip feature paths match the dense kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.cooccurrence import cooccurrence_matrix
+from repro.core.features import HARALICK_FEATURES, PAPER_FEATURES, haralick_features
+from repro.core.features_sparse import (
+    features_from_entries,
+    features_from_sparse,
+    features_nonzero,
+)
+from repro.core.sparse import sparse_from_dense
+
+
+def glcm(seed=0, g=16, shape=(5, 5, 5, 3)):
+    rng = np.random.default_rng(seed)
+    return cooccurrence_matrix(rng.integers(0, g, size=shape), g)
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_nonzero_matches_dense_all_features(self, seed):
+        m = glcm(seed)
+        dense = haralick_features(m)
+        nz = features_nonzero(m, HARALICK_FEATURES)
+        for name in HARALICK_FEATURES:
+            assert nz[name] == pytest.approx(float(dense[name]), abs=1e-10), name
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sparse_matches_dense_all_features(self, seed):
+        m = glcm(seed, g=8)
+        dense = haralick_features(m)
+        sp = features_from_sparse(sparse_from_dense(m), HARALICK_FEATURES)
+        for name in HARALICK_FEATURES:
+            assert sp[name] == pytest.approx(float(dense[name]), abs=1e-10), name
+
+    def test_default_feature_set_is_papers(self):
+        m = glcm(1)
+        assert set(features_from_sparse(sparse_from_dense(m))) == set(PAPER_FEATURES)
+        assert set(features_nonzero(m)) == set(PAPER_FEATURES)
+
+    def test_very_sparse_matrix(self):
+        m = np.zeros((32, 32), dtype=np.int64)
+        m[3, 3] = 4
+        m[5, 9] = 2
+        m[9, 5] = 2
+        dense = haralick_features(m, PAPER_FEATURES)
+        sp = features_from_sparse(sparse_from_dense(m))
+        for name in PAPER_FEATURES:
+            assert sp[name] == pytest.approx(float(dense[name])), name
+
+
+class TestEntries:
+    def test_duplicate_entries_accumulate(self):
+        a = features_from_entries(
+            np.array([1, 1]), np.array([2, 2]), np.array([1.0, 1.0]), 4, ["asm"]
+        )
+        b = features_from_entries(
+            np.array([1]), np.array([2]), np.array([2.0]), 4, ["asm"]
+        )
+        assert a["asm"] == pytest.approx(b["asm"])
+
+    def test_empty_entries_give_zeros(self):
+        out = features_from_entries(
+            np.array([], dtype=int), np.array([], dtype=int), np.array([]), 8
+        )
+        assert all(v == 0.0 for v in out.values())
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            features_from_entries(np.array([1]), np.array([1, 2]), np.array([1.0]), 4)
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(KeyError):
+            features_from_entries(
+                np.array([1]), np.array([1]), np.array([1.0]), 4, ["nope"]
+            )
+
+    def test_non_square_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            features_nonzero(np.ones((3, 4)))

@@ -1,0 +1,75 @@
+"""Unit tests for raster scanning (sequential algorithm, paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import PAPER_FEATURES
+from repro.core.raster import raster_scan, raster_scan_batches, raster_scan_reference
+from repro.core.roi import ROISpec
+
+
+class TestFastMatchesReference:
+    @pytest.mark.parametrize(
+        "shape,roi_shape,levels",
+        [
+            ((8, 8), (3, 3), 4),
+            ((6, 6, 4), (3, 3, 2), 5),
+            ((6, 6, 6, 4), (5, 5, 5, 3), 8),
+        ],
+    )
+    def test_equal_outputs(self, shape, roi_shape, levels):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, levels, size=shape)
+        roi = ROISpec(roi_shape)
+        ref = raster_scan_reference(data, roi, levels)
+        fast = raster_scan(data, roi, levels, batch=3)
+        assert set(ref) == set(fast) == set(PAPER_FEATURES)
+        for name in ref:
+            np.testing.assert_allclose(fast[name], ref[name], atol=1e-12)
+
+    def test_all_fourteen_features(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 4, size=(5, 5))
+        roi = ROISpec((3, 3))
+        from repro.core.features import HARALICK_FEATURES
+
+        ref = raster_scan_reference(data, roi, 4, features=HARALICK_FEATURES)
+        fast = raster_scan(data, roi, 4, features=HARALICK_FEATURES)
+        for name in HARALICK_FEATURES:
+            np.testing.assert_allclose(fast[name], ref[name], atol=1e-10)
+
+
+class TestOutputGeometry:
+    def test_output_shape(self):
+        data = np.zeros((10, 9, 8, 5), dtype=int)
+        out = raster_scan(data, ROISpec((5, 5, 5, 3)), 4, features=["asm"])
+        assert out["asm"].shape == (6, 5, 4, 3)
+
+    def test_constant_volume(self):
+        data = np.zeros((6, 6, 6, 4), dtype=int)
+        out = raster_scan(data, ROISpec((5, 5, 5, 3)), 8)
+        # Constant image: ASM = 1, IDM = 1 everywhere.
+        assert np.allclose(out["asm"], 1.0)
+        assert np.allclose(out["idm"], 1.0)
+
+    def test_batches_cover_all_positions(self):
+        data = np.random.default_rng(2).integers(0, 4, size=(7, 6))
+        total = 0
+        for start, vals in raster_scan_batches(
+            data, ROISpec((2, 2)), 4, features=["asm"], batch=4
+        ):
+            total += vals["asm"].shape[0]
+        assert total == 6 * 5
+
+    def test_translation_locality(self):
+        """A feature value depends only on its ROI window contents."""
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 4, size=(8, 8))
+        roi = ROISpec((3, 3))
+        out = raster_scan(data, roi, 4, features=["entropy"])
+        from repro.core.cooccurrence import cooccurrence_matrix
+        from repro.core.features import haralick_features
+
+        window = data[2:5, 4:7]
+        single = haralick_features(cooccurrence_matrix(window, 4), ["entropy"])
+        assert out["entropy"][2, 4] == pytest.approx(single["entropy"])

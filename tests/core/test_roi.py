@@ -1,0 +1,58 @@
+"""Unit tests for ROI geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core.roi import ROISpec, iter_roi_origins, valid_positions_shape
+
+
+class TestROISpec:
+    def test_paper_default(self):
+        roi = ROISpec((5, 5, 5, 3))
+        assert roi.ndim == 4
+        assert roi.size == 375
+
+    def test_fits_in(self):
+        roi = ROISpec((5, 5, 5, 3))
+        assert roi.fits_in((256, 256, 32, 32))
+        assert not roi.fits_in((4, 256, 32, 32))
+
+    def test_fits_in_ndim_mismatch(self):
+        with pytest.raises(ValueError):
+            ROISpec((5, 5)).fits_in((5, 5, 5))
+
+    @pytest.mark.parametrize("bad", [(), (0, 3), (-1,), (3, 0, 2)])
+    def test_invalid_shapes(self, bad):
+        with pytest.raises(ValueError):
+            ROISpec(bad)
+
+
+class TestValidPositions:
+    def test_paper_workload_grid(self):
+        grid = valid_positions_shape((256, 256, 32, 32), ROISpec((5, 5, 5, 3)))
+        assert grid == (252, 252, 28, 30)
+
+    def test_exact_fit(self):
+        assert valid_positions_shape((5, 5), ROISpec((5, 5))) == (1, 1)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            valid_positions_shape((4, 5), ROISpec((5, 5)))
+
+
+class TestIterOrigins:
+    def test_raster_order(self):
+        origins = list(iter_roi_origins((3, 4), ROISpec((2, 2))))
+        assert origins[0] == (0, 0)
+        assert origins[1] == (0, 1)  # last dim fastest (C order)
+        assert origins[-1] == (1, 2)
+        assert len(origins) == 2 * 3
+
+    def test_matches_ndindex(self):
+        shape, roi = (4, 5, 3), ROISpec((2, 2, 2))
+        grid = valid_positions_shape(shape, roi)
+        assert list(iter_roi_origins(shape, roi)) == list(np.ndindex(grid))
+
+    def test_4d_count(self):
+        shape, roi = (6, 6, 5, 4), ROISpec((5, 5, 5, 3))
+        assert len(list(iter_roi_origins(shape, roi))) == 2 * 2 * 1 * 2

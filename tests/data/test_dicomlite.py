@@ -1,0 +1,140 @@
+"""Unit tests for the minimal DICOM reader/writer."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data.dicomlite import (
+    DicomError,
+    parse_elements,
+    read_dicom_slice,
+    write_dicom_slice,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16])
+    def test_pixels_preserved(self, tmp_path, dtype):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, np.iinfo(dtype).max, size=(7, 9)).astype(dtype)
+        path = str(tmp_path / "s.dcm")
+        write_dicom_slice(path, img, t=3, z=11)
+        back, meta = read_dicom_slice(path)
+        assert np.array_equal(back, img)
+        assert back.dtype == dtype
+        assert meta == {"t": 3, "z": 11}
+
+    def test_odd_sized_image(self, tmp_path):
+        """Odd pixel-byte counts require even-length padding."""
+        img = np.arange(15, dtype=np.uint8).reshape(3, 5)
+        path = str(tmp_path / "odd.dcm")
+        write_dicom_slice(path, img)
+        back, _ = read_dicom_slice(path)
+        assert np.array_equal(back, img)
+
+    def test_part10_structure(self, tmp_path):
+        path = str(tmp_path / "s.dcm")
+        write_dicom_slice(path, np.zeros((2, 2), dtype=np.uint16))
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        assert raw[:128] == b"\x00" * 128
+        assert raw[128:132] == b"DICM"
+
+    def test_required_tags_present(self, tmp_path):
+        path = str(tmp_path / "s.dcm")
+        write_dicom_slice(path, np.zeros((4, 6), dtype=np.uint16))
+        with open(path, "rb") as fh:
+            elements = parse_elements(fh.read())
+        assert elements[(0x0028, 0x0010)] == (b"US", struct.pack("<H", 4))  # Rows
+        assert elements[(0x0028, 0x0011)] == (b"US", struct.pack("<H", 6))  # Cols
+        assert elements[(0x0008, 0x0060)][1].rstrip() == b"MR"
+        assert elements[(0x0028, 0x0004)][1].rstrip() == b"MONOCHROME2"
+        vr, pixels = elements[(0x7FE0, 0x0010)]
+        assert vr == b"OW" and len(pixels) == 4 * 6 * 2
+
+
+class TestValidation:
+    def test_not_dicom_rejected(self, tmp_path):
+        path = tmp_path / "x.dcm"
+        path.write_bytes(b"nonsense")
+        with pytest.raises(DicomError):
+            read_dicom_slice(str(path))
+
+    def test_wrong_dtype_rejected(self, tmp_path):
+        with pytest.raises(DicomError):
+            write_dicom_slice(str(tmp_path / "x.dcm"), np.zeros((2, 2), dtype=np.int16))
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(DicomError):
+            write_dicom_slice(str(tmp_path / "x.dcm"), np.zeros((2, 2, 2), dtype=np.uint8))
+
+    def test_truncated_pixeldata_rejected(self, tmp_path):
+        path = str(tmp_path / "s.dcm")
+        write_dicom_slice(path, np.zeros((4, 4), dtype=np.uint16))
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(raw[:-10])
+        with pytest.raises(DicomError):
+            read_dicom_slice(path)
+
+    def test_corrupt_vr_rejected(self, tmp_path):
+        blob = b"\x00" * 128 + b"DICM" + b"\x08\x00\x60\x00\x00\x00\x02\x00MR"
+        path = tmp_path / "bad.dcm"
+        path.write_bytes(blob)
+        with pytest.raises(DicomError):
+            parse_elements(path.read_bytes())
+
+
+class TestDatasetIntegration:
+    def test_dicom_dataset_round_trip(self, tmp_path):
+        from repro.data.synthetic import PhantomConfig, generate_phantom
+        from repro.storage.dataset import DiskDataset4D, write_dataset
+
+        vol = generate_phantom(PhantomConfig(shape=(10, 8, 4, 3), seed=0))
+        root = str(tmp_path / "dcm_ds")
+        ds = write_dataset(vol, root, num_nodes=2, file_format="dicom")
+        assert ds.file_format == "dicom"
+        reopened = DiskDataset4D.open(root)
+        assert reopened.read_all() == vol
+        region = reopened.read_slice_region(1, 2, 2, 8, 1, 7)
+        assert np.array_equal(region, vol.get_slice(1, 2)[2:8, 1:7])
+
+    def test_dicom_pipeline_end_to_end(self, tmp_path):
+        """The RFR filter reads DICOM datasets transparently (paper 4.3)."""
+        import numpy as np
+
+        from repro.core.analysis import HaralickConfig, haralick_transform
+        from repro.core.quantization import quantize_linear
+        from repro.data.synthetic import PhantomConfig, generate_phantom
+        from repro.filters.messages import TextureParams
+        from repro.pipeline.config import AnalysisConfig
+        from repro.pipeline.run import run_pipeline
+        from repro.storage.dataset import write_dataset
+
+        vol = generate_phantom(PhantomConfig(shape=(12, 10, 6, 4), seed=1))
+        root = str(tmp_path / "ds")
+        write_dataset(vol, root, num_nodes=2, file_format="dicom")
+        params = TextureParams(
+            roi_shape=(3, 3, 3, 2), levels=8, features=("asm",),
+            intensity_range=(0.0, 65535.0),
+        )
+        cfg = AnalysisConfig(
+            texture=params, variant="hmp", texture_chunk_shape=(8, 8, 6, 4)
+        )
+        result = run_pipeline(root, cfg)
+        q = quantize_linear(vol.data, 8, lo=0.0, hi=65535.0)
+        want = haralick_transform(
+            q, HaralickConfig(roi_shape=(3, 3, 3, 2), levels=8, features=("asm",)),
+            quantized=True,
+        )
+        np.testing.assert_allclose(result.volumes["asm"], want["asm"])
+
+    def test_invalid_format_rejected(self, tmp_path):
+        from repro.data.synthetic import PhantomConfig, generate_phantom
+        from repro.storage.dataset import write_dataset
+
+        vol = generate_phantom(PhantomConfig(shape=(8, 8, 4, 3), seed=0))
+        with pytest.raises(ValueError):
+            write_dataset(vol, str(tmp_path / "x"), num_nodes=1, file_format="hdf5")

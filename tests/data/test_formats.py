@@ -1,0 +1,71 @@
+"""Unit tests for raw slice and PGM formats."""
+
+import numpy as np
+import pytest
+
+from repro.data.formats import read_pgm, read_raw_slice, write_pgm, write_raw_slice
+
+
+class TestRawSlice:
+    @pytest.mark.parametrize("bpp,dtype", [(1, np.uint8), (2, np.uint16), (4, np.uint32)])
+    def test_round_trip(self, tmp_path, bpp, dtype):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 2 ** (8 * bpp) - 1, size=(6, 9)).astype(dtype)
+        path = str(tmp_path / "s.raw")
+        nbytes = write_raw_slice(path, img, bpp)
+        assert nbytes == 6 * 9 * bpp
+        back = read_raw_slice(path, (6, 9), bpp)
+        assert np.array_equal(back, img)
+        assert back.dtype == dtype
+
+    def test_wrong_shape_on_read(self, tmp_path):
+        path = str(tmp_path / "s.raw")
+        write_raw_slice(path, np.zeros((4, 4), dtype=np.uint16))
+        with pytest.raises(ValueError):
+            read_raw_slice(path, (4, 5))
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_raw_slice(str(tmp_path / "x.raw"), np.zeros((2, 2, 2)))
+
+    def test_bad_bpp(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_raw_slice(str(tmp_path / "x.raw"), np.zeros((2, 2)), 3)
+
+
+class TestPGM:
+    def test_float_round_trip(self, tmp_path):
+        img = np.linspace(0, 1, 24).reshape(4, 6)
+        path = str(tmp_path / "f.pgm")
+        write_pgm(path, img)
+        back = read_pgm(path)
+        assert back.shape == (4, 6)
+        assert np.array_equal(back, np.round(img * 255).astype(np.uint8))
+
+    def test_integer_input(self, tmp_path):
+        img = np.arange(12, dtype=np.uint8).reshape(3, 4) * 20
+        path = str(tmp_path / "i.pgm")
+        write_pgm(path, img)
+        assert np.array_equal(read_pgm(path), img)
+
+    def test_unnormalized_float_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(str(tmp_path / "x.pgm"), np.array([[0.0, 2.0]]))
+
+    def test_out_of_range_int_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(str(tmp_path / "x.pgm"), np.array([[0, 300]]))
+
+    def test_header_is_valid_p5(self, tmp_path):
+        path = str(tmp_path / "h.pgm")
+        write_pgm(path, np.zeros((2, 3)))
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        assert raw.startswith(b"P5\n3 2\n255\n")
+        assert len(raw) == len(b"P5\n3 2\n255\n") + 6
+
+    def test_not_pgm_rejected(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6 nonsense")
+        with pytest.raises(ValueError):
+            read_pgm(str(path))

@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic DCE-MRI phantom."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    Lesion,
+    PhantomConfig,
+    generate_phantom,
+    paper_dataset_config,
+)
+
+
+class TestLesion:
+    def test_uptake_then_washout(self):
+        lesion = Lesion(center=(0, 0, 0), radius=3, uptake_rate=0.8, washout_rate=0.1)
+        t = np.arange(40, dtype=float)
+        curve = lesion.enhancement(t)
+        assert curve[0] == pytest.approx(0.0)
+        peak = int(np.argmax(curve))
+        assert 0 < peak < 39  # enhancement rises then falls
+        assert curve[-1] < curve[peak]
+
+    def test_amplitude_bounds(self):
+        lesion = Lesion(center=(0, 0, 0), radius=3, amplitude=0.5)
+        curve = lesion.enhancement(np.arange(100, dtype=float))
+        assert np.all(curve >= 0)
+        assert np.all(curve <= 0.5)
+
+
+class TestGeneratePhantom:
+    def test_default_geometry_and_dtype(self):
+        vol = generate_phantom()
+        assert vol.shape == (64, 64, 16, 8)
+        assert vol.data.dtype == np.uint16
+        assert vol.data.max() <= 4095
+
+    def test_deterministic(self):
+        cfg = PhantomConfig(shape=(16, 16, 4, 4), seed=7)
+        assert generate_phantom(cfg) == generate_phantom(cfg)
+
+    def test_seed_changes_data(self):
+        a = generate_phantom(PhantomConfig(shape=(16, 16, 4, 4), seed=1))
+        b = generate_phantom(PhantomConfig(shape=(16, 16, 4, 4), seed=2))
+        assert a != b
+
+    def test_lesion_enhances_over_time(self):
+        lesion = Lesion(center=(8, 8, 2), radius=4, amplitude=0.8, uptake_rate=1.0)
+        cfg = PhantomConfig(
+            shape=(16, 16, 4, 8), lesions=(lesion,), noise_sigma=0.0, seed=0
+        )
+        vol = generate_phantom(cfg).data.astype(float)
+        inside_t0 = vol[8, 8, 2, 0]
+        inside_t4 = vol[8, 8, 2, 4]
+        assert inside_t4 > inside_t0 * 1.2  # strong uptake at the center
+        # Far corner barely changes beyond global tissue enhancement.
+        corner_delta = vol[0, 0, 0, 4] - vol[0, 0, 0, 0]
+        lesion_delta = inside_t4 - inside_t0
+        assert lesion_delta > 3 * corner_delta
+
+    def test_noise_free_is_smooth(self):
+        cfg = PhantomConfig(shape=(32, 32, 4, 2), noise_sigma=0.0, seed=3)
+        vol = generate_phantom(cfg).data.astype(float)
+        grad = np.abs(np.diff(vol[:, :, 0, 0], axis=0))
+        # Smooth background: mean step well below 3% of the 0..4095 range
+        # (white noise would give ~38% for a uniform field).
+        assert grad.mean() < 120
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PhantomConfig(shape=(4, 4, 4))
+        with pytest.raises(ValueError):
+            PhantomConfig(noise_sigma=-1)
+
+
+class TestPaperDatasetConfig:
+    def test_full_scale_matches_paper(self):
+        cfg = paper_dataset_config(scale=1.0)
+        assert cfg.shape == (256, 256, 32, 32)
+
+    def test_scaled_down(self):
+        cfg = paper_dataset_config(scale=0.25)
+        assert cfg.shape == (64, 64, 8, 8)
+        assert len(cfg.lesions) == 3
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            paper_dataset_config(scale=0)
+
+    def test_lesions_inside_volume(self):
+        cfg = paper_dataset_config(scale=0.25, seed=5)
+        nx, ny, nz, _ = cfg.shape
+        for lesion in cfg.lesions:
+            cx, cy, cz = lesion.center
+            assert 0 <= cx < nx and 0 <= cy < ny and 0 <= cz < nz

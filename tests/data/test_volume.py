@@ -1,0 +1,51 @@
+"""Unit tests for the Volume4D container."""
+
+import numpy as np
+import pytest
+
+from repro.data.volume import Volume4D
+
+
+class TestVolume4D:
+    def test_shape_properties(self):
+        v = Volume4D.empty((8, 6, 4, 3))
+        assert v.shape == (8, 6, 4, 3)
+        assert v.slice_shape == (8, 6)
+        assert v.num_slices == 4
+        assert v.num_timesteps == 3
+        assert v.nbytes == 8 * 6 * 4 * 3 * 2  # uint16 default
+
+    def test_requires_4d(self):
+        with pytest.raises(ValueError):
+            Volume4D(np.zeros((4, 4, 4)))
+
+    def test_slice_round_trip(self):
+        v = Volume4D.empty((4, 5, 3, 2))
+        img = np.arange(20, dtype=np.uint16).reshape(4, 5)
+        v.set_slice(1, 2, img)
+        assert np.array_equal(v.get_slice(1, 2), img)
+        assert v.get_slice(0, 0).sum() == 0
+
+    def test_slice_bounds(self):
+        v = Volume4D.empty((4, 4, 2, 2))
+        with pytest.raises(IndexError):
+            v.get_slice(2, 0)
+        with pytest.raises(IndexError):
+            v.get_slice(0, 2)
+
+    def test_set_slice_shape_check(self):
+        v = Volume4D.empty((4, 4, 2, 2))
+        with pytest.raises(ValueError):
+            v.set_slice(0, 0, np.zeros((3, 4)))
+
+    def test_iter_slices_order_and_count(self):
+        v = Volume4D.empty((2, 2, 3, 2))
+        keys = [(t, z) for t, z, _ in v.iter_slices()]
+        assert keys == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_equality(self):
+        a = Volume4D(np.ones((2, 2, 2, 2), dtype=np.uint16))
+        b = Volume4D(np.ones((2, 2, 2, 2), dtype=np.uint16))
+        c = Volume4D(np.zeros((2, 2, 2, 2), dtype=np.uint16))
+        assert a == b
+        assert a != c

@@ -1,0 +1,69 @@
+"""Unit tests for data buffers and the timing report helpers."""
+
+import pytest
+
+from repro.datacutter.buffers import DataBuffer, EndOfStream
+from repro.datacutter.runtime_local import RunResult
+from repro.pipeline.report import filter_breakdown, format_breakdown
+
+
+class TestDataBuffer:
+    def test_unique_ids(self):
+        a, b = DataBuffer(payload=1), DataBuffer(payload=2)
+        assert a.buffer_id != b.buffer_id
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataBuffer(payload=None, size_bytes=-1)
+
+    def test_repr_compact(self):
+        buf = DataBuffer(payload=list(range(10000)), size_bytes=4, metadata={"k": 1})
+        text = repr(buf)
+        assert "size=4B" in text and len(text) < 200
+
+    def test_metadata_defaults_to_fresh_dict(self):
+        a, b = DataBuffer(payload=1), DataBuffer(payload=2)
+        a.metadata["x"] = 1
+        assert b.metadata == {}
+
+    def test_eos_identity(self):
+        m = EndOfStream(producer="P", copy_index=3)
+        assert m.producer == "P" and m.copy_index == 3
+        assert m == EndOfStream(producer="P", copy_index=3)
+
+
+def fake_result():
+    return RunResult(
+        results={"out": [1, 2]},
+        elapsed=2.5,
+        busy_time={
+            ("RFR", 0): 0.1,
+            ("RFR", 1): 0.3,
+            ("HMP", 0): 1.0,
+            ("HMP", 1): 2.0,
+        },
+        buffers_sent={"RFR:out": 10},
+    )
+
+
+class TestReport:
+    def test_breakdown_statistics(self):
+        stats = filter_breakdown(fake_result())
+        assert stats["RFR"]["copies"] == 2
+        assert stats["RFR"]["total"] == pytest.approx(0.4)
+        assert stats["HMP"]["mean"] == pytest.approx(1.5)
+        assert stats["HMP"]["max"] == pytest.approx(2.0)
+
+    def test_format_respects_order(self):
+        text = format_breakdown(fake_result(), order=("HMP", "RFR"))
+        lines = text.splitlines()
+        assert lines[1].startswith("HMP")
+        assert lines[2].startswith("RFR")
+        assert "elapsed" in lines[-1]
+
+    def test_filter_busy_time_helper(self):
+        r = fake_result()
+        assert r.filter_busy_time("HMP") == pytest.approx(3.0)
+        assert r.filter_busy_time("missing") == 0.0
+        assert r.deposits("out") == [1, 2]
+        assert r.deposits("nope") == []

@@ -1,0 +1,189 @@
+"""Unit tests for filter graphs, placement and XML specs."""
+
+import pytest
+
+from repro.datacutter.filter import Filter
+from repro.datacutter.graph import FilterGraph
+from repro.datacutter.placement import Placement
+from repro.datacutter.xmlspec import graph_from_xml, graph_to_xml
+
+
+class Dummy(Filter):
+    def generate(self, ctx):
+        pass
+
+    def process(self, stream, buffer, ctx):
+        pass
+
+
+def linear_graph():
+    g = FilterGraph()
+    g.add_filter("A", Dummy, copies=2)
+    g.add_filter("B", Dummy, copies=3)
+    g.add_filter("C", Dummy)
+    g.connect("A", "ab", "B", policy="round_robin")
+    g.connect("B", "bc", "C")
+    return g
+
+
+class TestFilterGraph:
+    def test_sources_and_sinks(self):
+        g = linear_graph()
+        assert g.sources() == ["A"]
+        assert g.sinks() == ["C"]
+
+    def test_edges_queries(self):
+        g = linear_graph()
+        assert [e.dst for e in g.out_edges("A")] == ["B"]
+        assert [e.src for e in g.in_edges("C")] == ["B"]
+        assert g.copies("B") == 3
+
+    def test_duplicate_filter_rejected(self):
+        g = FilterGraph()
+        g.add_filter("A", Dummy)
+        with pytest.raises(ValueError):
+            g.add_filter("A", Dummy)
+
+    def test_unknown_endpoint_rejected(self):
+        g = FilterGraph()
+        g.add_filter("A", Dummy)
+        with pytest.raises(ValueError):
+            g.connect("A", "s", "B")
+
+    def test_duplicate_stream_rejected(self):
+        g = FilterGraph()
+        g.add_filter("A", Dummy)
+        g.add_filter("B", Dummy)
+        g.connect("A", "s", "B")
+        with pytest.raises(ValueError):
+            g.connect("A", "s", "B")
+
+    def test_invalid_policy_rejected(self):
+        g = FilterGraph()
+        g.add_filter("A", Dummy)
+        g.add_filter("B", Dummy)
+        with pytest.raises(ValueError):
+            g.connect("A", "s", "B", policy="bogus")
+
+    def test_cycle_detected(self):
+        g = FilterGraph()
+        g.add_filter("A", Dummy)
+        g.add_filter("B", Dummy)
+        g.connect("A", "ab", "B")
+        g.connect("B", "ba", "A")
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(ValueError):
+            FilterGraph().validate()
+
+    def test_invalid_copies(self):
+        g = FilterGraph()
+        with pytest.raises(ValueError):
+            g.add_filter("A", Dummy, copies=0)
+
+    def test_valid_graph_passes(self):
+        linear_graph().validate()
+
+
+class TestPlacement:
+    def test_place_and_lookup(self):
+        p = Placement()
+        p.place("A", 0, "n0")
+        p.place_copies("B", ["n0", "n1"])
+        assert p.node_of("A", 0) == "n0"
+        assert p.node_of("B", 1) == "n1"
+        assert p.copies_on("n0") == [("A", 0), ("B", 0)]
+        assert p.nodes() == ["n0", "n1"]
+
+    def test_colocated(self):
+        p = Placement()
+        p.place("A", 0, "n0")
+        p.place("B", 0, "n0")
+        p.place("B", 1, "n1")
+        assert p.colocated(("A", 0), ("B", 0))
+        assert not p.colocated(("A", 0), ("B", 1))
+
+    def test_round_robin_placement(self):
+        p = Placement()
+        p.place_round_robin("A", 5, ["n0", "n1"])
+        assert [p.node_of("A", i) for i in range(5)] == ["n0", "n1", "n0", "n1", "n0"]
+
+    def test_duplicate_placement_rejected(self):
+        p = Placement()
+        p.place("A", 0, "n0")
+        with pytest.raises(ValueError):
+            p.place("A", 0, "n1")
+
+    def test_missing_lookup(self):
+        with pytest.raises(KeyError):
+            Placement().node_of("A", 0)
+
+    def test_validate_for_graph(self):
+        g = linear_graph()
+        p = Placement()
+        p.place_copies("A", ["n0", "n1"])
+        p.place_copies("B", ["n0", "n1", "n2"])
+        with pytest.raises(ValueError):
+            p.validate_for(g)  # C unplaced
+        p.place("C", 0, "n0")
+        p.validate_for(g)
+
+    def test_validate_rejects_extra(self):
+        g = FilterGraph()
+        g.add_filter("A", Dummy)
+        p = Placement()
+        p.place("A", 0, "n0")
+        p.place("Z", 0, "n0")
+        with pytest.raises(ValueError):
+            p.validate_for(g)
+
+
+XML_DOC = """
+<filtergraph>
+  <filter name="RFR" type="reader" copies="4"/>
+  <filter name="IIC" type="stitch"/>
+  <filter name="HMP" type="texture" copies="8"/>
+  <stream name="rfr2iic" src="RFR" dst="IIC" policy="explicit"/>
+  <stream name="iic2tex" src="IIC" dst="HMP" policy="demand_driven"/>
+</filtergraph>
+"""
+
+REGISTRY = {"reader": Dummy, "stitch": Dummy, "texture": Dummy}
+
+
+class TestXMLSpec:
+    def test_parse(self):
+        g = graph_from_xml(XML_DOC, REGISTRY)
+        assert set(g.filters) == {"RFR", "IIC", "HMP"}
+        assert g.copies("RFR") == 4
+        assert g.copies("IIC") == 1
+        edge = g.in_edges("IIC")[0]
+        assert edge.policy == "explicit"
+
+    def test_round_trip(self):
+        g = graph_from_xml(XML_DOC, REGISTRY)
+        doc2 = graph_to_xml(g)
+        g2 = graph_from_xml(doc2, REGISTRY)
+        assert set(g2.filters) == set(g.filters)
+        assert len(g2.edges) == len(g.edges)
+        assert g2.copies("HMP") == 8
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_xml(XML_DOC, {"reader": Dummy})
+
+    def test_bad_xml_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_xml("<not closed", REGISTRY)
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_xml("<other/>", REGISTRY)
+
+    def test_missing_attrs_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_xml(
+                "<filtergraph><filter name='X'/></filtergraph>", REGISTRY
+            )

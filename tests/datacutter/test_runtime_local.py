@@ -1,0 +1,234 @@
+"""Integration tests for the threaded local runtime."""
+
+import threading
+
+import pytest
+
+from repro.datacutter.buffers import DataBuffer
+from repro.datacutter.filter import Filter
+from repro.datacutter.graph import FilterGraph
+from repro.datacutter.runtime_local import LocalRuntime
+
+
+class Producer(Filter):
+    def __init__(self, count=10, value=1):
+        self.count = count
+        self.value = value
+
+    def generate(self, ctx):
+        for i in range(self.count):
+            ctx.send("out", self.value * i, size_bytes=8)
+
+
+class Doubler(Filter):
+    def process(self, stream, buffer, ctx):
+        ctx.send("out", buffer.payload * 2, size_bytes=8)
+
+
+class Collector(Filter):
+    def __init__(self):
+        self.items = []
+
+    def process(self, stream, buffer, ctx):
+        self.items.append(buffer.payload)
+
+    def finalize(self, ctx):
+        ctx.deposit("collected", sorted(self.items))
+
+
+def pipeline(producer_copies=1, doubler_copies=1, policy="demand_driven"):
+    g = FilterGraph()
+    g.add_filter("P", lambda: Producer(count=20), copies=producer_copies)
+    g.add_filter("D", Doubler, copies=doubler_copies)
+    g.add_filter("C", Collector)
+    g.connect("P", "out", "D", policy=policy)
+    g.connect("D", "out", "C")
+    return g
+
+
+class TestBasicExecution:
+    def test_linear_pipeline(self):
+        result = LocalRuntime(pipeline()).run()
+        (items,) = result.deposits("collected")
+        assert items == sorted(2 * i for i in range(20))
+
+    def test_replicated_middle_stage(self):
+        result = LocalRuntime(pipeline(doubler_copies=4)).run()
+        (items,) = result.deposits("collected")
+        assert items == sorted(2 * i for i in range(20))
+
+    def test_replicated_producers(self):
+        result = LocalRuntime(pipeline(producer_copies=3, doubler_copies=2)).run()
+        (items,) = result.deposits("collected")
+        assert len(items) == 60
+        assert items == sorted(3 * [2 * i for i in range(20)])
+
+    @pytest.mark.parametrize("policy", ["round_robin", "demand_driven"])
+    def test_policies_preserve_data(self, policy):
+        result = LocalRuntime(pipeline(doubler_copies=3, policy=policy)).run()
+        (items,) = result.deposits("collected")
+        assert len(items) == 20
+
+    def test_buffers_sent_accounting(self):
+        result = LocalRuntime(pipeline(doubler_copies=2)).run()
+        assert result.buffers_sent["P:out"] == 20
+        assert result.buffers_sent["D:out"] == 20
+
+    def test_busy_time_recorded(self):
+        result = LocalRuntime(pipeline()).run()
+        assert ("P", 0) in result.busy_time
+        assert result.filter_busy_time("D") >= 0.0
+        assert result.elapsed > 0
+
+
+class TestExplicitRouting:
+    def test_explicit_dest_copy(self):
+        class KeyedProducer(Filter):
+            def generate(self, ctx):
+                for i in range(12):
+                    ctx.send("out", i, dest_copy=i % 3)
+
+        class CopyCollector(Filter):
+            def __init__(self):
+                self.items = []
+
+            def process(self, stream, buffer, ctx):
+                self.items.append(buffer.payload)
+
+            def finalize(self, ctx):
+                ctx.deposit(f"copy{ctx.copy_index}", sorted(self.items))
+
+        g = FilterGraph()
+        g.add_filter("P", KeyedProducer)
+        g.add_filter("C", CopyCollector, copies=3)
+        g.connect("P", "out", "C", policy="explicit")
+        result = LocalRuntime(g).run()
+        assert result.deposits("copy0") == [[0, 3, 6, 9]]
+        assert result.deposits("copy1") == [[1, 4, 7, 10]]
+        assert result.deposits("copy2") == [[2, 5, 8, 11]]
+
+    def test_explicit_without_dest_fails(self):
+        g = FilterGraph()
+        g.add_filter("P", lambda: Producer(count=1))
+        g.add_filter("C", Collector)
+        g.connect("P", "out", "C", policy="explicit")
+        with pytest.raises(RuntimeError):
+            LocalRuntime(g).run()
+
+    def test_dest_copy_on_transparent_stream_fails(self):
+        class BadProducer(Filter):
+            def generate(self, ctx):
+                ctx.send("out", 0, dest_copy=0)
+
+        g = FilterGraph()
+        g.add_filter("P", BadProducer)
+        g.add_filter("C", Collector)
+        g.connect("P", "out", "C")
+        with pytest.raises(RuntimeError):
+            LocalRuntime(g).run()
+
+
+class TestErrorsAndEdgeCases:
+    def test_filter_exception_propagates(self):
+        class Exploder(Filter):
+            def process(self, stream, buffer, ctx):
+                raise ValueError("boom")
+
+        g = FilterGraph()
+        g.add_filter("P", lambda: Producer(count=3))
+        g.add_filter("X", Exploder)
+        g.connect("P", "out", "X")
+        with pytest.raises(RuntimeError, match="boom"):
+            LocalRuntime(g).run()
+
+    def test_unknown_output_stream(self):
+        class BadSender(Filter):
+            def generate(self, ctx):
+                ctx.send("nope", 1)
+
+        g = FilterGraph()
+        g.add_filter("P", BadSender)
+        g.add_filter("C", Collector)
+        g.connect("P", "out", "C")
+        with pytest.raises(RuntimeError):
+            LocalRuntime(g).run()
+
+    def test_empty_producer(self):
+        g = pipeline()
+        g.filters["P"].factory = lambda: Producer(count=0)
+        result = LocalRuntime(g).run()
+        assert result.deposits("collected") == [[]]
+
+    def test_fan_in_two_streams(self):
+        class TwoStreamCollector(Filter):
+            def __init__(self):
+                self.seen = []
+
+            def process(self, stream, buffer, ctx):
+                self.seen.append((stream, buffer.payload))
+
+            def finalize(self, ctx):
+                ctx.deposit("seen", sorted(self.seen))
+
+        class NamedProducer(Filter):
+            def __init__(self, stream, value):
+                self.stream = stream
+                self.value = value
+
+            def generate(self, ctx):
+                for i in range(2):
+                    ctx.send(self.stream, self.value * i)
+
+        g = FilterGraph()
+        g.add_filter("P1", lambda: NamedProducer("s1", 1))
+        g.add_filter("P2", lambda: NamedProducer("s2", 10))
+        g.add_filter("C", TwoStreamCollector)
+        g.connect("P1", "s1", "C")
+        g.connect("P2", "s2", "C")
+        result = LocalRuntime(g).run()
+        (seen,) = result.deposits("seen")
+        assert seen == [("s1", 0), ("s1", 1), ("s2", 0), ("s2", 10)]
+
+    def test_duplicate_input_stream_names_rejected(self):
+        g = FilterGraph()
+        g.add_filter("P1", Producer)
+        g.add_filter("P2", Producer)
+        g.add_filter("C", Collector)
+        g.connect("P1", "s", "C")
+        g.connect("P2", "s", "C")
+        with pytest.raises(ValueError):
+            LocalRuntime(g)
+
+    def test_backpressure_small_queue(self):
+        """Bounded queues must not deadlock an acyclic pipeline."""
+        g = pipeline(doubler_copies=2)
+        result = LocalRuntime(g, max_queue=2).run()
+        (items,) = result.deposits("collected")
+        assert len(items) == 20
+
+    def test_pipelining_overlaps_stages(self):
+        """A slow consumer must start before the producer finishes."""
+        order = []
+        lock = threading.Lock()
+
+        class LoggingProducer(Filter):
+            def generate(self, ctx):
+                for i in range(50):
+                    with lock:
+                        order.append(("produce", i))
+                    ctx.send("out", i)
+
+        class LoggingConsumer(Filter):
+            def process(self, stream, buffer, ctx):
+                with lock:
+                    order.append(("consume", buffer.payload))
+
+        g = FilterGraph()
+        g.add_filter("P", LoggingProducer)
+        g.add_filter("C", LoggingConsumer)
+        g.connect("P", "out", "C")
+        LocalRuntime(g, max_queue=4).run()
+        first_consume = order.index(("consume", 0))
+        assert first_consume < len(order) - 1  # consumption interleaved
+        produced_before = sum(1 for e in order[:first_consume] if e[0] == "produce")
+        assert produced_before < 50  # producer had not finished

@@ -1,0 +1,153 @@
+"""Tests for the multiprocessing runtime.
+
+Module-level filter classes are used so children can reconstruct them
+after fork; behaviour must match the threaded runtime on the same graphs.
+"""
+
+import sys
+
+import pytest
+
+from repro.datacutter.filter import Filter
+from repro.datacutter.graph import FilterGraph
+from repro.datacutter.runtime_mp import MPRuntime
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="fork start method required"
+)
+
+
+class Producer(Filter):
+    def __init__(self, count=20, stream="out"):
+        self.count = count
+        self.stream = stream
+
+    def generate(self, ctx):
+        for i in range(self.count):
+            ctx.send(self.stream, i, size_bytes=8)
+
+
+class Doubler(Filter):
+    def process(self, stream, buffer, ctx):
+        ctx.send("out", buffer.payload * 2, size_bytes=8)
+
+
+class Collector(Filter):
+    def __init__(self):
+        self.items = []
+
+    def process(self, stream, buffer, ctx):
+        self.items.append(buffer.payload)
+
+    def finalize(self, ctx):
+        ctx.deposit("collected", sorted(self.items))
+
+
+class Exploder(Filter):
+    def process(self, stream, buffer, ctx):
+        raise ValueError("kaboom")
+
+
+def pipeline(producer_copies=1, doubler_copies=1, policy="demand_driven"):
+    g = FilterGraph()
+    g.add_filter("P", Producer, copies=producer_copies)
+    g.add_filter("D", Doubler, copies=doubler_copies)
+    g.add_filter("C", Collector)
+    g.connect("P", "out", "D", policy=policy)
+    g.connect("D", "out", "C")
+    return g
+
+
+class TestMPExecution:
+    def test_linear_pipeline(self):
+        result = MPRuntime(pipeline()).run(timeout=60)
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+
+    def test_replicated_stage(self):
+        result = MPRuntime(pipeline(doubler_copies=3)).run(timeout=60)
+        (items,) = result.deposits("collected")
+        assert items == sorted(2 * i for i in range(20))
+
+    def test_multiple_producers(self):
+        result = MPRuntime(pipeline(producer_copies=2, doubler_copies=2)).run(timeout=60)
+        (items,) = result.deposits("collected")
+        assert len(items) == 40
+
+    @pytest.mark.parametrize("policy", ["round_robin", "demand_driven"])
+    def test_policies(self, policy):
+        result = MPRuntime(pipeline(doubler_copies=2, policy=policy)).run(timeout=60)
+        (items,) = result.deposits("collected")
+        assert len(items) == 20
+
+    def test_buffer_accounting(self):
+        result = MPRuntime(pipeline()).run(timeout=60)
+        assert result.buffers_sent["P:out"] == 20
+        assert result.buffers_sent["D:out"] == 20
+
+    def test_busy_times_collected(self):
+        result = MPRuntime(pipeline()).run(timeout=60)
+        assert ("P", 0) in result.busy_time
+        assert ("C", 0) in result.busy_time
+
+    def test_error_propagates(self):
+        g = FilterGraph()
+        g.add_filter("P", lambda: Producer(count=3))
+        g.add_filter("X", Exploder)
+        g.connect("P", "out", "X")
+        with pytest.raises(RuntimeError, match="kaboom"):
+            MPRuntime(g).run(timeout=60)
+
+    def test_matches_threaded_runtime(self):
+        from repro.datacutter.runtime_local import LocalRuntime
+
+        g1 = pipeline(doubler_copies=2)
+        g2 = pipeline(doubler_copies=2)
+        a = LocalRuntime(g1).run().deposits("collected")
+        b = MPRuntime(g2).run(timeout=60).deposits("collected")
+        assert a == b
+
+
+class TestMPPipelineEndToEnd:
+    def test_full_haralick_pipeline(self, tmp_path):
+        import numpy as np
+
+        from repro.core.analysis import HaralickConfig, haralick_transform
+        from repro.core.quantization import quantize_linear
+        from repro.data.synthetic import PhantomConfig, generate_phantom
+        from repro.filters.messages import TextureParams
+        from repro.pipeline.config import AnalysisConfig
+        from repro.pipeline.run import run_pipeline
+        from repro.storage.dataset import write_dataset
+
+        vol = generate_phantom(PhantomConfig(shape=(14, 12, 6, 4), seed=6))
+        root = str(tmp_path / "ds")
+        write_dataset(vol, root, num_nodes=2)
+        params = TextureParams(
+            roi_shape=(3, 3, 3, 2), levels=8, features=("asm", "contrast"),
+            intensity_range=(0.0, 65535.0),
+        )
+        cfg = AnalysisConfig(
+            texture=params, variant="hmp",
+            texture_chunk_shape=(8, 8, 6, 4), num_texture_copies=2,
+        )
+        result = run_pipeline(root, cfg, runtime="processes")
+        q = quantize_linear(vol.data, 8, lo=0.0, hi=65535.0)
+        want = haralick_transform(
+            q,
+            HaralickConfig(roi_shape=(3, 3, 3, 2), levels=8,
+                           features=("asm", "contrast")),
+            quantized=True,
+        )
+        np.testing.assert_allclose(result.volumes["asm"], want["asm"], atol=1e-12)
+        np.testing.assert_allclose(result.volumes["contrast"], want["contrast"], atol=1e-10)
+
+    def test_unknown_runtime_rejected(self, tmp_path):
+        from repro.data.synthetic import PhantomConfig, generate_phantom
+        from repro.pipeline.run import run_pipeline
+        from repro.storage.dataset import write_dataset
+
+        vol = generate_phantom(PhantomConfig(shape=(8, 8, 4, 3), seed=0))
+        root = str(tmp_path / "ds")
+        write_dataset(vol, root, num_nodes=1)
+        with pytest.raises(ValueError):
+            run_pipeline(root, runtime="carrier_pigeon")

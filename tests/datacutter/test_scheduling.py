@@ -1,0 +1,115 @@
+"""Unit tests for buffer scheduling policies."""
+
+import pytest
+
+from repro.datacutter.buffers import DataBuffer
+from repro.datacutter.scheduling import (
+    CopyState,
+    DemandDrivenPolicy,
+    ExplicitPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+
+def states(n):
+    return [CopyState(i) for i in range(n)]
+
+
+def buf(size=100):
+    return DataBuffer(payload=None, size_bytes=size)
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        policy = RoundRobinPolicy()
+        cs = states(3)
+        picks = [policy.choose(cs, buf()) for _ in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_equal_assignment(self):
+        """Paper 4.1: each copy receives roughly the same amount of data."""
+        policy = RoundRobinPolicy()
+        cs = states(4)
+        for _ in range(100):
+            idx = policy.choose(cs, buf())
+            cs[idx].on_assign(buf())
+        assert all(c.assigned == 25 for c in cs)
+
+    def test_empty_copies(self):
+        with pytest.raises(ValueError):
+            RoundRobinPolicy().choose([], buf())
+
+
+class TestDemandDriven:
+    def test_prefers_short_queue(self):
+        policy = DemandDrivenPolicy()
+        cs = states(3)
+        cs[0].queued = 5
+        cs[1].queued = 1
+        cs[2].queued = 3
+        assert policy.choose(cs, buf()) == 1
+
+    def test_fast_consumer_attracts_more(self):
+        """A much faster copy attracts most buffers once the slow one backs up.
+
+        One buffer arrives per step; copy 0 can drain 2/step, copy 1 only
+        1 every 4 steps, so copy 1's queue stays non-empty and the
+        demand-driven scheduler steers ~3/4 of traffic to copy 0.
+        """
+        policy = DemandDrivenPolicy()
+        cs = states(2)
+        for step in range(400):
+            idx = policy.choose(cs, buf())
+            cs[idx].on_assign(buf())
+            for _ in range(2):
+                if cs[0].queued:
+                    cs[0].on_consume()
+            if step % 4 == 0 and cs[1].queued:
+                cs[1].on_consume()
+        assert cs[0].assigned > 2 * cs[1].assigned
+
+    def test_deterministic_tie_break(self):
+        policy = DemandDrivenPolicy()
+        cs = states(3)
+        assert policy.choose(cs, buf()) == 0
+        cs[0].on_assign(buf())
+        assert policy.choose(cs, buf()) == 1  # fewest assigned among ties
+
+
+class TestExplicit:
+    def test_requires_dest(self):
+        policy = ExplicitPolicy()
+        assert policy.requires_explicit_dest()
+        with pytest.raises(RuntimeError):
+            policy.choose(states(2), buf())
+
+
+class TestCopyState:
+    def test_consume_accounting(self):
+        c = CopyState(0)
+        c.on_assign(buf(10))
+        c.on_assign(buf(20))
+        assert c.queued == 2 and c.assigned == 2 and c.assigned_bytes == 30
+        c.on_consume()
+        assert c.queued == 1
+        c.on_consume()
+        with pytest.raises(RuntimeError):
+            c.on_consume()
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name", ["round_robin", "demand_driven", "explicit"])
+    def test_known(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("random")
+
+    def test_fresh_state(self):
+        a = make_policy("round_robin")
+        b = make_policy("round_robin")
+        cs = states(2)
+        a.choose(cs, buf())
+        assert b.choose(cs, buf()) == 0  # b has independent cycle state

@@ -1,0 +1,131 @@
+"""Failure injection: corrupted or missing data must fail loudly.
+
+An out-of-core pipeline that silently zero-fills a corrupt slice would
+poison diagnoses; every injected fault here must surface as a clear
+exception from the corresponding layer or from the running pipeline.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import PhantomConfig, generate_phantom
+from repro.filters.messages import TextureParams
+from repro.pipeline.config import AnalysisConfig
+from repro.pipeline.run import run_pipeline
+from repro.storage.dataset import DiskDataset4D, node_dir_name, write_dataset
+
+
+@pytest.fixture
+def dataset_root(tmp_path):
+    vol = generate_phantom(PhantomConfig(shape=(12, 10, 6, 4), seed=0))
+    root = str(tmp_path / "ds")
+    write_dataset(vol, root, num_nodes=2)
+    return root
+
+
+def config():
+    return AnalysisConfig(
+        texture=TextureParams(
+            roi_shape=(3, 3, 3, 2), levels=8, features=("asm",),
+            intensity_range=(0.0, 65535.0),
+        ),
+        texture_chunk_shape=(8, 8, 6, 4),
+    )
+
+
+def _slice_file(root, node=0, index=0):
+    d = os.path.join(root, node_dir_name(node))
+    raws = sorted(f for f in os.listdir(d) if f.endswith(".raw"))
+    return os.path.join(d, raws[index])
+
+
+class TestStorageFaults:
+    def test_truncated_slice_detected(self, dataset_root):
+        path = _slice_file(dataset_root)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[:-8])
+        ds = DiskDataset4D.open(dataset_root)
+        with pytest.raises(ValueError, match="size"):
+            ds.read_all()
+
+    def test_oversized_slice_detected(self, dataset_root):
+        path = _slice_file(dataset_root)
+        with open(path, "ab") as fh:
+            fh.write(b"\x00" * 16)
+        ds = DiskDataset4D.open(dataset_root)
+        with pytest.raises(ValueError):
+            ds.read_all()
+
+    def test_missing_slice_file(self, dataset_root):
+        os.remove(_slice_file(dataset_root))
+        ds = DiskDataset4D.open(dataset_root)
+        with pytest.raises(FileNotFoundError):
+            ds.read_all()
+
+    def test_corrupt_index_json(self, dataset_root):
+        idx = os.path.join(dataset_root, node_dir_name(0), "index.json")
+        with open(idx, "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(Exception):
+            DiskDataset4D.open(dataset_root)
+
+    def test_index_pointing_at_missing_file(self, dataset_root):
+        import json
+
+        idx_path = os.path.join(dataset_root, node_dir_name(0), "index.json")
+        with open(idx_path) as fh:
+            doc = json.load(fh)
+        doc["entries"][0][2] = "nonexistent.raw"
+        with open(idx_path, "w") as fh:
+            json.dump(doc, fh)
+        ds = DiskDataset4D.open(dataset_root)
+        t, z, _ = doc["entries"][0]
+        with pytest.raises(FileNotFoundError):
+            ds.read_slice(t, z)
+
+
+class TestPipelineFaultPropagation:
+    def test_truncated_slice_fails_pipeline(self, dataset_root):
+        path = _slice_file(dataset_root, node=1, index=2)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        with pytest.raises(RuntimeError):
+            run_pipeline(dataset_root, config())
+
+    def test_missing_slice_fails_pipeline(self, dataset_root):
+        os.remove(_slice_file(dataset_root, node=0, index=1))
+        with pytest.raises(RuntimeError):
+            run_pipeline(dataset_root, config())
+
+    def test_dicom_position_tag_mismatch_detected(self, tmp_path):
+        """Swapped DICOM files (wrong t/z tags) are caught on read."""
+        vol = generate_phantom(PhantomConfig(shape=(8, 8, 4, 3), seed=1))
+        root = str(tmp_path / "dcm")
+        write_dataset(vol, root, num_nodes=1, file_format="dicom")
+        d = os.path.join(root, node_dir_name(0))
+        files = sorted(f for f in os.listdir(d) if f.endswith(".dcm"))
+        a, b = os.path.join(d, files[0]), os.path.join(d, files[1])
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            data_a, data_b = fa.read(), fb.read()
+        with open(a, "wb") as fh:
+            fh.write(data_b)
+        with open(b, "wb") as fh:
+            fh.write(data_a)
+        ds = DiskDataset4D.open(root)
+        with pytest.raises(ValueError, match="position tags"):
+            ds.read_all()
+
+    def test_quantization_range_violation_fails(self, dataset_root):
+        """A texture params intensity window that produces out-of-range
+        levels can never happen (quantize clips); but already-quantized
+        data claimed out of range must fail in the kernels."""
+        from repro.core.cooccurrence import cooccurrence_matrix
+
+        with pytest.raises(ValueError):
+            cooccurrence_matrix(np.full((3, 3), 99), 8)

@@ -1,0 +1,204 @@
+"""End-to-end integration tests: parallel pipeline == sequential transform.
+
+Every pipeline variant must produce feature volumes numerically identical
+to the sequential reference (``haralick_transform``) on the same data.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import HaralickConfig, haralick_transform
+from repro.data.synthetic import PhantomConfig, generate_phantom
+from repro.filters.messages import TextureParams
+from repro.pipeline.config import AnalysisConfig
+from repro.pipeline.run import run_pipeline
+from repro.storage.dataset import write_dataset
+
+ROI = (3, 3, 3, 2)
+LEVELS = 8
+FEATURES = ("asm", "correlation", "sum_of_squares", "idm")
+SHAPE = (16, 14, 6, 4)
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return generate_phantom(PhantomConfig(shape=SHAPE, seed=11))
+
+
+@pytest.fixture(scope="module")
+def dataset_root(tmp_path_factory, volume):
+    root = str(tmp_path_factory.mktemp("ds") / "data")
+    write_dataset(volume, root, num_nodes=3)
+    return root
+
+
+@pytest.fixture(scope="module")
+def expected(volume):
+    cfg = HaralickConfig(roi_shape=ROI, levels=LEVELS, features=FEATURES)
+    from repro.core.quantization import quantize_linear
+
+    q = quantize_linear(volume.data, LEVELS, lo=0.0, hi=65535.0)
+    return haralick_transform(q, cfg, quantized=True)
+
+
+def texture_params(sparse=False):
+    return TextureParams(
+        roi_shape=ROI,
+        levels=LEVELS,
+        features=FEATURES,
+        intensity_range=(0.0, 65535.0),
+        sparse=sparse,
+    )
+
+
+def assert_matches(volumes, expected):
+    assert set(volumes) == set(FEATURES)
+    for name in FEATURES:
+        np.testing.assert_allclose(
+            volumes[name], expected[name], atol=1e-10, err_msg=name
+        )
+
+
+class TestHMPVariant:
+    def test_single_copy(self, dataset_root, expected):
+        cfg = AnalysisConfig(
+            texture=texture_params(),
+            variant="hmp",
+            texture_chunk_shape=(8, 8, 6, 4),
+        )
+        result = run_pipeline(dataset_root, cfg)
+        assert_matches(result.volumes, expected)
+
+    def test_many_copies(self, dataset_root, expected):
+        cfg = AnalysisConfig(
+            texture=texture_params(),
+            variant="hmp",
+            texture_chunk_shape=(8, 8, 6, 4),
+            num_texture_copies=4,
+            num_iic_copies=2,
+        )
+        result = run_pipeline(dataset_root, cfg)
+        assert_matches(result.volumes, expected)
+
+    def test_sparse_representation(self, dataset_root, expected):
+        cfg = AnalysisConfig(
+            texture=texture_params(sparse=True),
+            variant="hmp",
+            texture_chunk_shape=(10, 10, 6, 4),
+            num_texture_copies=2,
+        )
+        result = run_pipeline(dataset_root, cfg)
+        assert_matches(result.volumes, expected)
+
+    def test_round_robin_scheduling(self, dataset_root, expected):
+        cfg = AnalysisConfig(
+            texture=texture_params(),
+            variant="hmp",
+            texture_chunk_shape=(8, 8, 6, 4),
+            num_texture_copies=3,
+            scheduling="round_robin",
+        )
+        result = run_pipeline(dataset_root, cfg)
+        assert_matches(result.volumes, expected)
+
+
+class TestSplitVariant:
+    def test_split_dense(self, dataset_root, expected):
+        cfg = AnalysisConfig(
+            texture=texture_params(),
+            variant="split",
+            texture_chunk_shape=(8, 8, 6, 4),
+            num_hcc_copies=3,
+            num_hpc_copies=1,
+        )
+        result = run_pipeline(dataset_root, cfg)
+        assert_matches(result.volumes, expected)
+
+    def test_split_sparse(self, dataset_root, expected):
+        cfg = AnalysisConfig(
+            texture=texture_params(sparse=True),
+            variant="split",
+            texture_chunk_shape=(8, 8, 6, 4),
+            num_hcc_copies=2,
+            num_hpc_copies=2,
+        )
+        result = run_pipeline(dataset_root, cfg)
+        assert_matches(result.volumes, expected)
+
+
+class TestOutputModes:
+    def test_uso_output(self, dataset_root, expected, tmp_path):
+        cfg = AnalysisConfig(
+            texture=texture_params(),
+            variant="hmp",
+            texture_chunk_shape=(8, 8, 6, 4),
+            num_texture_copies=2,
+            output="uso",
+            output_dir=str(tmp_path / "uso"),
+            num_uso_copies=2,
+        )
+        result = run_pipeline(dataset_root, cfg)
+        assert_matches(result.volumes, expected)
+        files = result.run.deposits("uso_files")
+        assert sum(f["records"] for f in files if f["feature"] == "asm") == int(
+            np.prod(expected["asm"].shape)
+        )
+
+    def test_image_output(self, dataset_root, expected, tmp_path):
+        out = str(tmp_path / "imgs")
+        cfg = AnalysisConfig(
+            texture=texture_params(),
+            variant="hmp",
+            texture_chunk_shape=(16, 14, 6, 4),
+            output="images",
+            output_dir=out,
+        )
+        result = run_pipeline(dataset_root, cfg)
+        assert_matches(result.volumes, expected)
+        images = result.run.deposits("images")
+        assert {i["feature"] for i in images} == set(FEATURES)
+        # One PGM per (z, t) plane of the output volume.
+        nz, nt = expected["asm"].shape[2], expected["asm"].shape[3]
+        for info in images:
+            assert info["count"] == nz * nt
+        from repro.data.formats import read_pgm
+
+        sample = os.path.join(out, "asm", "t0000_z0000.pgm")
+        img = read_pgm(sample)
+        assert img.shape == expected["asm"].shape[:2]
+
+
+class TestDiagnostics:
+    def test_busy_time_per_filter(self, dataset_root):
+        cfg = AnalysisConfig(
+            texture=texture_params(),
+            variant="split",
+            texture_chunk_shape=(8, 8, 6, 4),
+            num_hcc_copies=2,
+        )
+        result = run_pipeline(dataset_root, cfg)
+        from repro.pipeline.report import filter_breakdown, format_breakdown
+
+        stats = filter_breakdown(result.run)
+        assert set(stats) == {"RFR", "IIC", "HCC", "HPC", "HIC"}
+        assert stats["HCC"]["copies"] == 2
+        # HCC (matrix computation) dominates HPC (paper: 4-5x).
+        assert stats["HCC"]["total"] > stats["HPC"]["total"]
+        text = format_breakdown(result.run, order=("RFR", "IIC", "HCC", "HPC"))
+        assert "HCC" in text and "elapsed" in text
+
+    def test_buffer_accounting(self, dataset_root):
+        cfg = AnalysisConfig(
+            texture=texture_params(),
+            variant="hmp",
+            texture_chunk_shape=(8, 8, 6, 4),
+        )
+        result = run_pipeline(dataset_root, cfg)
+        from repro.pipeline.builder import plan_chunks
+        from repro.storage.dataset import DiskDataset4D
+
+        ds = DiskDataset4D.open(dataset_root)
+        chunks = plan_chunks(ds.shape, cfg)
+        assert result.run.buffers_sent["IIC:iic2tex"] == len(chunks)

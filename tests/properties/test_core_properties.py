@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) for the core Haralick kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.cooccurrence import cooccurrence_matrix, cooccurrence_scan
+from repro.core.directions import canonical_direction, unique_directions
+from repro.core.features import PAPER_FEATURES, haralick_features
+from repro.core.features_sparse import features_nonzero
+from repro.core.quantization import quantize_linear
+from repro.core.roi import ROISpec
+from repro.core.sparse import sparse_from_dense
+
+
+def windows_2d(min_side=2, max_side=8, levels=6):
+    return hnp.arrays(
+        dtype=np.int32,
+        shape=st.tuples(
+            st.integers(min_side, max_side), st.integers(min_side, max_side)
+        ),
+        elements=st.integers(0, levels - 1),
+    )
+
+
+class TestCooccurrenceProperties:
+    @given(windows_2d())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, window):
+        m = cooccurrence_matrix(window, 6)
+        assert np.array_equal(m, m.T)
+
+    @given(windows_2d())
+    @settings(max_examples=60, deadline=None)
+    def test_total_counts_pair_census(self, window):
+        """Sum over the matrix = 2 x (number of in-bounds pairs)."""
+        m = cooccurrence_matrix(window, 6)
+        nx, ny = window.shape
+        pairs = 0
+        for v in unique_directions(2):
+            dx, dy = abs(v[0]), abs(v[1])
+            if nx > dx and ny > dy:
+                pairs += (nx - dx) * (ny - dy)
+        assert m.sum() == 2 * pairs
+
+    @given(windows_2d(), st.permutations(list(range(6))))
+    @settings(max_examples=40, deadline=None)
+    def test_grey_level_relabeling_permutes_matrix(self, window, perm):
+        """Relabeling grey levels permutes matrix rows/cols identically."""
+        perm = np.asarray(perm)
+        m1 = cooccurrence_matrix(window, 6)
+        m2 = cooccurrence_matrix(perm[window], 6)
+        inv = np.argsort(perm)  # m2[i, j] counts pairs with old labels inv[i], inv[j]
+        assert np.array_equal(m2, m1[np.ix_(inv, inv)])
+
+    @given(windows_2d())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_invariance(self, window):
+        """Spatial transpose maps direction set onto itself -> same GLCM."""
+        a = cooccurrence_matrix(window, 6)
+        b = cooccurrence_matrix(window.T, 6)
+        assert np.array_equal(a, b)
+
+    @given(windows_2d(min_side=3, max_side=7))
+    @settings(max_examples=30, deadline=None)
+    def test_scan_consistent_with_single_windows(self, data):
+        roi = ROISpec((2, 2))
+        for start, mats in cooccurrence_scan(data, roi, 6, batch=3):
+            grid = tuple(s - 1 for s in data.shape)
+            for k in range(mats.shape[0]):
+                ox, oy = np.unravel_index(start + k, grid)
+                want = cooccurrence_matrix(data[ox : ox + 2, oy : oy + 2], 6)
+                assert np.array_equal(mats[k], want)
+
+
+class TestSparseProperties:
+    @given(windows_2d())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, window):
+        m = cooccurrence_matrix(window, 6)
+        assert np.array_equal(sparse_from_dense(m).to_dense(), m)
+
+    @given(windows_2d())
+    @settings(max_examples=60, deadline=None)
+    def test_total_preserved(self, window):
+        m = cooccurrence_matrix(window, 6)
+        assert sparse_from_dense(m).total == m.sum()
+
+    @given(windows_2d())
+    @settings(max_examples=40, deadline=None)
+    def test_nonzero_features_match_dense(self, window):
+        m = cooccurrence_matrix(window, 6)
+        if m.sum() == 0:
+            return
+        dense = haralick_features(m, PAPER_FEATURES)
+        nz = features_nonzero(m, PAPER_FEATURES)
+        for name in PAPER_FEATURES:
+            assert nz[name] == pytest.approx(float(dense[name]), abs=1e-9)
+
+
+class TestFeatureProperties:
+    @given(windows_2d(min_side=3))
+    @settings(max_examples=60, deadline=None)
+    def test_feature_ranges(self, window):
+        m = cooccurrence_matrix(window, 6)
+        if m.sum() == 0:
+            return
+        f = haralick_features(m)
+        assert 0 <= f["asm"] <= 1
+        assert 0 <= f["idm"] <= 1
+        assert -1 - 1e-9 <= f["correlation"] <= 1 + 1e-9
+        assert f["entropy"] >= 0
+        assert f["contrast"] >= 0
+        assert f["sum_of_squares"] >= 0
+        assert 0 <= f["imc2"] <= 1
+        assert 0 <= f["mcc"] <= 1
+
+    @given(windows_2d(), st.integers(2, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_count_scaling_invariance(self, window, k):
+        """Features depend on the normalized p, not raw counts."""
+        m = cooccurrence_matrix(window, 6)
+        if m.sum() == 0:
+            return
+        a = haralick_features(m, PAPER_FEATURES)
+        b = haralick_features(k * m, PAPER_FEATURES)
+        for name in PAPER_FEATURES:
+            assert a[name] == pytest.approx(float(b[name]))
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=6, deadline=None)
+    def test_constant_window_is_maximally_uniform(self, level):
+        window = np.full((4, 4), level)
+        f = haralick_features(cooccurrence_matrix(window, 6))
+        assert f["asm"] == pytest.approx(1.0)
+        assert f["idm"] == pytest.approx(1.0)
+        assert f["contrast"] == pytest.approx(0.0)
+        assert f["entropy"] == pytest.approx(0.0)
+
+
+class TestQuantizationProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(1, 200),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        st.integers(2, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_in_range(self, data, levels):
+        q = quantize_linear(data, levels)
+        assert q.min() >= 0
+        assert q.max() <= levels - 1
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(2, 100),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        st.integers(2, 32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone(self, data, levels):
+        """Quantization preserves intensity ordering."""
+        q = quantize_linear(data, levels)
+        order = np.argsort(data, kind="stable")
+        assert np.all(np.diff(q[order]) >= 0)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(1, 100),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        ),
+        st.integers(2, 32),
+        st.floats(0.1, 10.0),
+        st.floats(-5.0, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_affine_invariance(self, data, levels, scale, shift):
+        """Affine intensity transforms preserve the quantization on
+        well-conditioned data; values on a bin edge may round to the
+        neighbouring level after the float transform.  (Data whose range
+        is tiny relative to its magnitude suffers catastrophic
+        cancellation and is excluded — no binning survives that.)"""
+        if data.size:
+            rng_ = float(data.max() - data.min())
+            mag = float(np.abs(data).max())
+            assume(rng_ == 0 or rng_ > 1e-6 * max(mag, 1.0))
+        q1 = quantize_linear(data, levels)
+        q2 = quantize_linear(data * scale + shift, levels)
+        assert np.abs(q1 - q2).max(initial=0) <= 1
+        # Ordering is still preserved exactly.
+        order = np.argsort(data, kind="stable")
+        assert np.all(np.diff(q2[order]) >= 0)
+
+
+class TestDirectionProperties:
+    @given(st.lists(st.integers(-3, 3), min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_canonical_fixed_point(self, v):
+        if all(c == 0 for c in v):
+            return
+        c = canonical_direction(v)
+        assert canonical_direction(c) == c
+        assert canonical_direction(tuple(-x for x in v)) == c
+        # First non-zero component positive.
+        first = next(x for x in c if x != 0)
+        assert first > 0

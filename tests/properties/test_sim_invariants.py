@@ -1,0 +1,85 @@
+"""Invariant tests for the cluster simulator.
+
+These check conservation laws and physical bounds rather than specific
+figure shapes: no simulated run may finish faster than its compute or
+communication lower bounds, busy time may not exceed wall time, and
+every buffer the workload implies must be delivered exactly once.
+"""
+
+import pytest
+
+from repro.sim import PAPER_COSTS, SimRuntime, paper_workload
+from repro.sim.layouts import homogeneous_hmp, homogeneous_split
+
+WL = paper_workload(scale=0.4)
+
+
+def scan_rois(wl):
+    return sum(sum(wl.packets_per_chunk(c)) for c in wl.chunks)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_chunk_count(self, n):
+        rep = SimRuntime(WL, *homogeneous_hmp(n)).run()
+        assert rep.stream_buffers["iic2tex"] == len(WL.chunks)
+
+    def test_packet_count_matches_workload(self):
+        rep = SimRuntime(WL, *homogeneous_split(4)).run()
+        packets = sum(len(WL.packets_per_chunk(c)) for c in WL.chunks)
+        assert rep.stream_buffers["hcc2hpc"] == packets
+        assert rep.stream_buffers["tex2uso"] == packets
+
+    def test_slice_deliveries(self):
+        rep = SimRuntime(WL, *homogeneous_hmp(2)).run()
+        # One IIC copy: each slice needed by >= 1 chunk arrives exactly once.
+        needed = len(WL.rfr_slice_destinations(1))
+        assert rep.stream_buffers["rfr2iic"] == needed
+
+    def test_matrix_bytes_match_cost_model(self):
+        rep = SimRuntime(WL, *homogeneous_split(4, sparse=False)).run()
+        want = PAPER_COSTS.matrix_wire_bytes(scan_rois(WL), WL.levels, False)
+        assert rep.stream_bytes["hcc2hpc"] == want
+
+
+class TestPhysicalBounds:
+    @pytest.mark.parametrize("n", [1, 2, 8])
+    def test_busy_within_makespan(self, n):
+        rep = SimRuntime(WL, *homogeneous_split(n, sparse=True)).run()
+        for key, busy in rep.busy.items():
+            assert 0 <= busy <= rep.makespan + 1e-9, key
+
+    @pytest.mark.parametrize("n", [1, 4, 16])
+    def test_compute_lower_bound(self, n):
+        """Makespan >= total texture work / aggregate speed."""
+        rep = SimRuntime(WL, *homogeneous_hmp(n)).run()
+        work = scan_rois(WL) * PAPER_COSTS.hmp_per_roi(False)
+        assert rep.makespan >= work / n - 1e-9
+
+    def test_communication_lower_bound(self):
+        """Dense split: makespan >= matrix bytes / HPC in-port capacity."""
+        spec, cluster, placement = homogeneous_split(8, sparse=False)
+        rep = SimRuntime(WL, spec, cluster, placement).run()
+        from repro.sim.clusters import MBIT
+
+        bytes_total = rep.stream_bytes["hcc2hpc"]
+        n_hpc = spec.num_hpc
+        assert rep.makespan >= bytes_total / (n_hpc * 100 * MBIT) - 1e-9
+
+    def test_adding_nodes_never_hurts_much(self):
+        """HMP makespan is (weakly) improved by more texture nodes."""
+        times = [
+            SimRuntime(WL, *homogeneous_hmp(n)).run().makespan
+            for n in (1, 2, 4, 8, 16)
+        ]
+        for a, b in zip(times, times[1:]):
+            assert b <= a * 1.02  # allow scheduling jitter
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        a = SimRuntime(WL, *homogeneous_split(6, sparse=True)).run()
+        b = SimRuntime(WL, *homogeneous_split(6, sparse=True)).run()
+        assert a.makespan == b.makespan
+        assert a.busy == b.busy
+        assert a.stream_bytes == b.stream_bytes

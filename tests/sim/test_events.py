@@ -1,0 +1,215 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.events import Environment, Resource, Store
+
+
+class TestTimeoutsAndProcesses:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(5.0)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.process(proc())
+        assert env.run() == 7.5
+        assert log == [5.0, 7.5]
+
+    def test_processes_interleave_deterministically(self):
+        env = Environment()
+        log = []
+
+        def proc(name, delay):
+            for i in range(3):
+                yield env.timeout(delay)
+                log.append((name, env.now))
+
+        env.process(proc("a", 2.0))
+        env.process(proc("b", 3.0))
+        env.run()
+        # At t=6 both fire; b's timeout was scheduled earlier (t=3 vs
+        # t=4), so the deterministic tie-break runs b first.
+        assert log == [
+            ("a", 2.0), ("b", 3.0), ("a", 4.0), ("b", 6.0), ("a", 6.0), ("b", 9.0)
+        ]
+
+    def test_tie_break_by_schedule_order(self):
+        env = Environment()
+        log = []
+
+        def proc(name):
+            yield env.timeout(1.0)
+            log.append(name)
+
+        env.process(proc("first"))
+        env.process(proc("second"))
+        env.run()
+        assert log == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_process_return_value(self):
+        env = Environment()
+        result = []
+
+        def inner():
+            yield env.timeout(1)
+            return 42
+
+        def outer():
+            value = yield env.process(inner())
+            result.append(value)
+
+        env.process(outer())
+        env.run()
+        assert result == [42]
+
+    def test_run_until(self):
+        env = Environment()
+
+        def proc():
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        assert env.run(until=10.5) == 10.5
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(TypeError):
+            env.run()
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield env.timeout(1)
+                store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append((item, env.now))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+    def test_get_before_put_blocks(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(env.now)
+
+        def producer():
+            yield env.timeout(7)
+            store.put("x")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [7.0]
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestResource:
+    def test_capacity_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def worker(name):
+            yield from res.use(10.0)
+            log.append((name, env.now))
+
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert log == [("a", 10.0), ("b", 20.0)]
+
+    def test_capacity_two_parallel(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        done = []
+
+        def worker():
+            yield from res.use(10.0)
+            done.append(env.now)
+
+        for _ in range(2):
+            env.process(worker())
+        env.run()
+        assert done == [10.0, 10.0]
+
+    def test_fifo_granting(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(name, start):
+            yield env.timeout(start)
+            yield from res.use(5.0)
+            order.append(name)
+
+        env.process(worker("late", 1.0))
+        env.process(worker("later", 2.0))
+        env.process(worker("first", 0.0))
+        env.run()
+        assert order == ["first", "late", "later"]
+
+    def test_release_when_idle_raises(self):
+        env = Environment()
+        res = Resource(env)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_utilization(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def worker():
+            yield from res.use(5.0)
+
+        env.process(worker())
+        env.run()
+        assert res.utilization(10.0) == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)

@@ -1,0 +1,172 @@
+"""Unit tests for the simulated network and node models."""
+
+import pytest
+
+from repro.sim.events import Environment
+from repro.sim.network import POINTER_COPY_TIME, NetworkModel
+from repro.sim.nodes import SimNode
+
+
+def make_net(port_bw=100.0, latency=0.0):
+    env = Environment()
+    net = NetworkModel(env)
+    nodes = {}
+    for name, cluster in (("a0", "a"), ("a1", "a"), ("b0", "b")):
+        node = SimNode(name=name, cluster=cluster)
+        node.bind(env)
+        net.add_node(node, port_bw, latency)
+        nodes[name] = node
+    net.add_uplink("a", "b", bw=10.0)
+    return env, net, nodes
+
+
+class TestTransfer:
+    def test_intra_cluster_bandwidth(self):
+        env, net, nodes = make_net(port_bw=100.0)
+        done = []
+
+        def proc():
+            yield from net.transfer(nodes["a0"], nodes["a1"], 1000)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [pytest.approx(10.0)]  # 1000 B / 100 B/s
+
+    def test_inter_cluster_bottleneck_is_uplink(self):
+        env, net, nodes = make_net(port_bw=100.0)
+        done = []
+
+        def proc():
+            yield from net.transfer(nodes["a0"], nodes["b0"], 1000)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        # Uplink at 10 B/s dominates: 100 s (+ uplink latency 5e-4).
+        assert done[0] == pytest.approx(100.0, abs=0.01)
+
+    def test_pointer_copy_when_colocated(self):
+        env, net, nodes = make_net()
+        done = []
+
+        def proc():
+            yield from net.transfer(nodes["a0"], nodes["a0"], 10**9)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [pytest.approx(POINTER_COPY_TIME)]
+
+    def test_receiver_port_contention(self):
+        """Two senders to one receiver serialize on its in-port."""
+        env, net, nodes = make_net(port_bw=100.0)
+        done = []
+
+        def proc(src):
+            yield from net.transfer(nodes[src], nodes["b0"], 100)
+            done.append(round(env.now, 4))
+
+        # Use two cluster-b... a0 and a1 both -> b0 via uplink (10 B/s).
+        env.process(proc("a0"))
+        env.process(proc("a1"))
+        env.run()
+        assert done == [pytest.approx(10.0, abs=0.01), pytest.approx(20.0, abs=0.01)]
+
+    def test_parallel_disjoint_pairs(self):
+        """A switched network runs disjoint node pairs in parallel."""
+        env = Environment()
+        net = NetworkModel(env)
+        nodes = {}
+        for name in ("s0", "s1", "r0", "r1"):
+            node = SimNode(name=name, cluster="c")
+            node.bind(env)
+            net.add_node(node, 100.0)
+            nodes[name] = node
+        done = []
+
+        def proc(src, dst):
+            yield from net.transfer(nodes[src], nodes[dst], 1000)
+            done.append(env.now)
+
+        env.process(proc("s0", "r0"))
+        env.process(proc("s1", "r1"))
+        env.run()
+        assert done[0] == done[1] == pytest.approx(10.0, abs=0.01)
+
+    def test_traffic_stats(self):
+        env, net, nodes = make_net()
+
+        def proc():
+            yield from net.transfer(nodes["a0"], nodes["a1"], 500, tag="s")
+            yield from net.transfer(nodes["a0"], nodes["a1"], 300, tag="s")
+
+        env.process(proc())
+        env.run()
+        assert net.stats["s"].transfers == 2
+        assert net.stats["s"].bytes == 800
+
+    def test_missing_uplink_rejected(self):
+        env = Environment()
+        net = NetworkModel(env)
+        a = SimNode(name="a0", cluster="a")
+        b = SimNode(name="b0", cluster="b")
+        for n in (a, b):
+            n.bind(env)
+            net.add_node(n, 100.0)
+
+        def proc():
+            yield from net.transfer(a, b, 10)
+
+        env.process(proc())
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_negative_bytes_rejected(self):
+        env, net, nodes = make_net()
+
+        def proc():
+            yield from net.transfer(nodes["a0"], nodes["a1"], -1)
+
+        env.process(proc())
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_duplicate_node_rejected(self):
+        env, net, nodes = make_net()
+        with pytest.raises(ValueError):
+            net.add_node(nodes["a0"], 100.0)
+
+    def test_duplicate_uplink_rejected(self):
+        env, net, nodes = make_net()
+        with pytest.raises(ValueError):
+            net.add_uplink("b", "a", 5.0)
+
+
+class TestSimNode:
+    def test_compute_time_scales_with_speed(self):
+        node = SimNode(name="x", cluster="c", speed=2.0)
+        assert node.compute_time(10.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimNode(name="x", cluster="c", cpus=0)
+        with pytest.raises(ValueError):
+            SimNode(name="x", cluster="c", speed=0)
+
+    def test_cpu_multiplexing(self):
+        """Two filters on one CPU serialize; on two CPUs they overlap."""
+        for cpus, expected in ((1, 20.0), (2, 10.0)):
+            env = Environment()
+            node = SimNode(name="x", cluster="c", cpus=cpus)
+            node.bind(env)
+            done = []
+
+            def worker():
+                yield from node.cpu.use(10.0)
+                done.append(env.now)
+
+            env.process(worker())
+            env.process(worker())
+            env.run()
+            assert max(done) == pytest.approx(expected)

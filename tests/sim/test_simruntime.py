@@ -1,0 +1,211 @@
+"""Integration tests: simulated pipeline runs and paper-shape invariants.
+
+These assert the *qualitative* results of the paper's Figs. 7-11 hold in
+the simulator at a reduced workload scale (the benchmark harness runs the
+full-scale versions).
+"""
+
+import pytest
+
+from repro.datacutter.placement import Placement
+from repro.sim.clusters import SimCluster
+from repro.sim.costmodel import PAPER_COSTS
+from repro.sim.layouts import (
+    fig10_hmp,
+    fig10_split,
+    fig11_layout,
+    homogeneous_hmp,
+    homogeneous_split,
+    paper_hcc_hpc_counts,
+)
+from repro.sim.simruntime import SimPipelineSpec, SimRuntime
+from repro.sim.workload import paper_workload
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return paper_workload(scale=0.5)
+
+
+def run(wl, layout):
+    return SimRuntime(wl, *layout).run()
+
+
+class TestBasicExecution:
+    def test_runs_to_completion(self, wl):
+        rep = run(wl, homogeneous_hmp(2))
+        assert rep.makespan > 0
+        assert rep.stream_buffers["iic2tex"] == len(wl.chunks)
+
+    def test_all_matrix_packets_delivered(self, wl):
+        rep = run(wl, homogeneous_split(3))
+        expected = sum(len(wl.packets_per_chunk(c)) for c in wl.chunks)
+        assert rep.stream_buffers["hcc2hpc"] == expected
+        assert rep.stream_buffers["tex2uso"] == expected
+
+    def test_deterministic(self, wl):
+        a = run(wl, homogeneous_hmp(4)).makespan
+        b = run(wl, homogeneous_hmp(4)).makespan
+        assert a == b
+
+    def test_busy_times_reported(self, wl):
+        rep = run(wl, homogeneous_split(4))
+        assert set(f for f, _ in rep.busy) == {"RFR", "IIC", "HCC", "HPC", "USO"}
+        assert rep.filter_busy_max("HCC") >= rep.filter_busy_mean("HCC") > 0
+
+    def test_missing_placement_rejected(self, wl):
+        spec = SimPipelineSpec(variant="hmp", num_tex=2)
+        cluster = SimCluster.piii(8)
+        placement = Placement()
+        with pytest.raises(KeyError):
+            SimRuntime(wl, spec, cluster, placement)
+
+    def test_sparse_wire_smaller(self, wl):
+        dense = run(wl, homogeneous_split(4, sparse=False))
+        sparse = run(wl, homogeneous_split(4, sparse=True))
+        assert sparse.stream_bytes["hcc2hpc"] < 0.05 * dense.stream_bytes["hcc2hpc"]
+
+
+class TestScaling:
+    def test_hmp_scales_with_nodes(self, wl):
+        times = [run(wl, homogeneous_hmp(n)).makespan for n in (1, 2, 4, 8)]
+        assert times[0] > times[1] > times[2] > times[3]
+        # Near-linear early on.
+        assert times[0] / times[1] > 1.6
+
+    def test_split_sparse_scales(self, wl):
+        times = [run(wl, homogeneous_split(n, sparse=True)).makespan for n in (2, 4, 8)]
+        assert times[0] > times[1] > times[2]
+
+
+class TestFig7Shapes:
+    def test_fig7a_sparse_hurts_hmp(self, wl):
+        """Fig 7a: sparse representation is slower inside HMP."""
+        for n in (2, 8):
+            full = run(wl, homogeneous_hmp(n, sparse=False)).makespan
+            sparse = run(wl, homogeneous_hmp(n, sparse=True)).makespan
+            assert sparse > full
+
+    def test_fig7b_sparse_helps_split(self, wl):
+        """Fig 7b: sparse representation wins for the split pipeline."""
+        for n in (2, 8):
+            full = run(wl, homogeneous_split(n, sparse=False)).makespan
+            sparse = run(wl, homogeneous_split(n, sparse=True)).makespan
+            assert sparse < full / 2  # communication collapse is large
+
+
+class TestFig8Shapes:
+    def test_overlap_beats_no_overlap(self, wl):
+        for n in (4, 8):
+            no = run(wl, homogeneous_split(n, sparse=True, overlap=False)).makespan
+            yes = run(wl, homogeneous_split(n, sparse=True, overlap=True)).makespan
+            assert yes < no
+
+    def test_overlap_beats_hmp(self, wl):
+        for n in (4, 8):
+            hmp = run(wl, homogeneous_hmp(n, sparse=False)).makespan
+            yes = run(wl, homogeneous_split(n, sparse=True, overlap=True)).makespan
+            assert yes < hmp
+
+    def test_one_node_split_beats_hmp(self, wl):
+        """Section 5.2: at one node the split pipeline still wins."""
+        hmp = run(wl, homogeneous_hmp(1, sparse=False)).makespan
+        split = run(wl, homogeneous_split(1, sparse=True)).makespan
+        assert split < hmp
+
+
+class TestFig9Shapes:
+    def test_read_write_negligible(self, wl):
+        rep = run(wl, homogeneous_split(8, sparse=True))
+        assert rep.filter_busy_mean("RFR") < 0.1 * rep.filter_busy_mean("HCC")
+        assert rep.filter_busy_mean("USO") < 0.5 * rep.filter_busy_mean("HCC")
+
+    def test_hcc_several_times_hpc(self, wl):
+        """Paper: HCC is 4-5x more expensive than HPC."""
+        rep = run(wl, homogeneous_split(8, sparse=False))
+        total_hcc = sum(rep.filter_busy("HCC"))
+        total_hpc = sum(rep.filter_busy("HPC"))
+        assert 3.0 < total_hcc / total_hpc < 6.0
+
+    def test_iic_flat_while_hcc_shrinks(self, wl):
+        reps = {n: run(wl, homogeneous_split(n, sparse=True)) for n in (4, 16)}
+        iic4 = reps[4].filter_busy_mean("IIC")
+        iic16 = reps[16].filter_busy_mean("IIC")
+        assert iic16 == pytest.approx(iic4, rel=0.05)  # flat
+        assert reps[16].filter_busy_mean("HCC") < 0.5 * reps[4].filter_busy_mean("HCC")
+        # Relative weight of the IIC grows -> emerging bottleneck.
+        assert iic16 / reps[16].filter_busy_mean("HCC") > (
+            iic4 / reps[4].filter_busy_mean("HCC")
+        )
+
+    def test_multiple_iic_copies_divide_work(self, wl):
+        one = run(wl, homogeneous_split(8, sparse=True, num_iic=1))
+        four = run(wl, homogeneous_split(8, sparse=True, num_iic=4))
+        per_copy_1 = one.filter_busy_mean("IIC")
+        per_copy_4 = four.filter_busy_mean("IIC")
+        assert per_copy_4 < 0.4 * per_copy_1  # ~linear decrease (Section 5.2)
+
+
+class TestHeterogeneousShapes:
+    def test_fig10_split_beats_hmp(self, wl):
+        hmp = run(wl, fig10_hmp()).makespan
+        split = run(wl, fig10_split(sparse=True)).makespan
+        assert split < hmp
+
+    def test_fig11_demand_driven_beats_round_robin(self, wl):
+        rr = run(wl, fig11_layout("round_robin")).makespan
+        dd = run(wl, fig11_layout("demand_driven")).makespan
+        assert dd < rr
+
+    def test_fig11_opteron_receives_more_under_dd(self, wl):
+        """Paper: OPTERON HCCs receive more packets under demand-driven."""
+        spec, cluster, placement = fig11_layout("demand_driven")
+        rt = SimRuntime(wl, spec, cluster, placement)
+        rep = rt.run()
+        # Copies 0-3 are on XEON, 4-7 on OPTERON (see fig11_layout).
+        busy = rep.filter_busy("HCC")
+        xeon_busy = sum(busy[:4])
+        opteron_busy = sum(busy[4:])
+        assert opteron_busy > xeon_busy
+
+
+class TestLayoutHelpers:
+    def test_hcc_hpc_ratio(self):
+        assert paper_hcc_hpc_counts(16) == (13, 3)
+        assert paper_hcc_hpc_counts(10) == (8, 2)
+        assert paper_hcc_hpc_counts(1) == (1, 1)
+
+    def test_layout_copy_counts(self, wl):
+        spec, cluster, placement = fig10_hmp()
+        assert spec.num_tex == 23  # 13 PIII + 2x5 XEON processors
+        spec, cluster, placement = fig11_layout("demand_driven")
+        assert spec.num_hcc == 8 and spec.num_hpc == 2
+
+
+class TestReplicatedInput:
+    """Paper Section 5.1 footnote 1: replicated dataset, no RFR/IIC."""
+
+    def test_runs_without_input_filters(self, wl):
+        from repro.sim.layouts import homogeneous_replicated
+
+        rep = run(wl, homogeneous_replicated(4))
+        filters = {f for f, _ in rep.busy}
+        assert filters == {"HMP", "USO"}
+        assert "rfr2iic" not in rep.stream_buffers
+        assert rep.stream_buffers["tex2uso"] == sum(
+            len(wl.packets_per_chunk(c)) for c in wl.chunks
+        )
+
+    def test_faster_than_disk_resident(self, wl):
+        from repro.sim.layouts import homogeneous_hmp, homogeneous_replicated
+
+        standard = run(wl, homogeneous_hmp(8)).makespan
+        replicated = run(wl, homogeneous_replicated(8)).makespan
+        assert replicated < standard
+
+    def test_all_chunks_processed(self, wl):
+        from repro.sim.layouts import homogeneous_replicated
+
+        rep = run(wl, homogeneous_replicated(3))
+        # Every HMP copy did real work.
+        assert all(b > 0 for b in rep.filter_busy("HMP"))

@@ -1,0 +1,62 @@
+"""Unit tests for the simulation trace facility."""
+
+import pytest
+
+from repro.sim import SimRuntime, format_timeline, paper_workload, span_utilization
+from repro.sim.layouts import homogeneous_split
+
+
+@pytest.fixture(scope="module")
+def traced():
+    wl = paper_workload(scale=0.25)
+    spec, cluster, placement = homogeneous_split(3, sparse=True)
+    return SimRuntime(wl, spec, cluster, placement, trace=True).run()
+
+
+class TestTracing:
+    def test_spans_disabled_by_default(self):
+        wl = paper_workload(scale=0.25)
+        rep = SimRuntime(wl, *homogeneous_split(2)).run()
+        assert rep.spans is None
+
+    def test_spans_cover_busy_time(self, traced):
+        for key, spans in traced.spans.items():
+            total = sum(t1 - t0 for t0, t1, _ in spans)
+            assert total == pytest.approx(traced.busy[key], rel=1e-9)
+
+    def test_spans_ordered_and_bounded(self, traced):
+        for spans in traced.spans.values():
+            last = 0.0
+            for t0, t1, kind in spans:
+                assert 0 <= t0 <= t1 <= traced.makespan + 1e-9
+                assert t0 >= last - 1e-12  # non-overlapping service
+                last = t1
+                assert kind in ("compute", "stitch", "read", "write")
+
+    def test_kinds_match_filters(self, traced):
+        by_filter = {}
+        for (name, _), spans in traced.spans.items():
+            by_filter.setdefault(name, set()).update(k for _, _, k in spans)
+        assert by_filter["RFR"] == {"read"}
+        assert by_filter["IIC"] == {"stitch"}
+        assert by_filter["HCC"] == {"compute"}
+        assert by_filter["USO"] == {"write"}
+
+
+class TestTimelineRendering:
+    def test_renders_all_copies(self, traced):
+        text = format_timeline(traced.spans, traced.makespan, width=40)
+        assert text.count("|") == 2 * len(traced.spans)
+        assert "legend" in text
+        assert "IIC[00]" in text
+
+    def test_utilization(self):
+        assert span_utilization([(0.0, 5.0, "compute")], 10.0) == pytest.approx(0.5)
+        assert span_utilization([], 10.0) == 0.0
+        assert span_utilization([(0, 20, "compute")], 10.0) == 1.0  # clamped
+
+    def test_validation(self, traced):
+        with pytest.raises(ValueError):
+            format_timeline(traced.spans, 0.0)
+        with pytest.raises(ValueError):
+            format_timeline(traced.spans, 1.0, width=2)

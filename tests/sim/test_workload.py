@@ -1,0 +1,81 @@
+"""Unit tests for the simulation workload description."""
+
+import numpy as np
+import pytest
+
+from repro.sim.workload import SimWorkload, paper_workload
+
+
+class TestPaperWorkload:
+    def test_full_scale_geometry(self):
+        wl = paper_workload()
+        assert wl.dataset_shape == (256, 256, 32, 32)
+        assert wl.total_rois == 252 * 252 * 28 * 30
+        assert len(wl.chunks) == 36
+        assert wl.slice_bytes == 256 * 256 * 2
+
+    def test_scaled(self):
+        wl = paper_workload(scale=0.25)
+        assert wl.dataset_shape == (64, 64, 8, 8)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            paper_workload(scale=1.5)
+
+    def test_overrides(self):
+        wl = paper_workload(num_storage_nodes=8)
+        assert wl.num_storage_nodes == 8
+
+
+class TestDerivedQuantities:
+    def test_slices_partition(self):
+        wl = paper_workload(scale=0.25)
+        seen = set()
+        for n in range(wl.num_storage_nodes):
+            keys = wl.slices_on_node(n)
+            assert seen.isdisjoint(keys)
+            seen.update(keys)
+        assert len(seen) == wl.num_slices * wl.num_timesteps
+
+    def test_packets_cover_all_scan_positions(self):
+        wl = paper_workload(scale=0.25)
+        for chunk in wl.chunks:
+            counts = wl.packets_per_chunk(chunk)
+            local = 1
+            for s, r in zip(chunk.shape, wl.roi_shape):
+                local *= s - r + 1
+            assert sum(counts) == local
+            # 1/8 packets -> at most 8 full + 1 remainder.
+            assert len(counts) <= 9
+
+    def test_chunk_iic_needs(self):
+        wl = paper_workload(scale=0.25)
+        for li, chunk in enumerate(wl.chunks):
+            planes = (chunk.hi[2] - chunk.lo[2]) * (chunk.hi[3] - chunk.lo[3])
+            assert wl.chunk_iic_needs[li] == planes
+
+    def test_rfr_destinations_cover_all_chunks(self):
+        wl = paper_workload(scale=0.25)
+        dests = wl.rfr_slice_destinations(num_iic_copies=3)
+        # Every slice covered by some chunk has at least one destination.
+        assert len(dests) == wl.num_slices * wl.num_timesteps
+        assert all(0 <= d < 3 for lst in dests.values() for d in lst)
+
+    def test_iic_chunk_assignment_partitions(self):
+        wl = paper_workload(scale=0.25)
+        all_chunks = set()
+        for copy in range(3):
+            mine = wl.iic_chunks_of_copy(copy, 3)
+            assert all_chunks.isdisjoint(mine)
+            all_chunks.update(mine)
+        assert all_chunks == set(range(len(wl.chunks)))
+
+    def test_owned_rois_sum_to_total(self):
+        wl = paper_workload(scale=0.25)
+        assert sum(c.num_rois for c in wl.chunks) == wl.total_rois
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimWorkload(num_storage_nodes=0)
+        with pytest.raises(ValueError):
+            SimWorkload(packet_fraction=0)

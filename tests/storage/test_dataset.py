@@ -1,0 +1,141 @@
+"""Unit + integration tests for disk-resident datasets."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import PhantomConfig, generate_phantom
+from repro.data.volume import Volume4D
+from repro.storage.dataset import DiskDataset4D, node_dir_name, write_dataset
+from repro.storage.index import INDEX_FILENAME, NodeIndex
+
+
+@pytest.fixture
+def small_volume():
+    return generate_phantom(PhantomConfig(shape=(12, 10, 6, 4), seed=0))
+
+
+@pytest.fixture
+def dataset(tmp_path, small_volume):
+    return write_dataset(small_volume, str(tmp_path / "ds"), num_nodes=3)
+
+
+class TestWriteDataset:
+    def test_layout_on_disk(self, tmp_path, small_volume):
+        root = str(tmp_path / "ds")
+        write_dataset(small_volume, root, num_nodes=3)
+        for n in range(3):
+            d = os.path.join(root, node_dir_name(n))
+            assert os.path.isfile(os.path.join(d, INDEX_FILENAME))
+            raws = [f for f in os.listdir(d) if f.endswith(".raw")]
+            assert len(raws) == 24 // 3  # 6 slices x 4 steps over 3 nodes
+
+    def test_one_file_per_slice(self, tmp_path, small_volume):
+        root = str(tmp_path / "ds")
+        write_dataset(small_volume, root, num_nodes=2)
+        total = sum(
+            len([f for f in os.listdir(os.path.join(root, node_dir_name(n)))
+                 if f.endswith(".raw")])
+            for n in range(2)
+        )
+        assert total == 6 * 4
+
+    def test_invalid_node_count(self, tmp_path, small_volume):
+        with pytest.raises(ValueError):
+            write_dataset(small_volume, str(tmp_path / "x"), num_nodes=0)
+
+
+class TestOpenAndRead:
+    def test_metadata(self, dataset, small_volume):
+        assert dataset.shape == small_volume.shape
+        assert dataset.num_nodes == 3
+        assert dataset.bytes_per_pixel == 2
+
+    def test_read_slice_matches_source(self, dataset, small_volume):
+        for t, z in [(0, 0), (3, 5), (2, 1)]:
+            assert np.array_equal(dataset.read_slice(t, z), small_volume.get_slice(t, z))
+
+    def test_read_all_round_trip(self, dataset, small_volume):
+        assert dataset.read_all() == small_volume
+
+    def test_read_slice_region(self, dataset, small_volume):
+        region = dataset.read_slice_region(1, 2, 3, 9, 2, 7)
+        assert np.array_equal(region, small_volume.get_slice(1, 2)[3:9, 2:7])
+
+    def test_region_seek_accounting(self, dataset):
+        dataset.stats.reset()
+        dataset.read_slice(0, 0)
+        assert dataset.stats.seeks == 0  # whole slice: sequential read
+        dataset.read_slice_region(0, 0, 2, 6, 1, 4)
+        assert dataset.stats.seeks == 4  # one seek per row
+
+    def test_read_chunk(self, dataset, small_volume):
+        chunk = dataset.read_chunk((2, 8), (1, 9), (1, 4), (0, 3))
+        assert np.array_equal(chunk, small_volume.data[2:8, 1:9, 1:4, 0:3])
+
+    def test_read_chunk_node_restricted(self, dataset, small_volume):
+        """A node-restricted read returns zeros for remote planes."""
+        chunk = dataset.read_chunk((0, 12), (0, 10), (0, 6), (0, 4), nodes=[1])
+        for t in range(4):
+            for z in range(6):
+                plane = chunk[:, :, z, t]
+                if dataset.node_of(t, z) == 1:
+                    assert np.array_equal(plane, small_volume.data[:, :, z, t])
+                else:
+                    assert plane.sum() == 0
+
+    def test_union_of_node_reads_covers_everything(self, dataset, small_volume):
+        total = np.zeros_like(small_volume.data)
+        for n in range(3):
+            total += dataset.read_chunk(
+                (0, 12), (0, 10), (0, 6), (0, 4), nodes=[n]
+            )
+        assert np.array_equal(total, small_volume.data)
+
+    def test_invalid_region(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.read_slice_region(0, 0, 0, 13, 0, 5)
+        with pytest.raises(ValueError):
+            dataset.read_chunk((0, 2), (0, 2), (0, 9), (0, 2))
+
+
+class TestOpenValidation:
+    def test_missing_root(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DiskDataset4D.open(str(tmp_path / "nope"))
+
+    def test_empty_root(self, tmp_path):
+        root = tmp_path / "empty"
+        root.mkdir()
+        with pytest.raises(FileNotFoundError):
+            DiskDataset4D.open(str(root))
+
+    def test_incomplete_nodes_detected(self, tmp_path, small_volume):
+        root = str(tmp_path / "ds")
+        write_dataset(small_volume, root, num_nodes=3)
+        import shutil
+
+        shutil.rmtree(os.path.join(root, node_dir_name(2)))
+        with pytest.raises(ValueError):
+            DiskDataset4D.open(root)
+
+    def test_duplicate_index_entry_rejected(self):
+        idx = NodeIndex(node=0, num_nodes=1, shape=(4, 4, 2, 2), bytes_per_pixel=2)
+        idx.add(0, 0, "a.raw")
+        with pytest.raises(ValueError):
+            idx.add(0, 0, "b.raw")
+
+    def test_index_save_load_round_trip(self, tmp_path):
+        idx = NodeIndex(node=1, num_nodes=4, shape=(8, 8, 4, 4), bytes_per_pixel=2)
+        idx.add(0, 1, "t0000_z0001.raw")
+        idx.add(3, 2, "t0003_z0002.raw")
+        idx.save(str(tmp_path))
+        back = NodeIndex.load(str(tmp_path))
+        assert back.node == 1 and back.num_nodes == 4
+        assert back.shape == (8, 8, 4, 4)
+        assert back.filename(0, 1) == "t0000_z0001.raw"
+        assert back.keys() == [(0, 1), (3, 2)]
+        assert (9, 9) not in back
+        with pytest.raises(KeyError):
+            back.filename(9, 9)

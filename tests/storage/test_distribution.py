@@ -1,0 +1,69 @@
+"""Unit tests for round-robin slice declustering."""
+
+import pytest
+
+from repro.storage.distribution import (
+    assignment_table,
+    round_robin_node,
+    slices_for_node,
+)
+
+
+class TestRoundRobin:
+    def test_within_volume_round_robin(self):
+        """Slices of one 3D volume cycle through the nodes (Section 4.2)."""
+        nodes = [round_robin_node(0, z, 8, 4) for z in range(8)]
+        assert nodes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_continues_across_timesteps(self):
+        # 3 slices, 2 nodes: t=0 -> 0,1,0; t=1 continues -> 1,0,1.
+        nodes = [round_robin_node(t, z, 3, 2) for t in range(2) for z in range(3)]
+        assert nodes == [0, 1, 0, 1, 0, 1]
+
+    def test_single_node(self):
+        assert all(round_robin_node(t, z, 4, 1) == 0 for t in range(3) for z in range(4))
+
+    @pytest.mark.parametrize("bad", [(-1, 0), (0, -1), (0, 9)])
+    def test_invalid_keys(self, bad):
+        with pytest.raises(ValueError):
+            round_robin_node(bad[0], bad[1], 9 if bad[1] < 9 else 9, 2)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            round_robin_node(0, 0, 4, 0)
+
+
+class TestAssignmentTable:
+    def test_balanced_distribution(self):
+        """Paper dataset (32 x 32 slices on 4 nodes) is perfectly balanced."""
+        table = assignment_table(32, 32, 4)
+        counts = [0, 0, 0, 0]
+        for node in table.values():
+            counts[node] += 1
+        assert counts == [256, 256, 256, 256]
+
+    def test_near_balance_when_not_divisible(self):
+        table = assignment_table(5, 3, 4)  # 15 slices on 4 nodes
+        counts = [0] * 4
+        for node in table.values():
+            counts[node] += 1
+        assert max(counts) - min(counts) <= 1
+
+
+class TestSlicesForNode:
+    def test_partition_is_exact(self):
+        all_keys = set()
+        for n in range(3):
+            keys = slices_for_node(n, 4, 5, 3)
+            assert all_keys.isdisjoint(keys)
+            all_keys.update(keys)
+        assert all_keys == {(t, z) for t in range(4) for z in range(5)}
+
+    def test_consistent_with_round_robin(self):
+        for n in range(3):
+            for t, z in slices_for_node(n, 4, 5, 3):
+                assert round_robin_node(t, z, 5, 3) == n
+
+    def test_invalid_node(self):
+        with pytest.raises(ValueError):
+            slices_for_node(3, 4, 5, 3)
