@@ -1,6 +1,17 @@
 """DataCutter-style filter-stream middleware (paper Section 4.1)."""
 
 from .buffers import DataBuffer, EndOfStream
+from .faults import (
+    NO_RETRY,
+    CopyFailure,
+    CrashCopy,
+    DelayBuffers,
+    DropBuffers,
+    FailProcess,
+    FaultPlan,
+    PipelineError,
+    RetryPolicy,
+)
 from .filter import Filter, FilterContext
 from .graph import FilterGraph, FilterSpec, StreamEdge
 from .placement import Placement
@@ -19,6 +30,15 @@ from .xmlspec import graph_from_xml, graph_to_xml
 __all__ = [
     "DataBuffer",
     "EndOfStream",
+    "RetryPolicy",
+    "NO_RETRY",
+    "CopyFailure",
+    "PipelineError",
+    "FaultPlan",
+    "CrashCopy",
+    "FailProcess",
+    "DelayBuffers",
+    "DropBuffers",
     "Filter",
     "FilterContext",
     "FilterGraph",

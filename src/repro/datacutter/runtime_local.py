@@ -7,10 +7,27 @@ NumPy kernels release the GIL in their hot loops, so replicated texture
 filters genuinely overlap.
 
 Per-stream routing honours the configured scheduling policy
-(:mod:`repro.datacutter.scheduling`), and end-of-stream markers propagate
-exactly as in DataCutter: a consumer copy finishes once every producer
-copy of every input stream has signalled completion and its queue is
-drained.
+(:mod:`repro.datacutter.scheduling`).  End-of-stream is tracked at the
+edge router rather than with in-band markers: each producer copy ticks a
+shared ``producers_done`` counter when it finishes, and a consumer copy
+closes the stream only when every producer is done, its own delivery
+accounting has drained to zero, *and* no failed sibling copy still holds
+undelivered buffers.  The close is atomic with routing (same lock), so a
+buffer re-delivered by a dying copy can never race past a survivor's
+shutdown — the DataCutter guarantee (consumer finishes once every
+producer copy of every input stream completes) extends cleanly to
+at-least-once re-delivery.
+
+Fault tolerance (:mod:`repro.datacutter.faults`): every blocking queue
+operation is abort-aware, so a failed copy can never wedge the run.  A
+``process()`` call that raises is retried per the :class:`RetryPolicy`;
+a copy that exhausts its retries is declared dead — its in-hand buffer
+and everything still queued for it are *rerouted* to surviving
+transparent copies (the dead copy's thread stays alive in drain mode,
+re-delivering until its input streams close, so producers never block on
+a dead queue).  Unrecoverable failures trigger a shared abort that
+unblocks every thread, and ``run()`` raises a structured
+:class:`PipelineError` instead of deadlocking.
 
 The runtime records per-copy busy time (time spent inside
 ``generate``/``process``/``finalize``), giving the per-filter processing
@@ -22,15 +39,45 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from .buffers import DataBuffer, EndOfStream
+from .buffers import DataBuffer
+from .faults import (
+    NULL_INJECTOR,
+    CopyFailure,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    PipelineError,
+    RetryPolicy,
+)
 from .filter import Filter, FilterContext
 from .graph import FilterGraph, StreamEdge
 from .scheduling import CopyState, make_policy
 
 __all__ = ["LocalRuntime", "RunResult"]
+
+#: Granularity of abort checks while blocked on a queue (seconds).
+_POLL = 0.05
+
+#: No-op queue token: wakes a consumer blocked in ``get`` so it re-checks
+#: stream closure immediately instead of waiting out a poll interval.
+_WAKE = object()
+
+
+class _Aborted(BaseException):
+    """Internal unwind signal raised inside workers when the run aborts."""
+
+
+class _CopyDied(Exception):
+    """A copy exhausted its retries (or was crashed by injection)."""
+
+    def __init__(self, cause: BaseException, injected: bool):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.injected = injected
 
 
 @dataclass
@@ -41,6 +88,11 @@ class RunResult:
     elapsed: float
     busy_time: Dict[Tuple[str, int], float]
     buffers_sent: Dict[str, int]
+    #: Failure accounting: process() retries, buffers re-delivered to a
+    #: surviving copy, and the copies that died but were recovered from.
+    retries: int = 0
+    reroutes: int = 0
+    failed_copies: List[CopyFailure] = field(default_factory=list)
 
     def filter_busy_time(self, name: str) -> float:
         """Total busy seconds summed over all copies of a filter."""
@@ -50,49 +102,184 @@ class RunResult:
         return self.results.get(key, [])
 
 
-class _EdgeRouter:
-    """Routes buffers of one stream edge to the consumer's copies."""
+class _RunState:
+    """Shared per-run coordination: abort signal and failure accounting."""
 
-    def __init__(self, edge: StreamEdge, consumer_queues: List["queue.Queue"]):
+    def __init__(self) -> None:
+        self.abort = threading.Event()
+        self.lock = threading.Lock()
+        self.failures: List[CopyFailure] = []
+        self.fatal = False
+        self.retries = 0
+        self.reroutes = 0
+
+    def record_failure(self, failure: CopyFailure, fatal: bool) -> None:
+        with self.lock:
+            self.failures.append(failure)
+            if fatal:
+                self.fatal = True
+        if fatal:
+            self.abort.set()
+
+    def trigger_abort(self) -> None:
+        with self.lock:
+            self.fatal = True
+        self.abort.set()
+
+    def count_retry(self) -> None:
+        with self.lock:
+            self.retries += 1
+
+    def count_reroute(self) -> None:
+        with self.lock:
+            self.reroutes += 1
+
+
+class _EdgeRouter:
+    """Routes buffers of one stream edge to the consumer's copies.
+
+    Dead consumer copies are excluded from scheduling; blocked producers
+    re-check the abort signal and the dead set every :data:`_POLL`
+    seconds, so no failure can leave a producer wedged on a full queue.
+    """
+
+    def __init__(
+        self,
+        edge: StreamEdge,
+        consumer_queues: List["queue.Queue"],
+        state: _RunState,
+        n_producers: int,
+    ):
         self.edge = edge
         self.policy = make_policy(edge.policy)
         self.queues = consumer_queues
         self.states = [CopyState(i) for i in range(len(consumer_queues))]
         self.lock = threading.Lock()
+        self.state = state
+        self.n_producers = n_producers
+        self.producers_done = 0
+        self.dead: set = set()  # copies that failed
+        self.departed: set = set()  # copies that closed the stream cleanly
         self.sent = 0
 
-    def route(self, buffer: DataBuffer, dest_copy: Optional[int]) -> None:
+    def mark_dead(self, copy_index: int) -> None:
+        with self.lock:
+            self.dead.add(copy_index)
+
+    def producer_done(self) -> None:
+        """One producer copy finished (its share of the stream is sent)."""
+        with self.lock:
+            self.producers_done += 1
+            last = self.producers_done == self.n_producers
+        if last:
+            self._nudge()
+
+    def _nudge(self) -> None:
+        """Wake blocked consumers so they re-check closure immediately.
+
+        Best-effort: a full queue wakes its consumer on its own.
+        """
+        for q in self.queues:
+            try:
+                q.put_nowait(_WAKE)
+            except queue.Full:
+                pass
+
+    def try_close(self, copy_index: int) -> bool:
+        """Atomically close this consumer copy's view of the stream.
+
+        True once (a) every producer copy signalled completion and
+        (b) every copy's delivery accounting has drained — nothing
+        queued, nothing in flight.  The sibling condition is deliberate:
+        while *any* sibling (alive or dead) still holds buffers, that
+        sibling could yet fail and need this copy as a reroute target.
+        Closing marks the copy *departed* under the routing lock, so a
+        concurrent reroute either lands before the close (keeping the
+        copy alive to process it) or picks a different survivor.
+        """
+        with self.lock:
+            if copy_index in self.departed:
+                return True
+            if self.producers_done < self.n_producers:
+                return False
+            if any(s.queued for s in self.states):
+                return False
+            self.departed.add(copy_index)
+            return True
+
+    def has_survivors(self) -> bool:
+        with self.lock:
+            return len(self.dead | self.departed) < len(self.queues)
+
+    def _pick(self, buffer: DataBuffer, dest_copy: Optional[int]) -> int:
         if self.policy.requires_explicit_dest():
             if dest_copy is None:
                 raise RuntimeError(
                     f"stream {self.edge.stream!r} is explicit: dest_copy required"
                 )
             idx = dest_copy
-        elif dest_copy is not None:
+            if not (0 <= idx < len(self.queues)):
+                raise RuntimeError(
+                    f"stream {self.edge.stream!r}: dest copy {idx} out of range"
+                )
+            with self.lock:
+                if idx in self.dead or idx in self.departed:
+                    # Explicit placement is semantic (all pieces of one
+                    # chunk meet at one copy); a dead destination is
+                    # unrecoverable — abort the run.
+                    self.state.trigger_abort()
+                    raise _Aborted()
+                self.states[idx].on_assign(buffer)
+                self.sent += 1
+            return idx
+        if dest_copy is not None:
             raise RuntimeError(
                 f"stream {self.edge.stream!r} is {self.edge.policy}: "
                 "dest_copy only valid on explicit streams"
             )
-        else:
-            with self.lock:
-                idx = self.policy.choose(self.states, buffer)
-        if not (0 <= idx < len(self.queues)):
-            raise RuntimeError(
-                f"stream {self.edge.stream!r}: dest copy {idx} out of range"
-            )
         with self.lock:
+            gone = self.dead | self.departed
+            alive = [s for s in self.states if s.copy_index not in gone]
+            if not alive:
+                self.state.trigger_abort()
+                raise _Aborted()
+            idx = self.policy.choose(alive, buffer)
             self.states[idx].on_assign(buffer)
             self.sent += 1
-        self.queues[idx].put((self.edge.stream, buffer))
+        return idx
+
+    def route(self, buffer: DataBuffer, dest_copy: Optional[int]) -> None:
+        item = (self.edge.stream, buffer)
+        while True:
+            idx = self._pick(buffer, dest_copy)
+            while True:
+                if self.state.abort.is_set():
+                    raise _Aborted()
+                with self.lock:
+                    died = idx in self.dead and dest_copy is None
+                if died:
+                    # Chosen copy died while we were blocked: undo the
+                    # assignment and pick a survivor instead.
+                    with self.lock:
+                        self.states[idx].on_unassign(buffer)
+                        self.sent -= 1
+                    break
+                try:
+                    self.queues[idx].put(item, timeout=_POLL)
+                    return
+                except queue.Full:
+                    continue
 
     def on_consume(self, copy_index: int) -> None:
         with self.lock:
             self.states[copy_index].on_consume()
-
-    def broadcast_eos(self, producer: str, producer_copy: int) -> None:
-        marker = EndOfStream(producer=producer, copy_index=producer_copy)
-        for q in self.queues:
-            q.put((self.edge.stream, marker))
+            drained = self.producers_done == self.n_producers and not any(
+                s.queued for s in self.states
+            )
+        if drained:
+            # The last in-flight buffer on this edge just completed:
+            # every copy can now close, so don't make them poll for it.
+            self._nudge()
 
 
 class _LocalContext(FilterContext):
@@ -126,13 +313,36 @@ class _LocalContext(FilterContext):
 
 
 class LocalRuntime:
-    """Executes a validated :class:`FilterGraph` with one thread per copy."""
+    """Executes a validated :class:`FilterGraph` with one thread per copy.
 
-    def __init__(self, graph: FilterGraph, max_queue: int = 64):
+    Parameters
+    ----------
+    graph:
+        The filter network to execute.
+    max_queue:
+        Bound on each copy's input queue (backpressure).
+    retry:
+        :class:`RetryPolicy` for failed ``process()`` calls; the default
+        retries 3 times with backoff and reroutes a dead copy's buffers
+        to survivors.  Pass :data:`~repro.datacutter.faults.NO_RETRY`
+        to fail fast.
+    faults:
+        Optional :class:`FaultPlan` to inject failures for testing.
+    """
+
+    def __init__(
+        self,
+        graph: FilterGraph,
+        max_queue: int = 64,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+    ):
         graph.validate()
         self._check_stream_names(graph)
         self.graph = graph
         self.max_queue = max_queue
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
         self._results: Dict[str, List[Any]] = {}
         self._results_lock = threading.Lock()
 
@@ -147,9 +357,50 @@ class LocalRuntime:
                     f"filter {name!r} has duplicate input stream names: {streams}"
                 )
 
-    def run(self) -> RunResult:
+    # -- retry loop --------------------------------------------------------
+
+    def _process_with_retry(
+        self, filt: Filter, stream: str, buffer: DataBuffer, ctx, injector, state
+    ) -> float:
+        """Run ``process()`` with injection + retry; returns busy seconds.
+
+        Raises :class:`_CopyDied` when the copy must be given up on.
+        """
+        attempt = 1
+        while True:
+            try:
+                injector.before_process(buffer, attempt)
+                t0 = time.perf_counter()
+                filt.process(stream, buffer, ctx)
+                dt = time.perf_counter() - t0
+                injector.after_process(buffer)
+                return dt
+            except InjectedCrash as exc:
+                raise _CopyDied(exc, injected=True) from exc
+            except _Aborted:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - retried or reported
+                if attempt >= self.retry.max_attempts:
+                    raise _CopyDied(exc, injected=isinstance(exc, InjectedFault))
+                state.count_retry()
+                delay = self.retry.delay(attempt)
+                deadline = time.perf_counter() + delay
+                while time.perf_counter() < deadline:
+                    if state.abort.is_set():
+                        raise _Aborted()
+                    time.sleep(min(_POLL, max(0.0, deadline - time.perf_counter())))
+                attempt += 1
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, timeout: Optional[float] = None) -> RunResult:
         self._results = {}  # fresh result store per execution
         graph = self.graph
+        if self.faults is not None:
+            self.faults.validate(
+                {name: spec.copies for name, spec in graph.filters.items()}
+            )
+        state = _RunState()
         # Input queues per (filter, copy).
         queues: Dict[Tuple[str, int], queue.Queue] = {}
         for spec in graph.filters.values():
@@ -162,30 +413,34 @@ class LocalRuntime:
             consumer_queues = [
                 queues[(edge.dst, i)] for i in range(graph.copies(edge.dst))
             ]
-            routers[(edge.src, edge.stream)] = _EdgeRouter(edge, consumer_queues)
+            routers[(edge.src, edge.stream)] = _EdgeRouter(
+                edge, consumer_queues, state, n_producers=graph.copies(edge.src)
+            )
 
         busy: Dict[Tuple[str, int], float] = {}
-        errors: List[BaseException] = []
-        err_lock = threading.Lock()
         threads: List[threading.Thread] = []
 
         def worker(spec_name: str, copy_index: int) -> None:
             spec = graph.filters[spec_name]
-            filt = spec.factory()
+            injector = (
+                self.faults.injector_for(spec_name, copy_index)
+                if self.faults is not None
+                else NULL_INJECTOR
+            )
             out_routers = {
                 e.stream: routers[(spec_name, e.stream)]
                 for e in graph.out_edges(spec_name)
             }
-            ctx = _LocalContext(
-                self, spec_name, copy_index, spec.copies, out_routers
-            )
             in_edges = graph.in_edges(spec_name)
-            eos_needed = {e.stream: graph.copies(e.src) for e in in_edges}
-            eos_seen = {e.stream: 0 for e in in_edges}
             in_routers = {e.stream: routers[(e.src, e.stream)] for e in in_edges}
             q = queues[(spec_name, copy_index)]
             t_busy = 0.0
+            dead = False  # this copy failed but drains/reroutes its queue
             try:
+                filt = spec.factory()
+                ctx = _LocalContext(
+                    self, spec_name, copy_index, spec.copies, out_routers
+                )
                 t0 = time.perf_counter()
                 filt.initialize(ctx)
                 t_busy += time.perf_counter() - t0
@@ -194,47 +449,125 @@ class LocalRuntime:
                     filt.generate(ctx)
                     t_busy += time.perf_counter() - t0
                 else:
-                    open_streams = set(eos_needed)
+                    open_streams = set(in_routers)
                     while open_streams:
-                        stream, item = q.get()
-                        if isinstance(item, EndOfStream):
-                            eos_seen[stream] += 1
-                            if eos_seen[stream] == eos_needed[stream]:
-                                open_streams.discard(stream)
+                        if state.abort.is_set():
+                            raise _Aborted()
+                        try:
+                            got = q.get(timeout=_POLL)
+                        except queue.Empty:
+                            got = _WAKE
+                        if got is _WAKE:
+                            # Nothing queued (or a producer-done nudge):
+                            # see whether any stream can close (all
+                            # producers done, nothing pending here or on
+                            # a dead sibling still draining).
+                            for s in list(open_streams):
+                                if in_routers[s].try_close(copy_index):
+                                    open_streams.discard(s)
                             continue
-                        t0 = time.perf_counter()
-                        filt.process(stream, item, ctx)
-                        t_busy += time.perf_counter() - t0
-                        in_routers[stream].on_consume(copy_index)
-                t0 = time.perf_counter()
-                filt.finalize(ctx)
-                t_busy += time.perf_counter() - t0
+                        stream, item = got
+                        router = in_routers[stream]
+                        if dead:
+                            # Drain mode: this copy is gone, but it keeps
+                            # its queue moving — every buffer is handed
+                            # back to the router for a surviving copy, so
+                            # producers never block on a dead queue.  The
+                            # re-assign happens *before* on_consume so the
+                            # buffer is never invisible to try_close.
+                            state.count_reroute()
+                            router.route(item, None)
+                            router.on_consume(copy_index)
+                            continue
+                        try:
+                            t_busy += self._process_with_retry(
+                                filt, stream, item, ctx, injector, state
+                            )
+                            router.on_consume(copy_index)
+                        except _CopyDied as died_exc:
+                            for r in in_routers.values():
+                                r.mark_dead(copy_index)
+                            failure = CopyFailure(
+                                filter_name=spec_name,
+                                copy_index=copy_index,
+                                error=repr(died_exc.cause),
+                                kind="crash" if died_exc.injected else "exception",
+                                injected=died_exc.injected,
+                            )
+                            recoverable = (
+                                self.retry.reroute
+                                and all(
+                                    not r.policy.requires_explicit_dest()
+                                    for r in in_routers.values()
+                                )
+                                and all(
+                                    r.has_survivors() for r in in_routers.values()
+                                )
+                            )
+                            if not recoverable:
+                                state.record_failure(failure, fatal=True)
+                                raise _Aborted() from died_exc
+                            failure.recovered = True
+                            state.record_failure(failure, fatal=False)
+                            state.count_reroute()
+                            router.route(item, None)
+                            router.on_consume(copy_index)
+                            dead = True
+                if not dead:
+                    t0 = time.perf_counter()
+                    filt.finalize(ctx)
+                    t_busy += time.perf_counter() - t0
+            except _Aborted:
+                pass
             except BaseException as exc:  # noqa: BLE001 - reported to caller
-                with err_lock:
-                    errors.append(exc)
+                state.record_failure(
+                    CopyFailure(
+                        filter_name=spec_name,
+                        copy_index=copy_index,
+                        error="".join(
+                            traceback.format_exception_only(type(exc), exc)
+                        ).strip(),
+                        kind="exception",
+                        injected=isinstance(exc, (InjectedFault, InjectedCrash)),
+                    ),
+                    fatal=True,
+                )
             finally:
+                # Tick completion even on failure/abort: consumers must
+                # never wait for a producer copy that will not send more.
                 for e in graph.out_edges(spec_name):
-                    routers[(spec_name, e.stream)].broadcast_eos(
-                        spec_name, copy_index
-                    )
+                    routers[(spec_name, e.stream)].producer_done()
                 busy[(spec_name, copy_index)] = t_busy
 
         start = time.perf_counter()
         for spec in graph.filters.values():
             for i in range(spec.copies):
                 th = threading.Thread(
-                    target=worker, args=(spec.name, i), name=f"{spec.name}[{i}]"
+                    target=worker,
+                    args=(spec.name, i),
+                    name=f"{spec.name}[{i}]",
+                    daemon=True,
                 )
                 th.start()
                 threads.append(th)
+        deadline = None if timeout is None else start + timeout
+        timed_out = False
         for th in threads:
-            th.join()
+            while th.is_alive():
+                th.join(timeout=_POLL * 4)
+                if deadline is not None and time.perf_counter() > deadline:
+                    timed_out = True
+                    state.trigger_abort()
+                    deadline = None  # abort set; now join for real
         elapsed = time.perf_counter() - start
 
-        if errors:
-            raise RuntimeError(
-                f"{len(errors)} filter copies failed; first: {errors[0]!r}"
-            ) from errors[0]
+        if timed_out:
+            raise PipelineError(
+                state.failures,
+                f"pipeline did not finish within {timeout}s",
+            )
+        if state.fatal:
+            raise PipelineError(state.failures)
 
         buffers_sent = {
             f"{src}:{stream}": r.sent for (src, stream), r in routers.items()
@@ -244,4 +577,7 @@ class LocalRuntime:
             elapsed=elapsed,
             busy_time=busy,
             buffers_sent=buffers_sent,
+            retries=state.retries,
+            reroutes=state.reroutes,
+            failed_copies=list(state.failures),
         )

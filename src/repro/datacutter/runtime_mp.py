@@ -11,6 +11,22 @@ Semantics (stream policies, explicit routing, end-of-stream protocol,
 result deposits) match :class:`~repro.datacutter.runtime_local.LocalRuntime`
 exactly; both execute the same :class:`~repro.datacutter.graph.FilterGraph`.
 
+Fault tolerance matches the threaded runtime too, with the extra failure
+mode real deployments have: a child can die without saying goodbye.  The
+parent therefore watches every child's exitcode while it collects control
+messages; a child that exits without its terminal message gets a
+synthesized :class:`CopyFailure` (``kind="exitcode"``) and the shared
+abort flag unblocks everyone — ``run()`` raises a structured
+:class:`PipelineError` in bounded time instead of hanging on
+``results_q.get()``.  Recoverable failures are handled child-side: a copy
+whose ``process()`` exhausts its retries marks itself dead in the shared
+edge state (so producers stop picking it), reroutes its in-hand buffer,
+and keeps draining its queue — re-delivering everything to surviving
+copies — until its input streams close.  End-of-stream is router-level,
+as in the threaded runtime: shared ``producers_done`` counters plus an
+atomic departed/queued check, so a survivor can never shut down while a
+dying sibling still holds buffers destined for it.
+
 Notes
 -----
 * Requires a ``fork``-capable platform (Linux): filter factories may be
@@ -24,12 +40,22 @@ Notes
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import time
 import traceback
 from typing import Any, Dict, List, Optional, Tuple
 
-from .buffers import DataBuffer, EndOfStream
+from .buffers import DataBuffer
+from .faults import (
+    NULL_INJECTOR,
+    CopyFailure,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    PipelineError,
+    RetryPolicy,
+)
 from .filter import FilterContext
 from .graph import FilterGraph, StreamEdge
 from .runtime_local import RunResult
@@ -38,35 +64,111 @@ __all__ = ["MPRuntime"]
 
 _CTRL_DONE = "__copy_done__"
 _CTRL_ERROR = "__copy_error__"
+_CTRL_FAILED = "__copy_failed__"
 _CTRL_DEPOSIT = "__deposit__"
+
+#: Granularity of abort checks while blocked on a queue (seconds).
+_POLL = 0.05
+#: How long after a child exits the parent waits for its (possibly still
+#: buffered) terminal message before declaring it silently dead.
+_EXIT_GRACE = 2.0
+#: Exit status used for injected hard kills (mimics an uncaught signal).
+_HARD_EXIT = 19
+
+
+class _Aborted(BaseException):
+    """Internal unwind signal raised in children when the run aborts."""
+
+
+class _CopyDied(Exception):
+    def __init__(self, cause: BaseException, injected: bool):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.injected = injected
 
 
 class _SharedEdge:
     """Cross-process routing state for one stream edge."""
 
-    def __init__(self, edge: StreamEdge, num_consumers: int, max_queue: int, ctx):
+    def __init__(
+        self,
+        edge: StreamEdge,
+        num_consumers: int,
+        max_queue: int,
+        ctx,
+        n_producers: int,
+    ):
         self.edge = edge
         self.num_consumers = num_consumers
+        self.n_producers = n_producers
         self.queues = [ctx.Queue(maxsize=max_queue) for _ in range(num_consumers)]
         self.lock = ctx.Lock()
         # Shared per-consumer depth and assignment counters.
         self.queued = ctx.Array("l", [0] * num_consumers)
         self.assigned = ctx.Array("l", [0] * num_consumers)
+        # 1 where the consumer copy has been declared dead.
+        self.dead = ctx.Array("i", [0] * num_consumers)
+        # 1 where the consumer copy closed the stream cleanly.
+        self.departed = ctx.Array("i", [0] * num_consumers)
+        # Producer copies that finished sending (router-level EOS).
+        self.producers_done = ctx.Value("l", 0)
         self.rr_next = ctx.Value("l", 0)
         self.sent = ctx.Value("l", 0)
+        self.rerouted = ctx.Value("l", 0)
 
-    def choose(self, buffer: DataBuffer) -> int:
+    def mark_dead(self, idx: int) -> None:
+        with self.lock:
+            self.dead[idx] = 1
+
+    def producer_done(self) -> None:
+        """One producer copy finished (its share of the stream is sent)."""
+        with self.lock:
+            self.producers_done.value += 1
+
+    def try_close(self, idx: int) -> bool:
+        """Atomically close consumer copy ``idx``'s view of the stream.
+
+        True once every producer copy is done and every copy's delivery
+        accounting drained to zero.  The sibling condition is deliberate:
+        while *any* sibling (alive or dead) still holds buffers, that
+        sibling could yet fail and need this copy as a reroute target.
+        The close marks the copy departed under the routing lock, so it
+        can never race a concurrent re-delivery.
+        """
+        with self.lock:
+            if self.departed[idx]:
+                return True
+            if self.producers_done.value < self.n_producers:
+                return False
+            for j in range(self.num_consumers):
+                if self.queued[j]:
+                    return False
+            self.departed[idx] = 1
+            return True
+
+    def has_survivors(self) -> bool:
+        with self.lock:
+            return any(
+                self.dead[i] == 0 and self.departed[i] == 0
+                for i in range(self.num_consumers)
+            )
+
+    def choose(self, buffer: DataBuffer, abort) -> int:
         policy = self.edge.policy
         with self.lock:
+            alive = [
+                i
+                for i in range(self.num_consumers)
+                if self.dead[i] == 0 and self.departed[i] == 0
+            ]
+            if not alive:
+                abort.value = 1
+                raise _Aborted()
             if policy == "round_robin":
-                idx = self.rr_next.value % self.num_consumers
+                idx = alive[self.rr_next.value % len(alive)]
                 self.rr_next.value += 1
             elif policy == "demand_driven":
-                depths = [
-                    (self.queued[i], self.assigned[i], i)
-                    for i in range(self.num_consumers)
-                ]
-                idx = min(depths)[2]
+                idx = min(alive, key=lambda i: (self.queued[i], self.assigned[i], i))
             else:
                 raise RuntimeError(
                     f"stream {self.edge.stream!r} is explicit: dest_copy required"
@@ -76,26 +178,78 @@ class _SharedEdge:
             self.sent.value += 1
         return idx
 
-    def assign_explicit(self, idx: int) -> None:
+    def assign_explicit(self, idx: int, abort) -> None:
         if not (0 <= idx < self.num_consumers):
             raise RuntimeError(
                 f"stream {self.edge.stream!r}: dest copy {idx} out of range"
             )
         with self.lock:
+            if self.dead[idx] or self.departed[idx]:
+                # Explicit placement is semantic (all pieces of one chunk
+                # meet at one copy); a dead destination is unrecoverable.
+                abort.value = 1
+                raise _Aborted()
             self.queued[idx] += 1
             self.assigned[idx] += 1
             self.sent.value += 1
+
+    def unassign(self, idx: int) -> None:
+        with self.lock:
+            self.queued[idx] -= 1
+            self.assigned[idx] -= 1
+            self.sent.value -= 1
 
     def on_consume(self, idx: int) -> None:
         with self.lock:
             self.queued[idx] -= 1
 
+    def deliver(self, buffer: DataBuffer, dest_copy: Optional[int], abort) -> None:
+        """Abort-aware routed put; repicks if the chosen copy dies."""
+        explicit = self.edge.policy == "explicit"
+        item = (self.edge.stream, buffer)
+        while True:
+            if explicit:
+                if dest_copy is None:
+                    raise RuntimeError(
+                        f"stream {self.edge.stream!r} is explicit: "
+                        "dest_copy required"
+                    )
+                idx = dest_copy
+                self.assign_explicit(idx, abort)
+            else:
+                if dest_copy is not None:
+                    raise RuntimeError(
+                        f"stream {self.edge.stream!r} is {self.edge.policy}: "
+                        "dest_copy only valid on explicit streams"
+                    )
+                idx = self.choose(buffer, abort)
+            while True:
+                if abort.value:
+                    raise _Aborted()
+                if not explicit and self.dead[idx]:
+                    # Died while we were blocked: undo and re-pick.
+                    self.unassign(idx)
+                    with self.lock:
+                        self.rerouted.value += 1
+                    break
+                try:
+                    self.queues[idx].put(item, timeout=_POLL)
+                    return
+                except queue_mod.Full:
+                    continue
+
+    def reroute(self, buffer: DataBuffer, abort) -> None:
+        with self.lock:
+            self.rerouted.value += 1
+        self.deliver(buffer, None, abort)
+
 
 class _MPContext(FilterContext):
-    def __init__(self, filter_name, copy_index, num_copies, out_edges, results_q):
+    def __init__(self, filter_name, copy_index, num_copies, out_edges, results_q, abort):
         super().__init__(filter_name, copy_index, num_copies)
         self._out = out_edges
         self._results_q = results_q
+        self._abort = abort
 
     def send(self, stream, payload, size_bytes=0, metadata=None, dest_copy=None):
         try:
@@ -107,21 +261,7 @@ class _MPContext(FilterContext):
         buf = DataBuffer(
             payload=payload, size_bytes=size_bytes, metadata=dict(metadata or {})
         )
-        if shared.edge.policy == "explicit":
-            if dest_copy is None:
-                raise RuntimeError(
-                    f"stream {stream!r} is explicit: dest_copy required"
-                )
-            idx = dest_copy
-            shared.assign_explicit(idx)
-        elif dest_copy is not None:
-            raise RuntimeError(
-                f"stream {stream!r} is {shared.edge.policy}: dest_copy only "
-                "valid on explicit streams"
-            )
-        else:
-            idx = shared.choose(buf)
-        shared.queues[idx].put((stream, buf))
+        shared.deliver(buf, dest_copy, self._abort)
 
     def deposit(self, key, value):
         self._results_q.put((_CTRL_DEPOSIT, key, value))
@@ -134,27 +274,70 @@ def _copy_main(
     in_edges: Dict[str, _SharedEdge],
     out_edges: Dict[str, _SharedEdge],
     results_q,
+    abort,
+    retry: RetryPolicy,
+    faults: Optional[FaultPlan],
 ) -> None:
     """Child-process entry point for one filter copy."""
     spec = graph.filters[spec_name]
+    injector = (
+        faults.injector_for(spec_name, copy_index)
+        if faults is not None
+        else NULL_INJECTOR
+    )
     t_busy = 0.0
-    failed = False
+    retries = 0
+    reroutes = 0
+    terminal_sent = False
+    dead_failure: Optional[CopyFailure] = None
+
+    def process_with_retry(filt, stream, buffer, ctx) -> float:
+        nonlocal retries
+        attempt = 1
+        while True:
+            try:
+                injector.before_process(buffer, attempt)
+                t0 = time.perf_counter()
+                filt.process(stream, buffer, ctx)
+                dt = time.perf_counter() - t0
+                injector.after_process(buffer)
+                return dt
+            except InjectedCrash as exc:
+                if exc.hard:
+                    # A real crash: no cleanup, no control message, no
+                    # EOS — the parent's exitcode watcher must catch it.
+                    os._exit(_HARD_EXIT)
+                raise _CopyDied(exc, injected=True) from exc
+            except _Aborted:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - retried or reported
+                if attempt >= retry.max_attempts:
+                    raise _CopyDied(exc, injected=isinstance(exc, InjectedFault))
+                retries += 1
+                deadline = time.perf_counter() + retry.delay(attempt)
+                while time.perf_counter() < deadline:
+                    if abort.value:
+                        raise _Aborted()
+                    time.sleep(min(_POLL, max(0.0, deadline - time.perf_counter())))
+                attempt += 1
+
     try:
         filt = spec.factory()
-        ctx = _MPContext(spec_name, copy_index, spec.copies, out_edges, results_q)
-        eos_needed = {e.stream: graph.copies(e.src) for e in graph.in_edges(spec_name)}
-        eos_seen = {stream: 0 for stream in eos_needed}
-
+        ctx = _MPContext(
+            spec_name, copy_index, spec.copies, out_edges, results_q, abort
+        )
         t0 = time.perf_counter()
         filt.initialize(ctx)
         t_busy += time.perf_counter() - t0
-        if not eos_needed:
+        if not in_edges:
             t0 = time.perf_counter()
             filt.generate(ctx)
             t_busy += time.perf_counter() - t0
         else:
-            open_streams = set(eos_needed)
+            open_streams = set(in_edges)
             while open_streams:
+                if abort.value:
+                    raise _Aborted()
                 # Poll each open input edge's queue for this copy.
                 item = None
                 for stream in list(open_streams):
@@ -165,42 +348,94 @@ def _copy_main(
                         continue
                     break
                 if item is None:
+                    # Nothing queued: see whether any stream can close
+                    # (all producers done, nothing pending here or on a
+                    # dead sibling still draining).
+                    for stream in list(open_streams):
+                        if in_edges[stream].try_close(copy_index):
+                            open_streams.discard(stream)
                     continue
                 stream, payload = item
-                if isinstance(payload, EndOfStream):
-                    eos_seen[stream] += 1
-                    if eos_seen[stream] == eos_needed[stream]:
-                        open_streams.discard(stream)
+                shared = in_edges[stream]
+                if dead_failure is not None:
+                    # Drain mode: this copy is gone, but it keeps its
+                    # queue moving — every buffer is re-delivered to a
+                    # surviving copy, so producers never block on a dead
+                    # queue.  Re-deliver *before* on_consume so the
+                    # buffer is never invisible to try_close.
+                    reroutes += 1
+                    shared.reroute(payload, abort)
+                    shared.on_consume(copy_index)
                     continue
-                t0 = time.perf_counter()
-                filt.process(stream, payload, ctx)
-                t_busy += time.perf_counter() - t0
-                in_edges[stream].on_consume(copy_index)
-        t0 = time.perf_counter()
-        filt.finalize(ctx)
-        t_busy += time.perf_counter() - t0
-    except BaseException:  # noqa: BLE001 - reported to parent
-        failed = True
-        results_q.put((_CTRL_ERROR, spec_name, copy_index, traceback.format_exc()))
-    finally:
-        # EOS to all downstream copies, then report completion.  The put
-        # is bounded so a crashed consumer cannot wedge this producer.
-        for e in graph.out_edges(spec_name):
-            shared = out_edges[e.stream]
-            marker = EndOfStream(producer=spec_name, copy_index=copy_index)
-            for q in shared.queues:
                 try:
-                    q.put((e.stream, marker), timeout=30)
-                except queue_mod.Full:
-                    pass
-        if not failed:
-            results_q.put((_CTRL_DONE, spec_name, copy_index, t_busy))
+                    t_busy += process_with_retry(filt, stream, payload, ctx)
+                    shared.on_consume(copy_index)
+                except _CopyDied as died:
+                    for e in in_edges.values():
+                        e.mark_dead(copy_index)
+                    failure = CopyFailure(
+                        filter_name=spec_name,
+                        copy_index=copy_index,
+                        error=repr(died.cause),
+                        kind="crash" if died.injected else "exception",
+                        injected=died.injected,
+                    )
+                    recoverable = (
+                        retry.reroute
+                        and all(
+                            e.edge.policy != "explicit" for e in in_edges.values()
+                        )
+                        and all(e.has_survivors() for e in in_edges.values())
+                    )
+                    if not recoverable:
+                        results_q.put(
+                            (_CTRL_FAILED, failure, t_busy, retries, reroutes)
+                        )
+                        terminal_sent = True
+                        abort.value = 1
+                        raise _Aborted() from died
+                    failure.recovered = True
+                    dead_failure = failure
+                    reroutes += 1
+                    shared.reroute(payload, abort)
+                    shared.on_consume(copy_index)
+        if dead_failure is None:
+            t0 = time.perf_counter()
+            filt.finalize(ctx)
+            t_busy += time.perf_counter() - t0
+    except _Aborted:
+        return  # parent already knows (or set the abort itself)
+    except BaseException:  # noqa: BLE001 - reported to parent
+        results_q.put((_CTRL_ERROR, spec_name, copy_index, traceback.format_exc()))
+        terminal_sent = True
+    finally:
+        # Tick router-level EOS (never blocks), then report completion.
+        # Consumers must never wait for a producer copy that is gone.
+        for e in graph.out_edges(spec_name):
+            out_edges[e.stream].producer_done()
+        if not terminal_sent and not abort.value:
+            if dead_failure is not None:
+                results_q.put(
+                    (_CTRL_FAILED, dead_failure, t_busy, retries, reroutes)
+                )
+            else:
+                results_q.put((_CTRL_DONE, spec_name, copy_index, t_busy, retries))
 
 
 class MPRuntime:
-    """Executes a filter graph with one process per filter copy."""
+    """Executes a filter graph with one process per filter copy.
 
-    def __init__(self, graph: FilterGraph, max_queue: int = 16):
+    Accepts the same ``retry`` / ``faults`` parameters as
+    :class:`~repro.datacutter.runtime_local.LocalRuntime`.
+    """
+
+    def __init__(
+        self,
+        graph: FilterGraph,
+        max_queue: int = 16,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+    ):
         graph.validate()
         for name in graph.filters:
             streams = [e.stream for e in graph.in_edges(name)]
@@ -210,20 +445,30 @@ class MPRuntime:
                 )
         self.graph = graph
         self.max_queue = max_queue
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
 
     def run(self, timeout: Optional[float] = None) -> RunResult:
         graph = self.graph
+        if self.faults is not None:
+            self.faults.validate(
+                {name: spec.copies for name, spec in graph.filters.items()}
+            )
         ctx = mp.get_context("fork")
         results_q = ctx.Queue()
+        abort = ctx.Value("i", 0)
 
         edges: Dict[Tuple[str, str], _SharedEdge] = {}
         for edge in graph.edges:
             edges[(edge.src, edge.stream)] = _SharedEdge(
-                edge, graph.copies(edge.dst), self.max_queue, ctx
+                edge,
+                graph.copies(edge.dst),
+                self.max_queue,
+                ctx,
+                n_producers=graph.copies(edge.src),
             )
 
-        procs: List[mp.Process] = []
-        total_copies = 0
+        procs: List[Tuple[mp.Process, str, int]] = []
         start = time.perf_counter()
         for spec in graph.filters.values():
             in_edges = {
@@ -236,49 +481,122 @@ class MPRuntime:
             for i in range(spec.copies):
                 p = ctx.Process(
                     target=_copy_main,
-                    args=(graph, spec.name, i, in_edges, out_edges, results_q),
+                    args=(graph, spec.name, i, in_edges, out_edges, results_q,
+                          abort, self.retry, self.faults),
                     name=f"{spec.name}[{i}]",
                 )
                 p.start()
-                procs.append(p)
-                total_copies += 1
+                procs.append((p, spec.name, i))
 
         results: Dict[str, List[Any]] = {}
         busy: Dict[Tuple[str, int], float] = {}
-        errors: List[str] = []
-        done = 0
+        failures: List[CopyFailure] = []
+        total_retries = 0
+        drain_reroutes = 0
+        fatal = False
+        timed_out = False
+        terminal: set = set()  # (name, idx) that sent DONE/FAILED/ERROR
+        exited_at: Dict[Tuple[str, int], float] = {}
         deadline = None if timeout is None else start + timeout
-        while done < total_copies:
-            remaining = None if deadline is None else max(0.1, deadline - time.perf_counter())
-            try:
-                msg = results_q.get(timeout=remaining)
-            except queue_mod.Empty:
-                for p in procs:
-                    p.terminate()
-                raise TimeoutError(f"pipeline did not finish within {timeout}s")
-            kind = msg[0]
-            if kind == _CTRL_DEPOSIT:
-                _, key, value = msg
-                results.setdefault(key, []).append(value)
-            elif kind == _CTRL_DONE:
-                _, name, idx, t_busy = msg
-                busy[(name, idx)] = t_busy
-                done += 1
-            elif kind == _CTRL_ERROR:
-                _, name, idx, tb = msg
-                errors.append(f"{name}[{idx}]:\n{tb}")
-                done += 1
 
-        for p in procs:
-            p.join(timeout=10)
-            if p.is_alive():
-                p.terminate()
+        while len(terminal) < len(procs):
+            try:
+                msg = results_q.get(timeout=0.1)
+            except queue_mod.Empty:
+                msg = None
+            if msg is not None:
+                kind = msg[0]
+                if kind == _CTRL_DEPOSIT:
+                    _, key, value = msg
+                    results.setdefault(key, []).append(value)
+                elif kind == _CTRL_DONE:
+                    _, name, idx, t_busy, retries = msg
+                    busy[(name, idx)] = t_busy
+                    total_retries += retries
+                    terminal.add((name, idx))
+                elif kind == _CTRL_FAILED:
+                    _, failure, t_busy, retries, reroutes = msg
+                    busy[(failure.filter_name, failure.copy_index)] = t_busy
+                    total_retries += retries
+                    drain_reroutes += reroutes
+                    failures.append(failure)
+                    terminal.add((failure.filter_name, failure.copy_index))
+                    if not failure.recovered:
+                        fatal = True
+                elif kind == _CTRL_ERROR:
+                    _, name, idx, tb = msg
+                    failures.append(
+                        CopyFailure(
+                            filter_name=name,
+                            copy_index=idx,
+                            error=tb.strip(),
+                            kind="exception",
+                        )
+                    )
+                    terminal.add((name, idx))
+                    fatal = True
+            # Watch for children that died without a terminal message
+            # (hard kill, segfault, os._exit): synthesize their failure.
+            now = time.monotonic()
+            for p, name, idx in procs:
+                key = (name, idx)
+                if key in terminal or p.exitcode is None:
+                    continue
+                first_seen = exited_at.setdefault(key, now)
+                if now - first_seen >= _EXIT_GRACE:
+                    failures.append(
+                        CopyFailure(
+                            filter_name=name,
+                            copy_index=idx,
+                            error=(
+                                f"process exited with code {p.exitcode} "
+                                "without reporting completion"
+                            ),
+                            kind="exitcode",
+                            exitcode=p.exitcode,
+                        )
+                    )
+                    terminal.add(key)
+                    fatal = True
+            if fatal:
+                abort.value = 1
+                break
+            if deadline is not None and time.perf_counter() > deadline:
+                timed_out = True
+                abort.value = 1
+                break
+
+        if abort.value:
+            # Give children a moment to observe the abort, then reap.
+            for p, _, _ in procs:
+                p.join(timeout=5)
+            for p, _, _ in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=5)
+        else:
+            # Normal completion: drain any deposits still in flight.
+            for p, _, _ in procs:
+                p.join(timeout=10)
+                if p.is_alive():
+                    p.terminate()
+            while True:
+                try:
+                    msg = results_q.get_nowait()
+                except queue_mod.Empty:
+                    break
+                if msg[0] == _CTRL_DEPOSIT:
+                    _, key, value = msg
+                    results.setdefault(key, []).append(value)
         elapsed = time.perf_counter() - start
 
-        if errors:
-            raise RuntimeError(
-                f"{len(errors)} filter copies failed; first:\n{errors[0]}"
+        if timed_out:
+            raise PipelineError(
+                failures, f"pipeline did not finish within {timeout}s"
             )
+        if fatal:
+            raise PipelineError(failures)
+
         buffers_sent = {
             f"{src}:{stream}": e.sent.value for (src, stream), e in edges.items()
         }
@@ -287,4 +605,7 @@ class MPRuntime:
             elapsed=elapsed,
             busy_time=busy,
             buffers_sent=buffers_sent,
+            retries=total_retries,
+            reroutes=sum(e.rerouted.value for e in edges.values()),
+            failed_copies=failures,
         )

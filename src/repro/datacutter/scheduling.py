@@ -52,6 +52,15 @@ class CopyState:
             raise RuntimeError(f"copy {self.copy_index} consumed more than assigned")
         self.queued -= 1
 
+    def on_unassign(self, buffer: DataBuffer) -> None:
+        """Undo :meth:`on_assign` for a buffer that was never delivered
+        (its copy died while the producer was blocked on the full queue)."""
+        if self.queued <= 0 or self.assigned <= 0:
+            raise RuntimeError(f"copy {self.copy_index} unassign underflow")
+        self.queued -= 1
+        self.assigned -= 1
+        self.assigned_bytes -= buffer.size_bytes
+
 
 class SchedulingPolicy(abc.ABC):
     """Chooses the consumer copy for each buffer on one stream edge."""

@@ -47,6 +47,10 @@ class HaralickImageConstructor(Filter):
         self._partial: Dict[Tuple[int, ...], Dict[str, np.ndarray]] = {}
         self._filled: Dict[Tuple[int, ...], int] = {}
         self._chunks: Dict[Tuple[int, ...], ChunkSpec] = {}
+        # At-least-once delivery dedup: portion positions already merged
+        # per chunk, and chunks already placed into the stitcher.
+        self._seen_starts: Dict[Tuple[int, ...], set] = {}
+        self._placed: set = set()
 
     def process(self, stream: str, buffer: DataBuffer, ctx: FilterContext) -> None:
         portion = buffer.payload
@@ -54,6 +58,8 @@ class HaralickImageConstructor(Filter):
             raise TypeError(f"HIC expected FeaturePortion, got {type(portion).__name__}")
         chunk = portion.chunk
         key = chunk.index
+        if key in self._placed or portion.start in self._seen_starts.get(key, ()):
+            return  # re-delivered portion (at-least-once): already merged
         local_grid = tuple(
             s - r + 1 for s, r in zip(chunk.shape, self.roi.shape)
         )
@@ -70,6 +76,7 @@ class HaralickImageConstructor(Filter):
             if name not in portion.values:
                 raise ValueError(f"portion missing feature {name!r}")
             store[name][portion.start : portion.start + count] = portion.values[name]
+        self._seen_starts.setdefault(key, set()).add(portion.start)
         self._filled[key] += count
         if self._filled[key] > npos:
             raise RuntimeError(f"chunk {key}: received more values than positions")
@@ -78,6 +85,8 @@ class HaralickImageConstructor(Filter):
                 name: arr.reshape(local_grid) for name, arr in store.items()
             }
             self.stitcher.place(self._chunks[key], local)
+            self._placed.add(key)
+            self._seen_starts.pop(key, None)
             del self._partial[key], self._filled[key], self._chunks[key]
 
     def finalize(self, ctx: FilterContext) -> None:

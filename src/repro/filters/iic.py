@@ -40,6 +40,11 @@ class InputImageConstructor(Filter):
         self._pending_planes: Dict[int, Dict[Tuple[int, int], "object"]] = {}
         self._my_chunks: Dict[int, ChunkSpec] = {}
         self._emitted = 0
+        # At-least-once delivery dedup: planes already handed to the
+        # assembler and chunks already emitted (re-delivered portions for
+        # either are silently dropped, keeping duplicates idempotent).
+        self._seen_planes: Dict[int, set] = {}
+        self._emitted_chunks: set = set()
 
     def initialize(self, ctx: FilterContext) -> None:
         for li, chunk in enumerate(self.all_chunks):
@@ -61,6 +66,10 @@ class InputImageConstructor(Filter):
                 and chunk.lo[2] <= portion.z < chunk.hi[2]
             ):
                 continue
+            if li in self._emitted_chunks:
+                continue  # duplicate delivery for an already-emitted chunk
+            if (portion.t, portion.z) in self._seen_planes.get(li, ()):
+                continue  # this plane already reached the assembler
             # Require the portion to cover the chunk's in-plane region
             # fully (whole-slice reads always do; in-plane blocks that
             # only partially cover are accumulated per plane).
@@ -77,6 +86,7 @@ class InputImageConstructor(Filter):
                 ]
                 asm = self._assembler(li)
                 asm.add_plane(portion.t, portion.z, plane)
+                self._seen_planes.setdefault(li, set()).add((portion.t, portion.z))
             else:
                 self._accumulate_partial(li, chunk, portion)
             asm = self._assemblers.get(li)
@@ -109,6 +119,7 @@ class InputImageConstructor(Filter):
         entry["covered"][ix0 - cx0 : ix1 - cx0, iy0 - cy0 : iy1 - cy0] = True
         if entry["covered"].all():
             self._assembler(li).add_plane(portion.t, portion.z, entry["data"])
+            self._seen_planes.setdefault(li, set()).add(key)
             del store[key]
 
     def _emit(self, li: int, ctx: FilterContext) -> None:
@@ -122,6 +133,8 @@ class InputImageConstructor(Filter):
             metadata={"kind": "chunk", "n_rois": chunk.num_rois},
         )
         self._emitted += 1
+        self._emitted_chunks.add(li)
+        self._seen_planes.pop(li, None)
 
     def finalize(self, ctx: FilterContext) -> None:
         unfinished = [li for li, asm in self._assemblers.items() if not asm.is_complete]

@@ -39,6 +39,10 @@ class UnstitchedOutput(Filter):
         self.roi = ROISpec(roi_shape)
         self._files: Dict[str, "object"] = {}
         self._counts: Dict[str, int] = {}
+        # At-least-once delivery dedup: (chunk index, portion start)
+        # already written — re-delivered portions would otherwise write
+        # duplicate records and combine_uso_outputs would reject them.
+        self._seen: set = set()
 
     def initialize(self, ctx: FilterContext) -> None:
         os.makedirs(self.output_dir, exist_ok=True)
@@ -56,6 +60,10 @@ class UnstitchedOutput(Filter):
         portion = buffer.payload
         if not isinstance(portion, FeaturePortion):
             raise TypeError(f"USO expected FeaturePortion, got {type(portion).__name__}")
+        dedup_key = (portion.chunk.index, portion.start)
+        if dedup_key in self._seen:
+            return
+        self._seen.add(dedup_key)
         mask = owned_flat_mask(portion.chunk, self.roi)
         count = portion.count
         owned = mask[portion.start : portion.start + count]

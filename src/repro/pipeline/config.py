@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from ..datacutter.faults import RetryPolicy
 from ..filters.messages import TextureParams
 
 __all__ = ["AnalysisConfig", "clip_chunk_shape"]
@@ -60,6 +61,10 @@ class AnalysisConfig:
         ``"uso"`` streams records to disk files (USO).
     output_dir:
         Directory for ``"images"`` / ``"uso"`` outputs.
+    retry:
+        Fault-tolerance policy for failed ``process()`` calls
+        (:class:`~repro.datacutter.faults.RetryPolicy`); ``None`` uses
+        the runtime default (3 attempts with backoff, reroute enabled).
     """
 
     texture: TextureParams = field(default_factory=TextureParams)
@@ -74,6 +79,7 @@ class AnalysisConfig:
     scheduling: str = "demand_driven"
     output: str = "volumes"
     output_dir: Optional[str] = None
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:

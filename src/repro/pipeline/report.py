@@ -6,7 +6,7 @@ from typing import Dict, List, Tuple
 
 from ..datacutter.runtime_local import RunResult
 
-__all__ = ["filter_breakdown", "format_breakdown"]
+__all__ = ["filter_breakdown", "format_breakdown", "failure_summary"]
 
 
 def filter_breakdown(run: RunResult) -> Dict[str, Dict[str, float]]:
@@ -31,8 +31,24 @@ def filter_breakdown(run: RunResult) -> Dict[str, Dict[str, float]]:
     return out
 
 
+def failure_summary(run: RunResult) -> Dict[str, object]:
+    """Fault-tolerance accounting for one run.
+
+    Returns ``{retries, reroutes, failed_copies, recovered_copies,
+    failures}`` where ``failures`` is a list of human-readable per-copy
+    failure descriptions.
+    """
+    return {
+        "retries": run.retries,
+        "reroutes": run.reroutes,
+        "failed_copies": len(run.failed_copies),
+        "recovered_copies": sum(1 for f in run.failed_copies if f.recovered),
+        "failures": [f.describe() for f in run.failed_copies],
+    }
+
+
 def format_breakdown(run: RunResult, order: Tuple[str, ...] = ()) -> str:
-    """Human-readable per-filter timing table."""
+    """Human-readable per-filter timing table (plus failure accounting)."""
     stats = filter_breakdown(run)
     names = [n for n in order if n in stats] + sorted(
         n for n in stats if n not in order
@@ -47,4 +63,12 @@ def format_breakdown(run: RunResult, order: Tuple[str, ...] = ()) -> str:
             f"{s['mean']:>10.4f} {s['max']:>10.4f}"
         )
     lines.append(f"elapsed wall-clock: {run.elapsed:.4f}s")
+    if run.retries or run.reroutes or run.failed_copies:
+        lines.append(
+            f"fault tolerance: {run.retries} retries, {run.reroutes} "
+            f"rerouted buffers, {len(run.failed_copies)} failed copies"
+        )
+        for f in run.failed_copies:
+            status = "recovered" if f.recovered else "fatal"
+            lines.append(f"  [{status}] {f.describe()}")
     return "\n".join(lines)

@@ -17,6 +17,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.roi import valid_positions_shape
+from ..datacutter.faults import FaultPlan, RetryPolicy
 from ..datacutter.runtime_local import LocalRuntime, RunResult
 from ..datacutter.runtime_mp import MPRuntime
 from ..filters.uso import combine_uso_outputs
@@ -61,6 +62,8 @@ def run_pipeline(
     config: Optional[AnalysisConfig] = None,
     max_queue: int = 64,
     runtime: str = "threads",
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> PipelineResult:
     """Run the parallel pipeline over a disk-resident dataset.
 
@@ -77,6 +80,12 @@ def run_pipeline(
         ``"threads"`` (default, :class:`LocalRuntime`) or
         ``"processes"`` (:class:`MPRuntime` — one OS process per filter
         copy, buffers serialized between them).
+    retry:
+        Fault-tolerance policy; overrides ``config.retry``.  ``None``
+        falls back to the config's, then to the runtime default.
+    faults:
+        Optional :class:`~repro.datacutter.faults.FaultPlan` injecting
+        failures (testing / resilience experiments).
 
     Returns
     -------
@@ -85,10 +94,15 @@ def run_pipeline(
     config = config or AnalysisConfig()
     dataset = DiskDataset4D.open(dataset_root)
     graph = build_graph(dataset, config)
+    retry = retry if retry is not None else config.retry
     if runtime == "threads":
-        run = LocalRuntime(graph, max_queue=max_queue).run()
+        run = LocalRuntime(
+            graph, max_queue=max_queue, retry=retry, faults=faults
+        ).run()
     elif runtime == "processes":
-        run = MPRuntime(graph, max_queue=max_queue).run()
+        run = MPRuntime(
+            graph, max_queue=max_queue, retry=retry, faults=faults
+        ).run()
     else:
         raise ValueError(f"unknown runtime {runtime!r}")
 

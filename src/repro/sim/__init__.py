@@ -3,6 +3,12 @@
 from .clusters import MBIT, OPTERON, PIII, XEON, ClusterSpec, SimCluster
 from .costmodel import PAPER_COSTS, CostModel, measure_costs
 from .events import Environment, Resource, Store
+from .faults import (
+    NodeFailure,
+    PortDegradation,
+    SimFaultPlan,
+    UplinkDegradation,
+)
 from .layouts import (
     fig10_hmp,
     fig10_split,
@@ -33,6 +39,10 @@ __all__ = [
     "NetworkModel",
     "POINTER_COPY_TIME",
     "SimNode",
+    "SimFaultPlan",
+    "NodeFailure",
+    "PortDegradation",
+    "UplinkDegradation",
     "SimPipelineSpec",
     "SimReport",
     "SimRuntime",

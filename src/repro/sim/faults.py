@@ -1,0 +1,109 @@
+"""Failure events for the cluster simulator.
+
+Lets the paper's Fig. 8/10-style layout studies be re-evaluated under
+degraded conditions: a node that fails mid-run (its filter copies stop
+receiving work; everything queued or in flight for them is rerouted to
+surviving transparent copies) and links that lose bandwidth at a given
+simulated time (a flaky switch port, a saturated uplink).
+
+Semantics mirror the real runtimes' recovery path: rerouting only works
+for *transparent* streams — a failed node hosting an explicit-stream
+consumer (IIC) is unrecoverable and raises ``RuntimeError``, exactly as
+:class:`~repro.datacutter.runtime_local.LocalRuntime` aborts when an
+explicit destination dies.
+
+Example::
+
+    faults = (SimFaultPlan()
+              .fail_node("tex03", at=5.0)
+              .degrade_uplink("piii", "xeon", at=2.0, factor=0.25))
+    rep = SimRuntime(wl, spec, cluster, placement, faults=faults).run()
+    rep.stream_rerouted  # buffers re-delivered after the failure
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "NodeFailure",
+    "PortDegradation",
+    "UplinkDegradation",
+    "SimFaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """Node ``node`` fails at simulated time ``at`` (seconds)."""
+
+    node: str
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("failure time must be >= 0")
+
+
+@dataclass(frozen=True)
+class PortDegradation:
+    """Node ``node``'s NIC drops to ``factor`` of its bandwidth at ``at``."""
+
+    node: str
+    at: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("degradation time must be >= 0")
+        if not (0.0 < self.factor <= 1.0):
+            raise ValueError(f"factor must be in (0, 1], got {self.factor}")
+
+
+@dataclass(frozen=True)
+class UplinkDegradation:
+    """The shared uplink between two clusters degrades at ``at``."""
+
+    cluster_a: str
+    cluster_b: str
+    at: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("degradation time must be >= 0")
+        if not (0.0 < self.factor <= 1.0):
+            raise ValueError(f"factor must be in (0, 1], got {self.factor}")
+
+
+class SimFaultPlan:
+    """Declarative set of simulator failure events (builder-style)."""
+
+    def __init__(self) -> None:
+        self.node_failures: List[NodeFailure] = []
+        self.port_degradations: List[PortDegradation] = []
+        self.uplink_degradations: List[UplinkDegradation] = []
+
+    def fail_node(self, node: str, at: float) -> "SimFaultPlan":
+        self.node_failures.append(NodeFailure(node, at))
+        return self
+
+    def degrade_port(self, node: str, at: float, factor: float) -> "SimFaultPlan":
+        self.port_degradations.append(PortDegradation(node, at, factor))
+        return self
+
+    def degrade_uplink(
+        self, cluster_a: str, cluster_b: str, at: float, factor: float
+    ) -> "SimFaultPlan":
+        self.uplink_degradations.append(
+            UplinkDegradation(cluster_a, cluster_b, at, factor)
+        )
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"SimFaultPlan(node_failures={self.node_failures!r}, "
+            f"port_degradations={self.port_degradations!r}, "
+            f"uplink_degradations={self.uplink_degradations!r})"
+        )

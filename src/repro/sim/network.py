@@ -76,6 +76,29 @@ class NetworkModel:
         key = tuple(sorted((cluster_a, cluster_b)))
         return self._uplinks[key].utilization(horizon)
 
+    # -- fault injection ---------------------------------------------------
+
+    def degrade_port(self, node_name: str, factor: float) -> None:
+        """Scale a node's NIC bandwidth by ``factor`` (0 < factor <= 1).
+
+        Transfers already holding the port finish at the old rate; new
+        transfers see the degraded bandwidth.
+        """
+        if not (0.0 < factor <= 1.0):
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        if node_name not in self._port_bw:
+            raise KeyError(f"unknown node {node_name!r}")
+        self._port_bw[node_name] *= factor
+
+    def degrade_uplink(self, cluster_a: str, cluster_b: str, factor: float) -> None:
+        """Scale a shared uplink's bandwidth by ``factor``."""
+        if not (0.0 < factor <= 1.0):
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        key = tuple(sorted((cluster_a, cluster_b)))
+        if key not in self._uplink_bw:
+            raise KeyError(f"no uplink between {cluster_a!r} and {cluster_b!r}")
+        self._uplink_bw[key] *= factor
+
     # -- transfers ---------------------------------------------------------
 
     def _path(

@@ -44,6 +44,9 @@ class SimNode:
     disk_bw: float = 30e6
     mem_bw: float = 200e6
     cpu: Optional[Resource] = field(default=None, repr=False)
+    #: Set by a :class:`~repro.sim.faults.NodeFailure` event: a failed
+    #: node's filter copies stop receiving work (routers skip them).
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.cpus < 1:

@@ -90,6 +90,7 @@ class SimRouter:
         self.prefer_local = prefer_local
         self.buffers_sent = 0
         self.bytes_sent = 0
+        self.rerouted = 0  # buffers re-delivered after a node failure
         self._inflight: Dict[str, int] = {}
         self._demand_waiters: List = []
         # Demand-driven is consumer-pull: a FIFO of requests, one credit
@@ -138,6 +139,14 @@ class SimRouter:
             if dest_copy is None:
                 raise RuntimeError(f"stream {self.stream!r} requires dest_copy")
             idx = dest_copy
+            if self.consumers[idx].node.failed:
+                # Explicit placement is semantic (all pieces of one chunk
+                # meet at one copy): a failed destination is unrecoverable.
+                raise RuntimeError(
+                    f"stream {self.stream!r}: explicit destination copy "
+                    f"{idx} is on failed node "
+                    f"{self.consumers[idx].node.name!r}"
+                )
         elif dest_copy is not None:
             raise RuntimeError(f"stream {self.stream!r} is not explicit")
         else:
@@ -150,11 +159,19 @@ class SimRouter:
                 while self.states[idx].queued >= self.queue_cap:
                     yield from self._wait_for_demand()
             elif self.policy_name == "demand_driven":
-                while not self._demand_fifo:
-                    yield from self._wait_for_demand()
-                idx = self._demand_fifo.pop(0)
+                idx = yield from self._pop_demand()
             else:
-                idx = self.policy.choose(self.states, buffer)  # type: ignore[arg-type]
+                alive = [
+                    s
+                    for s in self.states
+                    if not self.consumers[s.copy_index].node.failed
+                ]
+                if not alive:
+                    raise RuntimeError(
+                        f"stream {self.stream!r}: every consumer copy is "
+                        "on a failed node"
+                    )
+                idx = self.policy.choose(alive, buffer)  # type: ignore[arg-type]
                 while self.states[idx].queued >= self.queue_cap:
                     yield from self._wait_for_demand()
         consumer = self.consumers[idx]
@@ -168,10 +185,24 @@ class SimRouter:
         self.bytes_sent += buffer.nbytes
         self.env.process(self._deliver(src, consumer, buffer))
 
+    def _pop_demand(self) -> Generator:
+        """Next demand credit from a surviving copy (failed credits die)."""
+        while True:
+            while not self._demand_fifo:
+                if all(c.node.failed for c in self.consumers):
+                    raise RuntimeError(
+                        f"stream {self.stream!r}: every consumer copy is "
+                        "on a failed node"
+                    )
+                yield from self._wait_for_demand()
+            idx = self._demand_fifo.pop(0)
+            if not self.consumers[idx].node.failed:
+                return idx
+
     def _local_consumer(self, src: SimNode) -> Optional[int]:
         """Index of a consumer copy co-located with the producer, if any."""
         for i, c in enumerate(self.consumers):
-            if c.node.name == src.name:
+            if c.node.name == src.name and not c.node.failed:
                 return i
         return None
 
@@ -182,7 +213,42 @@ class SimRouter:
         if buffer.kind != _EOS and consumer.node.name != src.name:
             self._inflight[src.name] -= buffer.nbytes
             self._notify_demand()
+        if buffer.kind != _EOS and consumer.node.failed:
+            # Arrived after the node failed: re-deliver to a survivor.
+            # (EOS markers still land so the EOS protocol is untouched.)
+            self._unsend(consumer.copy_index, buffer)
+            self.rerouted += 1
+            yield from self.send(consumer.node, buffer)
+            return
         consumer.store.put(buffer)
+
+    def _unsend(self, idx: int, buffer: SimBuffer) -> None:
+        """Undo the send-side accounting of an undelivered buffer."""
+        self.states[idx].on_unassign(buffer)  # type: ignore[arg-type]
+        self.buffers_sent -= 1
+        self.bytes_sent -= buffer.nbytes
+
+    def on_node_failed(self, node: SimNode) -> None:
+        """A node failed: reroute everything queued for its copies.
+
+        Already-queued data buffers are pulled out of the failed copies'
+        stores and re-sent to surviving copies (the failed node pays the
+        re-transfer, approximating the surviving producer's resend); EOS
+        markers stay so the failed copy's process still terminates
+        cleanly.  Future demand credits from failed copies are discarded
+        in :meth:`_pop_demand`.
+        """
+        for copy in self.consumers:
+            if copy.node.name != node.name:
+                continue
+            stranded = [b for b in copy.store.items if b.kind != _EOS]
+            if not stranded:
+                continue
+            copy.store.items = [b for b in copy.store.items if b.kind == _EOS]
+            for buffer in stranded:
+                self._unsend(copy.copy_index, buffer)
+                self.rerouted += 1
+                self.env.process(self.send(copy.node, buffer))
 
     def recv(self, copy: SimCopy) -> Generator:
         """Generator: pop the next buffer for a consumer copy."""

@@ -16,6 +16,7 @@ from ..datacutter.placement import Placement
 from .clusters import SimCluster
 from .costmodel import CostModel, PAPER_COSTS
 from .events import Store
+from .faults import SimFaultPlan
 from .network import LinkStats
 from .simfilters import (
     SimCopy,
@@ -86,6 +87,9 @@ class SimReport:
     #: Per-copy service spans (start, end, kind); populated when the
     #: runtime was created with ``trace=True``.
     spans: Optional[Dict[Tuple[str, int], List]] = None
+    #: Buffers re-delivered to surviving copies after a simulated node
+    #: failure, per stream (all zero without a fault plan).
+    stream_rerouted: Dict[str, int] = field(default_factory=dict)
 
     def filter_busy(self, name: str) -> List[float]:
         return [v for (f, _), v in sorted(self.busy.items()) if f == name]
@@ -110,6 +114,7 @@ class SimRuntime:
         placement: Placement,
         costs: CostModel = PAPER_COSTS,
         trace: bool = False,
+        faults: Optional[SimFaultPlan] = None,
     ):
         self.workload = workload
         self.spec = spec
@@ -117,6 +122,7 @@ class SimRuntime:
         self.placement = placement
         self.costs = costs
         self.trace = trace
+        self.faults = faults
         self._validate_placement()
 
     def _validate_placement(self) -> None:
@@ -220,6 +226,9 @@ class SimRuntime:
         for copy in copies["USO"]:
             env.process(uso_proc(env, copy, wl, self.costs, routers["tex2uso"]))
 
+        if self.faults is not None:
+            self._schedule_faults(env, net, routers)
+
         makespan = env.run()
         busy = {c.key: c.busy for group in copies.values() for c in group}
         spans = None
@@ -232,4 +241,31 @@ class SimRuntime:
             stream_buffers={k: r.buffers_sent for k, r in routers.items()},
             traffic=dict(net.stats),
             spans=spans,
+            stream_rerouted={k: r.rerouted for k, r in routers.items()},
         )
+
+    def _schedule_faults(self, env, net, routers) -> None:
+        """Turn the fault plan's events into simulation processes."""
+
+        def fail_node(event):
+            yield env.timeout(event.at)
+            node = self.cluster.node(event.node)
+            node.failed = True
+            for router in routers.values():
+                router.on_node_failed(node)
+
+        def degrade_port(event):
+            yield env.timeout(event.at)
+            net.degrade_port(event.node, event.factor)
+
+        def degrade_uplink(event):
+            yield env.timeout(event.at)
+            net.degrade_uplink(event.cluster_a, event.cluster_b, event.factor)
+
+        for ev in self.faults.node_failures:
+            self.cluster.node(ev.node)  # raises early if unknown
+            env.process(fail_node(ev))
+        for ev in self.faults.port_degradations:
+            env.process(degrade_port(ev))
+        for ev in self.faults.uplink_degradations:
+            env.process(degrade_uplink(ev))

@@ -1,0 +1,371 @@
+"""Fault-injection and fault-tolerance tests for the threaded runtime.
+
+Covers the faults vocabulary itself (RetryPolicy, FaultPlan, injectors)
+plus LocalRuntime recovery behaviour: retry with backoff, copy-death
+reroute to survivors, abort propagation without deadlock, and the EOS
+protocol under failure.
+"""
+
+import time
+
+import pytest
+
+from repro.datacutter.buffers import DataBuffer
+from repro.datacutter.faults import (
+    NO_RETRY,
+    NULL_INJECTOR,
+    CopyFailure,
+    CrashCopy,
+    DropBuffers,
+    FailProcess,
+    FaultPlan,
+    InjectedCrash,
+    InjectedDrop,
+    InjectedFault,
+    PipelineError,
+    RetryPolicy,
+)
+from repro.datacutter.filter import Filter
+from repro.datacutter.graph import FilterGraph
+from repro.datacutter.runtime_local import LocalRuntime
+
+
+# ---------------------------------------------------------------------------
+# Vocabulary unit tests
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        p = RetryPolicy()
+        assert p.max_attempts == 3
+        assert p.reroute
+
+    def test_backoff_schedule(self):
+        p = RetryPolicy(backoff=0.01, backoff_factor=2.0)
+        assert p.delay(1) == pytest.approx(0.01)
+        assert p.delay(2) == pytest.approx(0.02)
+        assert p.delay(3) == pytest.approx(0.04)
+
+    def test_no_retry_constant(self):
+        assert NO_RETRY.max_attempts == 1
+        assert not NO_RETRY.reroute
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff": -1.0},
+            {"backoff_factor": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestPipelineError:
+    def test_message_embeds_first_failure(self):
+        f = CopyFailure("HCC", 2, "ValueError('boom')", kind="crash")
+        err = PipelineError([f])
+        assert "HCC[2]" in str(err)
+        assert "boom" in str(err)
+        assert isinstance(err, RuntimeError)
+
+    def test_failed_filters(self):
+        err = PipelineError(
+            [CopyFailure("B", 0, "x"), CopyFailure("A", 1, "y")]
+        )
+        assert err.failed_filters() == ["A", "B"]
+
+
+class TestFaultPlan:
+    def test_injector_matching(self):
+        plan = FaultPlan().crash_copy("HCC", copy_index=1)
+        assert plan.affects("HCC")
+        assert not plan.affects("HPC")
+        assert plan.injector_for("HCC", 0) is NULL_INJECTOR
+        assert plan.injector_for("HPC", 1) is NULL_INJECTOR
+        assert plan.injector_for("HCC", 1).active
+
+    def test_copy_index_none_matches_all(self):
+        plan = FaultPlan().fail_process("HMP", probability=1.0)
+        assert plan.injector_for("HMP", 0).active
+        assert plan.injector_for("HMP", 7).active
+
+    def test_crash_fires_after_n_buffers(self):
+        plan = FaultPlan().crash_copy("F", 0, after_buffers=2)
+        inj = plan.injector_for("F", 0)
+        inj.before_process(None)
+        inj.before_process(None)
+        with pytest.raises(InjectedCrash):
+            inj.before_process(None)
+
+    def test_crash_after_processing(self):
+        plan = FaultPlan().crash_copy("F", 0, after_buffers=0, when="after")
+        inj = plan.injector_for("F", 0)
+        inj.before_process(None)  # does not fire
+        with pytest.raises(InjectedCrash):
+            inj.after_process(None)
+
+    def test_retry_does_not_recount_buffer(self):
+        plan = FaultPlan().crash_copy("F", 0, after_buffers=1)
+        inj = plan.injector_for("F", 0)
+        inj.before_process(None, attempt=1)
+        inj.before_process(None, attempt=2)  # same buffer retried
+        assert inj.received == 1
+
+    def test_fail_process_seeded_and_capped(self):
+        plan = FaultPlan(seed=3).fail_process("F", 1.0, max_failures=2)
+        inj = plan.injector_for("F", 0)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                inj.before_process(None)
+        inj.before_process(None)  # cap reached: no more failures
+
+    def test_drop_is_retryable_fault(self):
+        plan = FaultPlan().drop_buffers("F", probability=1.0, max_drops=1)
+        inj = plan.injector_for("F", 0)
+        with pytest.raises(InjectedDrop):
+            inj.before_process(None)
+
+    def test_injectors_deterministic(self):
+        def outcomes(seed):
+            inj = FaultPlan(seed=seed).fail_process("F", 0.5).injector_for("F", 0)
+            out = []
+            for _ in range(20):
+                try:
+                    inj.before_process(None)
+                    out.append(False)
+                except InjectedFault:
+                    out.append(True)
+            return out
+
+        assert outcomes(11) == outcomes(11)
+        assert outcomes(11) != outcomes(12)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CrashCopy("F", 0, when="sometimes")
+        with pytest.raises(ValueError):
+            FailProcess("F", probability=1.5)
+        with pytest.raises(ValueError):
+            DropBuffers("F", probability=-0.1)
+
+    def test_plan_rejects_unknown_targets(self):
+        # A typo'd plan must not silently inject nothing: a resilience
+        # run that tested nothing looks exactly like a clean recovery.
+        copies = {"P": 1, "D": 3}
+        FaultPlan().crash_copy("D", copy_index=2).validate(copies)
+        with pytest.raises(ValueError, match="unknown filter"):
+            FaultPlan().crash_copy("NOPE", copy_index=0).validate(copies)
+        with pytest.raises(ValueError, match="has 3 copies"):
+            FaultPlan().crash_copy("D", copy_index=3).validate(copies)
+        # copy_index=None (every copy) is always in range.
+        FaultPlan().fail_process("P", probability=0.5).validate(copies)
+
+    def test_runtime_rejects_bad_plan_before_starting(self):
+        plan = FaultPlan().crash_copy("NOPE", copy_index=0)
+        with pytest.raises(ValueError, match="unknown filter"):
+            LocalRuntime(pipeline(), faults=plan).run()
+
+
+# ---------------------------------------------------------------------------
+# Runtime fault tolerance
+
+
+class Producer(Filter):
+    def __init__(self, count=20):
+        self.count = count
+
+    def generate(self, ctx):
+        for i in range(self.count):
+            ctx.send("out", i, size_bytes=8)
+
+
+class Doubler(Filter):
+    def process(self, stream, buffer, ctx):
+        ctx.send("out", buffer.payload * 2, size_bytes=8)
+
+
+class Collector(Filter):
+    def __init__(self):
+        self.items = []
+        self.finalized = 0
+
+    def process(self, stream, buffer, ctx):
+        self.items.append(buffer.payload)
+
+    def finalize(self, ctx):
+        self.finalized += 1
+        ctx.deposit("collected", sorted(self.items))
+        ctx.deposit("finalize_calls", self.finalized)
+
+
+def pipeline(doubler_copies=3, count=20, policy="demand_driven"):
+    g = FilterGraph()
+    g.add_filter("P", lambda: Producer(count))
+    g.add_filter("D", Doubler, copies=doubler_copies)
+    g.add_filter("C", Collector)
+    g.connect("P", "out", "D", policy=policy)
+    g.connect("D", "out", "C")
+    return g
+
+
+class TestLocalRecovery:
+    def test_transient_failures_retried(self):
+        plan = FaultPlan(seed=0).fail_process("D", 1.0, max_failures=2)
+        rt = LocalRuntime(
+            pipeline(doubler_copies=1),
+            retry=RetryPolicy(max_attempts=5, backoff=0.001),
+            faults=plan,
+        )
+        result = rt.run(timeout=30)
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+        assert result.retries == 2
+        assert result.failed_copies == []
+
+    def test_crashed_copy_rerouted_to_survivors(self):
+        # Demand-driven ties break toward copy 0, so it deterministically
+        # receives the first buffer and the crash always fires.
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0)
+        rt = LocalRuntime(pipeline(doubler_copies=3), faults=plan)
+        result = rt.run(timeout=30)
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+        assert result.reroutes >= 1
+        (failure,) = result.failed_copies
+        assert failure.filter_name == "D" and failure.copy_index == 0
+        assert failure.recovered and failure.injected
+        assert failure.kind == "crash"
+
+    def test_crash_mid_stream_rerouted(self):
+        plan = FaultPlan().crash_copy("D", copy_index=1, after_buffers=4)
+        result = LocalRuntime(pipeline(doubler_copies=2), faults=plan).run(
+            timeout=30
+        )
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+
+    def test_drops_redelivered(self):
+        plan = FaultPlan(seed=5).drop_buffers("D", probability=0.3)
+        rt = LocalRuntime(
+            pipeline(doubler_copies=2),
+            retry=RetryPolicy(max_attempts=8, backoff=0.001),
+            faults=plan,
+        )
+        result = rt.run(timeout=30)
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+
+    def test_delays_only_slow_down(self):
+        plan = FaultPlan().delay_buffers("D", delay=0.002)
+        result = LocalRuntime(pipeline(doubler_copies=2), faults=plan).run(
+            timeout=30
+        )
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+        assert result.failed_copies == []
+
+    def test_round_robin_reroute(self):
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0)
+        result = LocalRuntime(
+            pipeline(doubler_copies=3, policy="round_robin"), faults=plan
+        ).run(timeout=30)
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+
+
+class TestLocalAbort:
+    def test_no_retry_raises_bounded(self):
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0)
+        rt = LocalRuntime(pipeline(doubler_copies=3), retry=NO_RETRY, faults=plan)
+        t0 = time.monotonic()
+        with pytest.raises(PipelineError) as exc:
+            rt.run(timeout=30)
+        assert time.monotonic() - t0 < 20
+        assert any(f.filter_name == "D" for f in exc.value.failures)
+
+    def test_single_copy_crash_fatal(self):
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0)
+        with pytest.raises(PipelineError):
+            LocalRuntime(pipeline(doubler_copies=1), faults=plan).run(timeout=30)
+
+    def test_deadlock_regression_failed_consumer_bounded_queue(self):
+        """Producers blocked on a dead copy's full queue must unblock."""
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0)
+        rt = LocalRuntime(
+            pipeline(doubler_copies=1, count=200),
+            max_queue=2,
+            retry=NO_RETRY,
+            faults=plan,
+        )
+        t0 = time.monotonic()
+        with pytest.raises(PipelineError):
+            rt.run(timeout=30)
+        assert time.monotonic() - t0 < 20
+
+    def test_timeout_raises_pipeline_error(self):
+        plan = FaultPlan().delay_buffers("D", delay=0.5)
+        rt = LocalRuntime(pipeline(doubler_copies=1), faults=plan)
+        with pytest.raises(PipelineError, match="did not finish"):
+            rt.run(timeout=0.2)
+
+    def test_exhausted_retries_without_reroute_policy(self):
+        plan = FaultPlan(seed=0).fail_process("D", 1.0)
+        rt = LocalRuntime(
+            pipeline(doubler_copies=2),
+            retry=RetryPolicy(max_attempts=2, backoff=0.001, reroute=False),
+            faults=plan,
+        )
+        with pytest.raises(PipelineError):
+            rt.run(timeout=30)
+
+
+class TestEOSUnderFailure:
+    """Satellite: EOS still propagates when a mid-pipeline copy dies and
+    downstream filters finalize exactly once."""
+
+    def test_downstream_finalizes_exactly_once(self):
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0)
+        result = LocalRuntime(pipeline(doubler_copies=3), faults=plan).run(
+            timeout=30
+        )
+        assert result.deposits("finalize_calls") == [1]
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+
+    def test_two_stage_failure_still_closes_streams(self):
+        # Kill one copy in EACH replicated stage; everything must still
+        # arrive and every surviving copy must see full EOS counts.
+        g = FilterGraph()
+        g.add_filter("P", lambda: Producer(30))
+        g.add_filter("D1", Doubler, copies=2)
+        g.add_filter("D2", Doubler, copies=2)
+        g.add_filter("C", Collector)
+        g.connect("P", "out", "D1")
+        g.connect("D1", "out", "D2")
+        g.connect("D2", "out", "C")
+        plan = (
+            FaultPlan()
+            .crash_copy("D1", copy_index=0, after_buffers=2)
+            .crash_copy("D2", copy_index=1, after_buffers=2)
+        )
+        result = LocalRuntime(g, faults=plan).run(timeout=30)
+        assert result.deposits("collected") == [[4 * i for i in range(30)]]
+        assert result.deposits("finalize_calls") == [1]
+        assert len(result.failed_copies) == 2
+        assert all(f.recovered for f in result.failed_copies)
+
+
+class TestNoFaultOverhead:
+    def test_null_injector_on_clean_run(self):
+        result = LocalRuntime(pipeline()).run(timeout=30)
+        assert result.retries == 0
+        assert result.reroutes == 0
+        assert result.failed_copies == []
+
+    def test_existing_error_semantics_preserved(self):
+        class Exploder(Filter):
+            def process(self, stream, buffer, ctx):
+                raise ValueError("boom")
+
+        g = FilterGraph()
+        g.add_filter("P", lambda: Producer(3))
+        g.add_filter("X", Exploder)
+        g.connect("P", "out", "X")
+        with pytest.raises(RuntimeError, match="boom"):
+            LocalRuntime(g).run(timeout=30)

@@ -1,0 +1,138 @@
+"""Fault tolerance on the multiprocessing runtime.
+
+The MP runtime adds the failure mode real clusters have: a child process
+can die without saying goodbye (hard kill / ``os._exit``).  These tests
+cover graceful copy-death recovery (reroute to survivors), silent-death
+detection through the parent's exitcode watcher, and bounded abort with
+retries disabled — none of which may hang.
+
+Filter classes live at module level so the forked children can run them.
+"""
+
+import time
+
+import pytest
+
+from repro.datacutter.faults import NO_RETRY, FaultPlan, PipelineError
+from repro.datacutter.filter import Filter
+from repro.datacutter.graph import FilterGraph
+from repro.datacutter.runtime_mp import MPRuntime
+
+
+class Producer(Filter):
+    def __init__(self, count=20):
+        self.count = count
+
+    def generate(self, ctx):
+        for i in range(self.count):
+            ctx.send("out", i, size_bytes=8)
+
+
+class Doubler(Filter):
+    def process(self, stream, buffer, ctx):
+        ctx.send("out", buffer.payload * 2, size_bytes=8)
+
+
+class Collector(Filter):
+    def __init__(self):
+        self.items = []
+        self.finalized = 0
+
+    def process(self, stream, buffer, ctx):
+        self.items.append(buffer.payload)
+
+    def finalize(self, ctx):
+        self.finalized += 1
+        ctx.deposit("collected", sorted(self.items))
+        ctx.deposit("finalize_calls", self.finalized)
+
+
+def pipeline(doubler_copies=3, count=20, policy="demand_driven"):
+    g = FilterGraph()
+    g.add_filter("P", lambda: Producer(count))
+    g.add_filter("D", Doubler, copies=doubler_copies)
+    g.add_filter("C", Collector)
+    g.connect("P", "out", "D", policy=policy)
+    g.connect("D", "out", "C")
+    return g
+
+
+class TestMPRecovery:
+    def test_crashed_copy_rerouted_to_survivors(self):
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0)
+        result = MPRuntime(pipeline(doubler_copies=3), faults=plan).run(
+            timeout=60
+        )
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+        assert result.reroutes >= 1
+        (failure,) = result.failed_copies
+        assert failure.filter_name == "D" and failure.copy_index == 0
+        assert failure.recovered and failure.injected
+        assert failure.kind == "crash"
+
+    def test_crash_mid_stream_rerouted(self):
+        plan = FaultPlan().crash_copy("D", copy_index=1, after_buffers=4)
+        result = MPRuntime(pipeline(doubler_copies=2), faults=plan).run(
+            timeout=60
+        )
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+
+    def test_downstream_finalizes_exactly_once(self):
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0)
+        result = MPRuntime(pipeline(doubler_copies=3), faults=plan).run(
+            timeout=60
+        )
+        assert result.deposits("finalize_calls") == [1]
+
+
+class TestMPSilentDeath:
+    def test_hard_kill_detected_by_exitcode(self):
+        # os._exit: no control message, no EOS, no cleanup.  The parent's
+        # exitcode watcher must synthesize the failure and abort, bounded.
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0,
+                                      hard=True)
+        rt = MPRuntime(pipeline(doubler_copies=2), faults=plan)
+        t0 = time.monotonic()
+        with pytest.raises(PipelineError) as exc:
+            rt.run(timeout=60)
+        assert time.monotonic() - t0 < 45
+        (failure,) = [f for f in exc.value.failures if f.kind == "exitcode"]
+        assert failure.filter_name == "D" and failure.copy_index == 0
+        assert failure.exitcode == 19
+
+    def test_hang_regression_child_dies_without_message(self):
+        """Pre-fix behaviour: run() blocked forever on results_q.get()."""
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0,
+                                      hard=True)
+        rt = MPRuntime(
+            pipeline(doubler_copies=1, count=100), max_queue=2, faults=plan
+        )
+        t0 = time.monotonic()
+        with pytest.raises(PipelineError):
+            rt.run(timeout=60)
+        assert time.monotonic() - t0 < 45
+
+
+class TestMPAbort:
+    def test_no_retry_raises_bounded(self):
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0)
+        rt = MPRuntime(pipeline(doubler_copies=3), retry=NO_RETRY, faults=plan)
+        t0 = time.monotonic()
+        with pytest.raises(PipelineError) as exc:
+            rt.run(timeout=60)
+        assert time.monotonic() - t0 < 45
+        assert any(f.filter_name == "D" for f in exc.value.failures)
+
+    def test_single_copy_crash_fatal(self):
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0)
+        with pytest.raises(PipelineError):
+            MPRuntime(pipeline(doubler_copies=1), faults=plan).run(timeout=60)
+
+
+class TestMPNoFaultOverhead:
+    def test_clean_run_counters_zero(self):
+        result = MPRuntime(pipeline()).run(timeout=60)
+        assert result.deposits("collected") == [[2 * i for i in range(20)]]
+        assert result.retries == 0
+        assert result.reroutes == 0
+        assert result.failed_copies == []

@@ -1,0 +1,93 @@
+"""Acceptance: the full pipeline survives a texture-copy crash.
+
+The PR's headline scenario: a FaultPlan crashes 1 of 4 HCC copies while
+the run is in flight; retry + reroute must deliver stitched volumes
+bit-identical to a failure-free run — on both runtimes.  With retries
+disabled the same scenario must raise a structured PipelineError in
+bounded time instead of hanging.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import PhantomConfig, generate_phantom
+from repro.datacutter.faults import NO_RETRY, FaultPlan, PipelineError
+from repro.filters.messages import TextureParams
+from repro.pipeline.config import AnalysisConfig
+from repro.pipeline.run import run_pipeline
+from repro.storage.dataset import write_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset_root(tmp_path_factory):
+    vol = generate_phantom(PhantomConfig(shape=(12, 10, 6, 4), seed=0))
+    root = str(tmp_path_factory.mktemp("ft_ds") / "data")
+    write_dataset(vol, root, num_nodes=2)
+    return root
+
+
+def config():
+    return AnalysisConfig(
+        texture=TextureParams(
+            roi_shape=(3, 3, 3, 2), levels=8, features=("asm", "idm"),
+            intensity_range=(0.0, 65535.0),
+        ),
+        variant="split",
+        texture_chunk_shape=(8, 8, 6, 4),
+        num_hcc_copies=4,
+        num_hpc_copies=1,
+    )
+
+
+def crash_plan():
+    # Demand-driven ties break toward copy 0, so HCC[0] deterministically
+    # receives the first chunk and the crash always fires.
+    return FaultPlan().crash_copy("HCC", copy_index=0, after_buffers=0)
+
+
+@pytest.fixture(scope="module")
+def clean_volumes(dataset_root):
+    return run_pipeline(dataset_root, config()).volumes
+
+
+@pytest.mark.parametrize("runtime", ["threads", "processes"])
+def test_hcc_crash_recovers_bit_identical(dataset_root, clean_volumes, runtime):
+    result = run_pipeline(
+        dataset_root, config(), runtime=runtime, faults=crash_plan()
+    )
+    for name, vol in clean_volumes.items():
+        assert np.array_equal(result.volumes[name], vol), name
+    (failure,) = result.run.failed_copies
+    assert failure.filter_name == "HCC" and failure.copy_index == 0
+    assert failure.recovered
+    assert result.run.reroutes >= 1
+
+
+@pytest.mark.parametrize("runtime", ["threads", "processes"])
+def test_hcc_crash_without_retry_fails_bounded(dataset_root, runtime):
+    t0 = time.monotonic()
+    with pytest.raises(PipelineError) as exc:
+        run_pipeline(
+            dataset_root,
+            config(),
+            runtime=runtime,
+            retry=NO_RETRY,
+            faults=crash_plan(),
+        )
+    assert time.monotonic() - t0 < 60
+    assert any(f.filter_name == "HCC" for f in exc.value.failures)
+
+
+def test_failure_summary_reported(dataset_root):
+    from repro.pipeline.report import failure_summary, format_breakdown
+
+    result = run_pipeline(dataset_root, config(), faults=crash_plan())
+    summary = failure_summary(result.run)
+    assert summary["failed_copies"] == 1
+    assert summary["recovered_copies"] == 1
+    assert summary["reroutes"] >= 1
+    text = format_breakdown(result.run)
+    assert "fault tolerance" in text
+    assert "recovered" in text

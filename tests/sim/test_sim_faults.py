@@ -1,0 +1,202 @@
+"""Simulator-side fault injection: node failures and link degradation.
+
+The DES counterpart of the runtime fault harness — resilience
+experiments the paper's testbeds could not run: kill a texture node
+mid-run and watch the demand-driven scheduler shift its work to the
+survivors, or degrade a port/uplink and measure the makespan cost.
+"""
+
+import pytest
+
+from repro.sim.faults import (
+    NodeFailure,
+    PortDegradation,
+    SimFaultPlan,
+    UplinkDegradation,
+)
+from repro.sim.layouts import homogeneous_hmp, homogeneous_split
+from repro.sim.simruntime import SimRuntime
+from repro.sim.workload import paper_workload
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return paper_workload(scale=0.5)
+
+
+def clean_makespan(wl, layout):
+    return SimRuntime(wl, *layout).run().makespan
+
+
+class TestSimFaultPlan:
+    def test_builders_chain(self):
+        plan = (
+            SimFaultPlan()
+            .fail_node("piii4", at=1.0)
+            .degrade_port("piii0", at=2.0, factor=0.5)
+            .degrade_uplink("piii", "xeon", at=3.0, factor=0.25)
+        )
+        assert plan.node_failures == [NodeFailure("piii4", 1.0)]
+        assert plan.port_degradations == [PortDegradation("piii0", 2.0, 0.5)]
+        assert plan.uplink_degradations == [
+            UplinkDegradation("piii", "xeon", 3.0, 0.25)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeFailure("n", at=-1.0)
+        with pytest.raises(ValueError):
+            PortDegradation("n", at=0.0, factor=0.0)
+        with pytest.raises(ValueError):
+            UplinkDegradation("a", "b", at=0.0, factor=1.5)
+
+
+class TestNodeFailure:
+    def test_failed_hmp_node_work_rerouted(self, wl):
+        spec, cluster, placement = homogeneous_hmp(4)
+        base = clean_makespan(wl, homogeneous_hmp(4))
+        victim = placement.node_of("HMP", 0)
+        plan = SimFaultPlan().fail_node(victim, at=base * 0.3)
+        rep = SimRuntime(
+            wl, *homogeneous_hmp(4), faults=plan
+        ).run()
+        # Every chunk still gets processed: the victim's queued chunks
+        # are re-delivered to surviving copies.
+        assert rep.stream_buffers["iic2tex"] == len(wl.chunks)
+        assert rep.stream_buffers["tex2uso"] == sum(
+            len(wl.packets_per_chunk(c)) for c in wl.chunks
+        )
+        # Losing 1 of 4 texture nodes mid-run cannot make the run faster.
+        assert rep.makespan >= base
+
+    def test_failure_counted_in_report(self, wl):
+        base = clean_makespan(wl, homogeneous_hmp(4))
+        spec, cluster, placement = homogeneous_hmp(4)
+        victim = placement.node_of("HMP", 1)
+        plan = SimFaultPlan().fail_node(victim, at=base * 0.2)
+        rep = SimRuntime(wl, spec, cluster, placement, faults=plan).run()
+        assert rep.stream_rerouted["iic2tex"] >= 0
+        assert sum(rep.stream_rerouted.values()) >= 0
+
+    def test_deterministic_under_failure(self, wl):
+        spec, cluster, placement = homogeneous_hmp(3)
+        victim = placement.node_of("HMP", 0)
+
+        def one_run():
+            plan = SimFaultPlan().fail_node(victim, at=5.0)
+            return SimRuntime(wl, *homogeneous_hmp(3), faults=plan).run().makespan
+
+        assert one_run() == one_run()
+
+    def test_all_texture_nodes_failed_raises(self, wl):
+        spec, cluster, placement = homogeneous_hmp(2)
+        plan = SimFaultPlan()
+        for i in range(2):
+            plan.fail_node(placement.node_of("HMP", i), at=0.0)
+        with pytest.raises(RuntimeError):
+            SimRuntime(wl, spec, cluster, placement, faults=plan).run()
+
+    def test_explicit_iic_failure_raises(self, wl):
+        # IIC placement is explicit (chunk pieces must meet at one copy):
+        # its node failing is unrecoverable, as in the real runtimes.
+        spec, cluster, placement = homogeneous_hmp(2)
+        plan = SimFaultPlan().fail_node(placement.node_of("IIC", 0), at=0.0)
+        with pytest.raises(RuntimeError):
+            SimRuntime(wl, spec, cluster, placement, faults=plan).run()
+
+    def test_unknown_node_rejected_early(self, wl):
+        plan = SimFaultPlan().fail_node("nope99", at=1.0)
+        with pytest.raises(KeyError):
+            SimRuntime(wl, *homogeneous_hmp(2), faults=plan).run()
+
+    def test_split_pipeline_hcc_failure_recovers(self, wl):
+        base = clean_makespan(wl, homogeneous_split(5))
+        spec, cluster, placement = homogeneous_split(5)
+        victim = placement.node_of("HCC", 0)
+        plan = SimFaultPlan().fail_node(victim, at=base * 0.3)
+        rep = SimRuntime(wl, spec, cluster, placement, faults=plan).run()
+        expected = sum(len(wl.packets_per_chunk(c)) for c in wl.chunks)
+        assert rep.stream_buffers["tex2uso"] == expected
+
+
+class TestRouterReroute:
+    """Router-level semantics of node failure (below the pipeline)."""
+
+    def _router(self):
+        from repro.sim.events import Environment, Store
+        from repro.sim.network import NetworkModel
+        from repro.sim.nodes import SimNode
+        from repro.sim.simfilters import SimBuffer, SimCopy, SimRouter
+
+        env = Environment()
+        net = NetworkModel(env)
+        nodes = [SimNode(f"n{i}", "c") for i in range(3)]
+        for n in nodes:
+            n.bind(env)
+            net.add_node(n, port_bw=100e6)
+        copies = [
+            SimCopy("F", i, nodes[i + 1], Store(env)) for i in range(2)
+        ]
+        router = SimRouter(
+            env, net, "s", "round_robin", copies, num_producer_copies=1,
+            queue_cap=8,
+        )
+        return env, nodes, copies, router, SimBuffer
+
+    def test_queued_buffers_pulled_from_failed_store(self):
+        env, nodes, copies, router, SimBuffer = self._router()
+
+        def producer():
+            for _ in range(6):
+                yield from router.send(nodes[0], SimBuffer("chunk", 1000))
+
+        env.process(producer())
+        env.run()
+        assert len(copies[0].store.items) == 3
+        # Node of copy 0 fails with 3 buffers queued and unconsumed.
+        copies[0].node.failed = True
+        router.on_node_failed(copies[0].node)
+        env.run()
+        assert router.rerouted == 3
+        assert len(copies[0].store.items) == 0
+        assert len(copies[1].store.items) == 6
+        assert router.buffers_sent == 6  # net accounting survives reroute
+
+    def test_eos_markers_stay_on_failed_copy(self):
+        from repro.sim.simfilters import _EOS
+
+        env, nodes, copies, router, SimBuffer = self._router()
+
+        def producer():
+            yield from router.send(nodes[0], SimBuffer("chunk", 1000))
+            router.broadcast_eos(nodes[0])
+
+        env.process(producer())
+        env.run()
+        copies[0].node.failed = True
+        router.on_node_failed(copies[0].node)
+        env.run()
+        # Data left, EOS stayed: the failed copy's process can still
+        # terminate through the normal EOS path.
+        kinds = [b.kind for b in copies[0].store.items]
+        assert kinds == [_EOS]
+
+
+class TestDegradation:
+    def test_port_degradation_slows_run(self, wl):
+        layout = homogeneous_hmp(4)
+        base = clean_makespan(wl, layout)
+        spec, cluster, placement = homogeneous_hmp(4)
+        victim = placement.node_of("IIC", 0)  # every chunk leaves here
+        plan = SimFaultPlan().degrade_port(victim, at=0.0, factor=0.001)
+        rep = SimRuntime(wl, spec, cluster, placement, faults=plan).run()
+        assert rep.makespan > base
+
+    def test_mild_degradation_bounded(self, wl):
+        spec, cluster, placement = homogeneous_hmp(4)
+        victim = placement.node_of("HMP", 0)
+        plan = SimFaultPlan().degrade_port(victim, at=0.0, factor=0.9)
+        rep = SimRuntime(wl, spec, cluster, placement, faults=plan).run()
+        base = clean_makespan(wl, homogeneous_hmp(4))
+        assert rep.makespan >= base
+        assert rep.makespan < base * 2
