@@ -57,6 +57,17 @@ def build_parser() -> argparse.ArgumentParser:
                    default="demand_driven")
     p.add_argument("--intensity-max", type=float, default=4095.0)
     p.add_argument("--images-out", help="also write PGM image series here")
+    p.add_argument("--runtime", choices=("threads", "processes", "distributed"),
+                   default="threads",
+                   help="execution backend: threads (LocalRuntime), "
+                        "processes (MPRuntime), or distributed "
+                        "(DistRuntime over TCP worker agents)")
+    p.add_argument("--hosts", nargs="+", metavar="HOST",
+                   help="distributed runtime: one worker agent per host "
+                        "(loopback hosts are spawned locally)")
+    p.add_argument("--agents", type=int, metavar="N",
+                   help="distributed runtime shorthand: N loopback agents "
+                        "(equivalent to --hosts 127.0.0.1 x N)")
 
     p = sub.add_parser("simulate", help="regenerate a paper figure series")
     p.add_argument("--figure", choices=("7a", "7b", "8", "9", "10", "11"),
@@ -131,7 +142,18 @@ def _cmd_analyze(args) -> int:
         kwargs["output"] = "images"
         kwargs["output_dir"] = args.images_out
     config = AnalysisConfig(**kwargs)
-    result = run_pipeline(args.dataset, config)
+    if (args.hosts or args.agents) and args.runtime != "distributed":
+        print("--hosts/--agents require --runtime distributed", file=sys.stderr)
+        return 2
+    if args.hosts and args.agents:
+        print("--hosts and --agents are mutually exclusive", file=sys.stderr)
+        return 2
+    hosts = None
+    if args.hosts:
+        hosts = list(args.hosts)
+    elif args.agents:
+        hosts = ["127.0.0.1"] * args.agents
+    result = run_pipeline(args.dataset, config, runtime=args.runtime, hosts=hosts)
     print(format_breakdown(result.run, order=("RFR", "IIC", "HMP", "HCC", "HPC")))
     for name, vol in result.volumes.items():
         print(f"{name:<16} shape={vol.shape} min={vol.min():.4f} "

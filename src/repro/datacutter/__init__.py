@@ -4,9 +4,12 @@ from .buffers import DataBuffer, EndOfStream
 from .faults import (
     NO_RETRY,
     CopyFailure,
+    CrashAgent,
     CrashCopy,
     DelayBuffers,
+    DelayConnection,
     DropBuffers,
+    DropDeliveries,
     FailProcess,
     FaultPlan,
     PipelineError,
@@ -14,6 +17,7 @@ from .faults import (
 )
 from .filter import Filter, FilterContext
 from .graph import FilterGraph, FilterSpec, StreamEdge
+from .net import DistRuntime, default_placement
 from .placement import Placement
 from .runtime_local import LocalRuntime, RunResult
 from .runtime_mp import MPRuntime
@@ -39,6 +43,9 @@ __all__ = [
     "FailProcess",
     "DelayBuffers",
     "DropBuffers",
+    "CrashAgent",
+    "DelayConnection",
+    "DropDeliveries",
     "Filter",
     "FilterContext",
     "FilterGraph",
@@ -47,6 +54,8 @@ __all__ = [
     "Placement",
     "LocalRuntime",
     "MPRuntime",
+    "DistRuntime",
+    "default_placement",
     "RunResult",
     "CopyState",
     "SchedulingPolicy",

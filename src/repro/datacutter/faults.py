@@ -16,8 +16,14 @@ both real runtimes (:class:`~repro.datacutter.runtime_local.LocalRuntime`,
   :class:`PipelineError` carrying every record instead of deadlocking.
 * :class:`FaultPlan` — a declarative, seeded fault-injection harness:
   crash copy *k* after *n* buffers, fail ``process()`` with probability
-  *p*, delay or drop buffers.  Installable on both real runtimes (the
+  *p*, delay or drop buffers.  Installable on all real runtimes (the
   simulator has its own plan in :mod:`repro.sim.faults`).
+* Connection-level faults (:class:`CrashAgent`, :class:`DelayConnection`,
+  :class:`DropDeliveries`) target a whole worker agent of the
+  distributed runtime (:mod:`repro.datacutter.net`): kill the agent
+  process outright, delay its inbound deliveries, or drop them (the
+  head re-delivers — at-least-once at the transport).  They are
+  rejected by the single-host runtimes, which have no connections.
 
 Example::
 
@@ -47,9 +53,14 @@ __all__ = [
     "FailProcess",
     "DelayBuffers",
     "DropBuffers",
+    "CrashAgent",
+    "DelayConnection",
+    "DropDeliveries",
     "FaultPlan",
     "CopyInjector",
+    "ConnectionInjector",
     "NULL_INJECTOR",
+    "NULL_CONNECTION_INJECTOR",
 ]
 
 
@@ -234,7 +245,69 @@ class DropBuffers:
             raise ValueError("probability must be in [0, 1]")
 
 
-FaultSpec = Union[CrashCopy, FailProcess, DelayBuffers, DropBuffers]
+# ---------------------------------------------------------------------------
+# Connection-level fault specs (distributed runtime only)
+
+
+@dataclass(frozen=True)
+class CrashAgent:
+    """Kill one worker agent process outright (``os._exit``) after it
+    has received ``after_buffers`` data deliveries.  Every filter copy
+    the agent hosts dies with it; the head must detect the dead
+    connection and reroute the agent's unacknowledged chunks."""
+
+    agent: Union[int, str]
+    after_buffers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.after_buffers < 0:
+            raise ValueError("after_buffers must be >= 0")
+
+
+@dataclass(frozen=True)
+class DelayConnection:
+    """Sleep ``delay`` seconds before dispatching an inbound delivery on
+    one agent's connection (a congested or distant link)."""
+
+    agent: Union[int, str]
+    delay: float
+    probability: float = 1.0
+    max_delays: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError("probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DropDeliveries:
+    """Lose an inbound delivery on one agent's connection with
+    probability ``probability``.  The agent reports the loss and the
+    head re-delivers — at-least-once at the transport level, so with
+    surviving credit the run still completes."""
+
+    agent: Union[int, str]
+    probability: float
+    max_drops: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError("probability must be in [0, 1]")
+
+
+ConnectionFault = (CrashAgent, DelayConnection, DropDeliveries)
+
+FaultSpec = Union[
+    CrashCopy,
+    FailProcess,
+    DelayBuffers,
+    DropBuffers,
+    CrashAgent,
+    DelayConnection,
+    DropDeliveries,
+]
 
 
 class FaultPlan:
@@ -302,19 +375,72 @@ class FaultPlan:
     ) -> "FaultPlan":
         return self.add(DropBuffers(filter_name, probability, copy_index, max_drops))
 
+    def crash_agent(
+        self, agent: Union[int, str], after_buffers: int = 0
+    ) -> "FaultPlan":
+        return self.add(CrashAgent(agent, after_buffers))
+
+    def delay_connection(
+        self,
+        agent: Union[int, str],
+        delay: float,
+        probability: float = 1.0,
+        max_delays: Optional[int] = None,
+    ) -> "FaultPlan":
+        return self.add(DelayConnection(agent, delay, probability, max_delays))
+
+    def drop_deliveries(
+        self,
+        agent: Union[int, str],
+        probability: float,
+        max_drops: Optional[int] = None,
+    ) -> "FaultPlan":
+        return self.add(DropDeliveries(agent, probability, max_drops))
+
     # -- queries -----------------------------------------------------------
 
     def affects(self, filter_name: str) -> bool:
-        return any(f.filter_name == filter_name for f in self.faults)
+        return any(
+            getattr(f, "filter_name", None) == filter_name for f in self.faults
+        )
 
-    def validate(self, copies_by_filter: Dict[str, int]) -> None:
+    def connection_faults(self) -> List[FaultSpec]:
+        return [f for f in self.faults if isinstance(f, ConnectionFault)]
+
+    def validate(
+        self,
+        copies_by_filter: Dict[str, int],
+        agents: Optional[List[str]] = None,
+    ) -> None:
         """Reject faults that target nothing.
 
         A typo'd filter name or an out-of-range copy index would
         otherwise inject nothing — and a resilience run that quietly
         tested nothing looks exactly like a clean recovery.
+        ``agents`` names the distributed runtime's worker agents;
+        ``None`` (the single-host runtimes) rejects connection-level
+        faults outright, since there is no connection to break.
         """
         for f in self.faults:
+            if isinstance(f, ConnectionFault):
+                if agents is None:
+                    raise ValueError(
+                        f"{type(f).__name__} targets a worker agent; "
+                        "connection-level faults require the distributed "
+                        "runtime"
+                    )
+                if isinstance(f.agent, int):
+                    if not (0 <= f.agent < len(agents)):
+                        raise ValueError(
+                            f"fault targets agent {f.agent} but the runtime "
+                            f"has {len(agents)} agents"
+                        )
+                elif f.agent not in agents:
+                    raise ValueError(
+                        f"fault targets unknown agent {f.agent!r}; "
+                        f"runtime has {agents}"
+                    )
+                continue
             if f.filter_name not in copies_by_filter:
                 raise ValueError(
                     f"fault targets unknown filter {f.filter_name!r}; "
@@ -332,13 +458,26 @@ class FaultPlan:
         mine = [
             f
             for f in self.faults
-            if f.filter_name == filter_name
+            if getattr(f, "filter_name", None) == filter_name
             and (getattr(f, "copy_index", None) is None
                  or f.copy_index == copy_index)
         ]
         if not mine:
             return NULL_INJECTOR
         return CopyInjector(mine, self.seed, filter_name, copy_index)
+
+    def connection_injector_for(
+        self, agent_index: int, agent_name: str
+    ) -> "ConnectionInjector":
+        """The (deterministic) connection injector for one agent."""
+        mine = [
+            f
+            for f in self.connection_faults()
+            if f.agent == agent_index or f.agent == agent_name
+        ]
+        if not mine:
+            return NULL_CONNECTION_INJECTOR
+        return ConnectionInjector(mine, self.seed, agent_index, agent_name)
 
     def __repr__(self) -> str:
         return f"FaultPlan(seed={self.seed}, faults={self.faults!r})"
@@ -435,3 +574,72 @@ class _NullInjector:
 
 
 NULL_INJECTOR = _NullInjector()
+
+
+class ConnectionInjector:
+    """Per-agent connection fault state, consulted once per inbound
+    data delivery on the agent's head connection.
+
+    :meth:`on_deliver` may sleep (delayed link) and returns one of
+    ``"ok"`` (dispatch normally), ``"drop"`` (lose the delivery; the
+    agent nacks it so the head re-delivers) or ``"crash"`` (the agent
+    must kill its own process — no goodbye, the head's death detection
+    has to catch it).  Seeded from ``(plan seed, agent)`` so runs are
+    reproducible.
+    """
+
+    active = True
+
+    def __init__(
+        self,
+        specs: List[FaultSpec],
+        seed: int,
+        agent_index: int,
+        agent_name: str,
+    ):
+        self._crashes = [s for s in specs if isinstance(s, CrashAgent)]
+        self._delays = [s for s in specs if isinstance(s, DelayConnection)]
+        self._drops = [s for s in specs if isinstance(s, DropDeliveries)]
+        self._rng = random.Random(f"{seed}|agent|{agent_index}|{agent_name}")
+        self.agent_index = agent_index
+        self.agent_name = agent_name
+        self.received = 0
+        self._fired: Dict[int, int] = {}
+
+    def _under_cap(self, spec, cap: Optional[int]) -> bool:
+        return cap is None or self._fired.get(id(spec), 0) < cap
+
+    def _fire(self, spec) -> None:
+        self._fired[id(spec)] = self._fired.get(id(spec), 0) + 1
+
+    def on_deliver(self) -> str:
+        self.received += 1
+        for spec in self._crashes:
+            if self.received > spec.after_buffers:
+                return "crash"
+        for spec in self._delays:
+            if self._under_cap(spec, spec.max_delays) and (
+                spec.probability >= 1.0 or self._rng.random() < spec.probability
+            ):
+                self._fire(spec)
+                time.sleep(spec.delay)
+        for spec in self._drops:
+            if self._under_cap(spec, spec.max_drops) and (
+                self._rng.random() < spec.probability
+            ):
+                self._fire(spec)
+                return "drop"
+        return "ok"
+
+
+class _NullConnectionInjector:
+    """Inert connection injector (no per-delivery branching)."""
+
+    active = False
+    received = 0
+
+    def on_deliver(self) -> str:
+        return "ok"
+
+
+NULL_CONNECTION_INJECTOR = _NullConnectionInjector()

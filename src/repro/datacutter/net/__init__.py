@@ -1,0 +1,40 @@
+"""Distributed TCP transport for the filter-stream middleware.
+
+Three layers, mirroring DataCutter's deployment on a real cluster:
+
+* :mod:`repro.datacutter.net.codec` — the wire format: length-prefixed
+  frames whose numpy payloads travel as raw buffers (pickle protocol 5
+  out-of-band), never copied into the pickle stream.
+* :mod:`repro.datacutter.net.agent` — the per-host worker: hosts filter
+  copies and bridges their streams to the head over one TCP connection.
+* :mod:`repro.datacutter.net.runtime_dist` — :class:`DistRuntime`, the
+  head-side runtime: ships the graph to agents, routes buffers with
+  credit-based flow control, detects dead agents and reroutes their
+  chunks, and raises the same structured
+  :class:`~repro.datacutter.faults.PipelineError` as the local runtimes.
+"""
+
+from .codec import (
+    CodecError,
+    ConnectionClosed,
+    decode,
+    dumps,
+    encode,
+    loads,
+    recv_message,
+    send_message,
+)
+from .runtime_dist import DistRuntime, default_placement
+
+__all__ = [
+    "CodecError",
+    "ConnectionClosed",
+    "encode",
+    "decode",
+    "dumps",
+    "loads",
+    "send_message",
+    "recv_message",
+    "DistRuntime",
+    "default_placement",
+]

@@ -1,0 +1,539 @@
+"""Worker agent: hosts filter copies on one machine and bridges their
+streams to the head over a single TCP connection.
+
+One agent runs per host of a distributed run.  It connects to the head
+(:class:`~repro.datacutter.net.runtime_dist.DistRuntime`), receives its
+``setup`` (which filter copies it hosts, retry policy, fault plan), and
+runs each copy in its own thread with the same lifecycle as the local
+runtimes: ``initialize`` → ``generate``/``process`` per buffer →
+``finalize``.  Routing stays at the head — a copy's ``ctx.send`` just
+frames the buffer back to the head, which schedules it onto a consumer
+copy (possibly on another agent).
+
+Flow control is credit-based end to end:
+
+* Inbound, the head never has more than the per-copy queue depth of
+  unacknowledged deliveries outstanding to any copy; the ``ack`` the
+  agent sends after a buffer is processed returns the credit.
+* Outbound, each producing copy holds a bounded *send window*; the head
+  grants a slot back (``scredit``) whenever one of the copy's buffers is
+  dispatched to a consumer.  A producer therefore blocks — abort-aware —
+  instead of flooding the head's pending queues, which is how bounded
+  stream buffers behave in DataCutter.
+
+All frames leave through one writer thread, so they never interleave and
+TCP ordering does the protocol work: a copy's ``send`` frames reach the
+head strictly before its ``ack``/``done``, so the head's edge-drain
+accounting can never miss children of a buffer it believes consumed.
+
+Fault injection: copy-level faults from the shared
+:class:`~repro.datacutter.faults.FaultPlan` run inside the copy threads
+exactly as in the local runtimes; connection-level faults
+(:class:`~repro.datacutter.faults.CrashAgent` & friends) run in the
+dispatcher — a crash kills the whole process with ``os._exit`` so the
+head's death detection, not a polite goodbye, has to notice.
+
+External hosts launch the agent standalone::
+
+    python -m repro.datacutter.net.agent --connect HEAD:PORT \\
+        --index I --token TOKEN
+
+in which case the filter graph arrives pickled inside ``setup`` (filter
+factories must then be importable module-level callables, and source
+filters that read the dataset need it on a shared filesystem).  Loopback
+agents are forked by the head and inherit the graph through process
+memory, so tests and CI need no real cluster and no picklable factories.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..buffers import DataBuffer
+from ..faults import (
+    NULL_CONNECTION_INJECTOR,
+    NULL_INJECTOR,
+    CopyFailure,
+    InjectedCrash,
+    InjectedFault,
+    RetryPolicy,
+)
+from ..filter import FilterContext
+from ..graph import FilterGraph
+from . import codec
+
+__all__ = ["AgentRunner", "run_agent", "spawned_agent_main", "main"]
+
+#: Granularity of abort checks while blocked (seconds).
+_POLL = 0.05
+#: Heartbeat period (seconds); the head's timeout is several of these.
+HEARTBEAT_INTERVAL = 0.5
+#: Exit status for injected agent crashes (mimics an uncaught signal).
+CRASH_EXIT = 23
+
+
+class _Aborted(BaseException):
+    """Internal unwind signal raised inside copy threads on shutdown."""
+
+
+class _CopyDied(Exception):
+    """A copy exhausted its retries (or was crashed by injection)."""
+
+    def __init__(self, cause: BaseException, injected: bool):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.injected = injected
+
+
+class _SendWindow:
+    """Bounded outbound window for one producing copy's stream.
+
+    ``acquire`` blocks (abort-aware) while ``limit`` sends await dispatch
+    at the head; ``release`` is called when an ``scredit`` grant arrives.
+    """
+
+    def __init__(self, limit: int, abort: threading.Event):
+        self.limit = limit
+        self.outstanding = 0
+        self.cond = threading.Condition()
+        self.abort = abort
+
+    def acquire(self) -> None:
+        with self.cond:
+            while self.outstanding >= self.limit:
+                if self.abort.is_set():
+                    raise _Aborted()
+                self.cond.wait(timeout=_POLL)
+            self.outstanding += 1
+        if self.abort.is_set():
+            raise _Aborted()
+
+    def release(self) -> None:
+        with self.cond:
+            if self.outstanding > 0:
+                self.outstanding -= 1
+            self.cond.notify()
+
+    def wake(self) -> None:
+        with self.cond:
+            self.cond.notify_all()
+
+
+class _AgentContext(FilterContext):
+    """Bridges a filter copy's sends and deposits onto the head link."""
+
+    def __init__(
+        self,
+        runner: "AgentRunner",
+        filter_name: str,
+        copy_index: int,
+        num_copies: int,
+        out_edges: Dict[str, Any],
+    ):
+        super().__init__(filter_name, copy_index, num_copies)
+        self._runner = runner
+        self._out = out_edges  # stream name -> StreamEdge
+
+    def send(self, stream, payload, size_bytes=0, metadata=None, dest_copy=None):
+        try:
+            edge = self._out[stream]
+        except KeyError:
+            raise RuntimeError(
+                f"filter {self.filter_name!r} has no output stream {stream!r}"
+            ) from None
+        explicit = edge.policy == "explicit"
+        if explicit and dest_copy is None:
+            raise RuntimeError(
+                f"stream {stream!r} is explicit: dest_copy required"
+            )
+        if not explicit and dest_copy is not None:
+            raise RuntimeError(
+                f"stream {stream!r} is {edge.policy}: dest_copy only valid "
+                "on explicit streams"
+            )
+        if dest_copy is not None and not (
+            0 <= dest_copy < self._runner.graph.copies(edge.dst)
+        ):
+            raise RuntimeError(
+                f"stream {stream!r}: dest copy {dest_copy} out of range"
+            )
+        buf = DataBuffer(
+            payload=payload, size_bytes=size_bytes, metadata=dict(metadata or {})
+        )
+        window = self._runner.send_window(self.filter_name, self.copy_index, stream)
+        window.acquire()
+        self._runner.post(
+            ("send", self.filter_name, self.copy_index, stream, dest_copy, buf)
+        )
+
+    def deposit(self, key, value):
+        self._runner.post(("deposit", key, value))
+
+
+class _CopyWorker:
+    """One hosted filter copy: its thread, input queue and life cycle."""
+
+    def __init__(self, runner: "AgentRunner", filter_name: str, copy_index: int):
+        self.runner = runner
+        self.filter_name = filter_name
+        self.copy_index = copy_index
+        self.in_q: "queue.Queue" = queue.Queue()
+        self.dead = False  # failed; the dispatcher drops later deliveries
+        self.retries = 0
+        self.thread = threading.Thread(
+            target=self._run,
+            name=f"{filter_name}[{copy_index}]@agent{runner.agent_index}",
+            daemon=True,
+        )
+
+    # -- retry loop (mirrors LocalRuntime._process_with_retry) -------------
+
+    def _process_with_retry(self, filt, stream, buffer, ctx, injector) -> float:
+        runner = self.runner
+        retry = runner.retry
+        attempt = 1
+        while True:
+            try:
+                injector.before_process(buffer, attempt)
+                t0 = time.perf_counter()
+                filt.process(stream, buffer, ctx)
+                dt = time.perf_counter() - t0
+                injector.after_process(buffer)
+                return dt
+            except InjectedCrash as exc:
+                if exc.hard:
+                    # A real machine failure: the whole agent dies with no
+                    # goodbye; the head's death detection must catch it.
+                    os._exit(CRASH_EXIT)
+                raise _CopyDied(exc, injected=True) from exc
+            except _Aborted:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - retried or reported
+                if attempt >= retry.max_attempts:
+                    raise _CopyDied(exc, injected=isinstance(exc, InjectedFault))
+                self.retries += 1
+                deadline = time.perf_counter() + retry.delay(attempt)
+                while time.perf_counter() < deadline:
+                    if runner.abort.is_set():
+                        raise _Aborted()
+                    time.sleep(min(_POLL, max(0.0, deadline - time.perf_counter())))
+                attempt += 1
+
+    # -- life cycle ---------------------------------------------------------
+
+    def _run(self) -> None:
+        runner = self.runner
+        graph = runner.graph
+        spec = graph.filters[self.filter_name]
+        injector = (
+            runner.faults.injector_for(self.filter_name, self.copy_index)
+            if runner.faults is not None
+            else NULL_INJECTOR
+        )
+        t_busy = 0.0
+        out_edges = {e.stream: e for e in graph.out_edges(self.filter_name)}
+        in_streams = {e.stream for e in graph.in_edges(self.filter_name)}
+        try:
+            filt = spec.factory()
+            ctx = _AgentContext(
+                runner, self.filter_name, self.copy_index, spec.copies, out_edges
+            )
+            t0 = time.perf_counter()
+            filt.initialize(ctx)
+            t_busy += time.perf_counter() - t0
+            if not in_streams:
+                t0 = time.perf_counter()
+                filt.generate(ctx)
+                t_busy += time.perf_counter() - t0
+            else:
+                open_streams = set(in_streams)
+                while open_streams:
+                    if runner.abort.is_set():
+                        raise _Aborted()
+                    try:
+                        item = self.in_q.get(timeout=_POLL)
+                    except queue.Empty:
+                        continue
+                    kind = item[0]
+                    if kind == "close":
+                        open_streams.discard(item[1])
+                        continue
+                    if kind == "stop":
+                        raise _Aborted()
+                    _, stream, seq, buffer = item
+                    try:
+                        t_busy += self._process_with_retry(
+                            filt, stream, buffer, ctx, injector
+                        )
+                        runner.post(("ack", seq))
+                    except _CopyDied as died:
+                        self.dead = True
+                        # The head holds every unacknowledged delivery for
+                        # this copy — the in-hand buffer included — in its
+                        # in-flight table and reroutes them all, so just
+                        # report the death and stop.
+                        runner.post(
+                            (
+                                "copy_failed",
+                                CopyFailure(
+                                    filter_name=self.filter_name,
+                                    copy_index=self.copy_index,
+                                    error=repr(died.cause),
+                                    kind="crash" if died.injected else "exception",
+                                    injected=died.injected,
+                                ),
+                                t_busy,
+                                self.retries,
+                            )
+                        )
+                        return
+            t0 = time.perf_counter()
+            filt.finalize(ctx)
+            t_busy += time.perf_counter() - t0
+            runner.post(
+                ("done", self.filter_name, self.copy_index, t_busy, self.retries)
+            )
+        except _Aborted:
+            pass
+        except BaseException:  # noqa: BLE001 - reported to the head
+            self.dead = True
+            runner.post(
+                (
+                    "copy_failed",
+                    CopyFailure(
+                        filter_name=self.filter_name,
+                        copy_index=self.copy_index,
+                        error=traceback.format_exc().strip(),
+                        kind="exception",
+                    ),
+                    t_busy,
+                    self.retries,
+                )
+            )
+
+
+class AgentRunner:
+    """Drives one agent connection: dispatcher, writer, copy threads."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        agent_index: int,
+        token: str,
+        graph: Optional[FilterGraph] = None,
+    ):
+        self.sock = sock
+        self.agent_index = agent_index
+        self.agent_name = f"agent{agent_index}"
+        self.token = token
+        self.graph = graph
+        self.retry = RetryPolicy()
+        self.faults = None
+        self.abort = threading.Event()
+        self.out_q: "queue.Queue" = queue.Queue()
+        self.copies: Dict[Tuple[str, int], _CopyWorker] = {}
+        self._windows: Dict[Tuple[str, int, str], _SendWindow] = {}
+        self._windows_lock = threading.Lock()
+        self._send_window_limit = 16
+        self._conn_injector = NULL_CONNECTION_INJECTOR
+
+    # -- outbound -----------------------------------------------------------
+
+    def post(self, msg: Any) -> None:
+        self.out_q.put(msg)
+
+    def send_window(
+        self, filter_name: str, copy_index: int, stream: str
+    ) -> _SendWindow:
+        key = (filter_name, copy_index, stream)
+        with self._windows_lock:
+            win = self._windows.get(key)
+            if win is None:
+                win = _SendWindow(self._send_window_limit, self.abort)
+                self._windows[key] = win
+        return win
+
+    def _writer(self) -> None:
+        while True:
+            msg = self.out_q.get()
+            if msg is None:
+                return
+            try:
+                codec.send_message(self.sock, msg)
+            except OSError:
+                # The head is gone; nothing left to talk to.
+                self.abort.set()
+                self._wake_windows()
+                return
+
+    def _heartbeat(self) -> None:
+        while not self.abort.is_set():
+            time.sleep(HEARTBEAT_INTERVAL)
+            if self.abort.is_set():
+                return
+            self.post(("hb",))
+
+    def _wake_windows(self) -> None:
+        with self._windows_lock:
+            windows = list(self._windows.values())
+        for w in windows:
+            w.wake()
+
+    # -- setup + dispatch ---------------------------------------------------
+
+    def _apply_setup(self, msg: Tuple) -> None:
+        _, graph, assignments, retry, faults, send_window, agent_name = msg
+        if graph is not None:
+            self.graph = graph
+        if self.graph is None:
+            raise RuntimeError(
+                "agent received no filter graph: external agents need "
+                "picklable filter factories"
+            )
+        self.retry = retry
+        self.faults = faults
+        self._send_window_limit = send_window
+        self.agent_name = agent_name
+        if faults is not None:
+            self._conn_injector = faults.connection_injector_for(
+                self.agent_index, agent_name
+            )
+        for name, idx in assignments:
+            self.copies[(name, idx)] = _CopyWorker(self, name, idx)
+        for worker in self.copies.values():
+            worker.thread.start()
+
+    def run(self) -> None:
+        """Dispatcher loop: receive head frames until stop or EOF."""
+        writer = threading.Thread(target=self._writer, daemon=True)
+        writer.start()
+        codec.send_message(
+            self.sock, ("hello", self.agent_index, self.token, os.getpid())
+        )
+        try:
+            setup = codec.recv_message(self.sock)
+        except codec.ConnectionClosed:
+            self.out_q.put(None)
+            return
+        if not (isinstance(setup, tuple) and setup[0] == "setup"):
+            raise RuntimeError(f"expected setup message, got {setup!r}")
+        self._apply_setup(setup)
+        threading.Thread(target=self._heartbeat, daemon=True).start()
+        try:
+            while True:
+                try:
+                    msg = codec.recv_message(self.sock)
+                except codec.ConnectionClosed:
+                    break
+                kind = msg[0]
+                if kind == "buf":
+                    _, name, idx, stream, seq, buffer = msg
+                    action = self._conn_injector.on_deliver()
+                    if action == "crash":
+                        # The whole "host" fails: no cleanup, no goodbye.
+                        os._exit(CRASH_EXIT)
+                    if action == "drop":
+                        self.post(("nack", seq))
+                        continue
+                    worker = self.copies.get((name, idx))
+                    if worker is None or worker.dead:
+                        # Dead copy: the head reroutes everything it never
+                        # got an ack for, so in-transit deliveries are
+                        # dropped here, not processed twice.
+                        continue
+                    worker.in_q.put(("buf", stream, seq, buffer))
+                elif kind == "scredit":
+                    _, name, idx, stream = msg
+                    self.send_window(name, idx, stream).release()
+                elif kind == "close":
+                    _, name, idx, stream = msg
+                    worker = self.copies.get((name, idx))
+                    if worker is not None:
+                        worker.in_q.put(("close", stream))
+                elif kind == "stop":
+                    break
+                else:  # pragma: no cover - protocol growth guard
+                    raise RuntimeError(f"unknown head message {kind!r}")
+        finally:
+            self.abort.set()
+            self._wake_windows()
+            for worker in self.copies.values():
+                worker.in_q.put(("stop",))
+            for worker in self.copies.values():
+                worker.thread.join(timeout=5.0)
+            self.out_q.put(None)
+            writer.join(timeout=5.0)
+
+
+def run_agent(
+    head_host: str,
+    head_port: int,
+    agent_index: int,
+    token: str,
+    graph: Optional[FilterGraph] = None,
+    connect_timeout: float = 30.0,
+) -> None:
+    """Connect to the head and serve one run.  Blocks until it ends."""
+    sock = socket.create_connection((head_host, head_port), timeout=connect_timeout)
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        AgentRunner(sock, agent_index, token, graph=graph).run()
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def spawned_agent_main(
+    head_host: str,
+    head_port: int,
+    agent_index: int,
+    token: str,
+    graph: FilterGraph,
+) -> None:
+    """Entry point for agents the head forks onto loopback hosts.
+
+    The graph (with its possibly unpicklable factories) crosses via fork
+    memory, so no serialization is involved.
+    """
+    try:
+        run_agent(head_host, head_port, agent_index, token, graph=graph)
+    except Exception:  # noqa: BLE001 - the head sees the dead connection
+        traceback.print_exc()
+        os._exit(1)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone agent entry point for real (non-loopback) hosts."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.datacutter.net.agent",
+        description="Worker agent for the distributed filter-stream runtime",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="head address to connect to",
+    )
+    parser.add_argument(
+        "--index", type=int, required=True,
+        help="this agent's index in the head's host list",
+    )
+    parser.add_argument(
+        "--token", required=True, help="run token issued by the head"
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    run_agent(host, int(port), args.index, args.token)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,826 @@
+"""Distributed head runtime: one filter graph across many hosts over TCP.
+
+:class:`DistRuntime` is the third execution backend (after the threaded
+:class:`~repro.datacutter.runtime_local.LocalRuntime` and the
+process-based :class:`~repro.datacutter.runtime_mp.MPRuntime`) and the
+first that crosses the machine boundary, the way the paper's DataCutter
+deployment does.  The head
+
+* turns the host list plus a :class:`~repro.datacutter.placement.Placement`
+  into per-agent copy assignments (:func:`default_placement` builds one
+  when the caller has none),
+* launches one worker agent per host — loopback hosts are forked
+  locally, so ``["127.0.0.1"] * N`` needs no real cluster; other hosts
+  must start ``python -m repro.datacutter.net.agent`` themselves with
+  the address/token the head prints,
+* ships graph and configuration to the agents and then routes every
+  stream buffer: agents send produced buffers up, the head schedules
+  them onto consumer copies per the stream's policy and relays them
+  down, zero-copy end to end through the wire codec.
+
+Flow control is credit based, replacing the single-host runtimes'
+shared-memory queue counters: a consumer copy never has more than
+``max_queue`` unacknowledged deliveries (the post-process ``ack``
+returns the credit), and a producer copy never has more than
+``send_window`` buffers awaiting dispatch at the head (the ``scredit``
+grant returns that slot).  Because the graph is acyclic and sinks never
+block, credits always drain and the pipeline cannot deadlock.
+
+Fault tolerance extends PR 1's model across the wire.  The head keeps
+every dispatched buffer in an in-flight table until its ack arrives, so
+delivery is at-least-once: when a copy fails (reported by its agent) or
+a whole agent dies (socket EOF, missed heartbeats, or a spawned
+process's exit code), the dead copies' unacknowledged buffers are
+rerouted to surviving transparent copies and the stitching filters'
+position-keyed dedup absorbs any re-delivery.  Unrecoverable failures —
+a dead source or explicitly-addressed copy, no survivors, rerouting
+disabled — abort the run, and :meth:`DistRuntime.run` raises the same
+structured :class:`~repro.datacutter.faults.PipelineError` as the local
+runtimes.  Connection-level faults (:class:`CrashAgent`,
+:class:`DelayConnection`, :class:`DropDeliveries`) are injected on the
+agent side of each connection; their targets are agent indices or the
+node names derived from the host list.
+"""
+
+from __future__ import annotations
+
+import binascii
+import os
+import queue
+import socket
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..buffers import DataBuffer
+from ..faults import (
+    CopyFailure,
+    CrashAgent,
+    FaultPlan,
+    PipelineError,
+    RetryPolicy,
+)
+from ..graph import FilterGraph, StreamEdge
+from ..placement import Placement
+from ..runtime_local import LocalRuntime, RunResult
+from ..scheduling import CopyState, make_policy
+from . import codec
+
+__all__ = ["DistRuntime", "default_placement"]
+
+#: Granularity of the monitor loop (seconds).
+_POLL = 0.05
+
+_LOOPBACK = ("127.0.0.1", "localhost", "::1", "loopback")
+
+
+def _node_names(hosts: List[str]) -> List[str]:
+    """Stable node identifiers for a host list (dedup repeated hosts)."""
+    if len(set(hosts)) == len(hosts):
+        return list(hosts)
+    return [f"{h}#{i}" for i, h in enumerate(hosts)]
+
+
+def default_placement(graph: FilterGraph, nodes: List[str]) -> Placement:
+    """Spread a graph over nodes the way the paper's deployments do.
+
+    Replicated filters whose inputs are all transparent (the compute
+    filters — their buffers can go to any copy) spread round-robin over
+    nodes 1..N-1; everything else — sources, sinks, single copies and
+    explicitly addressed filters — stays on node 0 with the head.  The
+    split keeps the unrecoverable copies (sources, explicit stitch
+    points) off the nodes whose loss the runtime can survive.
+    """
+    if not nodes:
+        raise ValueError("no nodes to place on")
+    placement = Placement()
+    n = len(nodes)
+    for spec in graph.filters.values():
+        in_edges = graph.in_edges(spec.name)
+        transparent = bool(in_edges) and all(
+            e.policy != "explicit" for e in in_edges
+        )
+        if spec.copies > 1 and transparent and n > 1:
+            for i in range(spec.copies):
+                placement.place(spec.name, i, nodes[1 + (i % (n - 1))])
+        else:
+            for i in range(spec.copies):
+                placement.place(spec.name, i, nodes[0])
+    return placement
+
+
+class _AgentConn:
+    """Head-side state of one worker agent connection."""
+
+    def __init__(self, index: int, name: str, host: str):
+        self.index = index
+        self.name = name
+        self.host = host
+        self.sock: Optional[socket.socket] = None
+        self.out_q: "queue.Queue" = queue.Queue()
+        self.last_seen = 0.0
+        self.dead = False
+        self.proc = None  # multiprocessing.Process for spawned agents
+        self.pid: Optional[int] = None
+        self.reader: Optional[threading.Thread] = None
+        self.writer: Optional[threading.Thread] = None
+
+
+class _Pending:
+    """One routed buffer: committed to ``target``, awaiting its credit."""
+
+    __slots__ = ("buffer", "target", "explicit", "src_copy")
+
+    def __init__(
+        self, buffer: DataBuffer, target: int, explicit: bool, src_copy: int
+    ):
+        self.buffer = buffer
+        self.target = target
+        self.explicit = explicit
+        self.src_copy = src_copy
+
+
+class _EdgeState:
+    """Head-side routing state of one stream edge."""
+
+    def __init__(self, edge: StreamEdge, n_consumers: int, n_producers: int):
+        self.edge = edge
+        self.key = f"{edge.src}:{edge.stream}"
+        self.policy = make_policy(edge.policy)
+        self.states = [CopyState(i) for i in range(n_consumers)]
+        self.pending: "deque[_Pending]" = deque()
+        self.inflight = 0
+        self.n_producers = n_producers
+        self.producers_done = 0
+        self.sent = 0
+        self.closed = False
+
+
+class DistRuntime:
+    """Executes a validated :class:`FilterGraph` across worker agents.
+
+    Parameters
+    ----------
+    graph:
+        The filter network to execute.
+    hosts:
+        One entry per agent.  Loopback entries (``127.0.0.1`` etc.) are
+        forked locally; any other host must launch the agent itself —
+        the head prints the exact command when it starts listening.
+    placement:
+        Copy-to-node assignment over the node names derived from
+        ``hosts`` (repeated hosts become ``host#i``); defaults to
+        :func:`default_placement`.
+    max_queue:
+        Per-consumer-copy credit: the bound on unacknowledged deliveries.
+    send_window:
+        Per-producer-copy bound on buffers awaiting dispatch at the head.
+    retry / faults:
+        The same objects the single-host runtimes take; connection-level
+        faults additionally become valid targets here.
+    heartbeat_timeout:
+        Seconds without any frame from an agent before it is declared
+        dead (agents heartbeat every
+        :data:`~repro.datacutter.net.agent.HEARTBEAT_INTERVAL` seconds).
+    port / bind_host:
+        Listening endpoint; port 0 picks an ephemeral port (fine for
+        loopback runs, external agents need a fixed one).
+    """
+
+    def __init__(
+        self,
+        graph: FilterGraph,
+        hosts: List[str],
+        placement: Optional[Placement] = None,
+        max_queue: int = 64,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        send_window: int = 16,
+        heartbeat_timeout: float = 5.0,
+        port: int = 0,
+        bind_host: str = "",
+        connect_timeout: float = 30.0,
+    ):
+        graph.validate()
+        LocalRuntime._check_stream_names(graph)
+        if not hosts:
+            raise ValueError("distributed runtime needs at least one host")
+        if max_queue < 1 or send_window < 1:
+            raise ValueError("max_queue and send_window must be >= 1")
+        self.graph = graph
+        self.hosts = list(hosts)
+        self.node_names = _node_names(self.hosts)
+        if placement is None:
+            placement = default_placement(graph, self.node_names)
+        placement.validate_for(graph)
+        unknown = set(placement.nodes()) - set(self.node_names)
+        if unknown:
+            raise ValueError(
+                f"placement uses nodes {sorted(unknown)} not in the host "
+                f"list (nodes: {self.node_names})"
+            )
+        self.placement = placement
+        self.max_queue = max_queue
+        self.send_window = send_window
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
+        if faults is not None:
+            faults.validate(
+                {name: spec.copies for name, spec in graph.filters.items()},
+                agents=self.node_names,
+            )
+        self.heartbeat_timeout = heartbeat_timeout
+        self.port = port
+        self.bind_host = bind_host
+        self.connect_timeout = connect_timeout
+
+    # ------------------------------------------------------------------
+    # Per-run state (one run at a time, like the single-host runtimes)
+
+    def _reset(self) -> None:
+        g = self.graph
+        self._lock = threading.RLock()
+        self._done_event = threading.Event()
+        self._fatal = False
+        self._stopping = False
+        self._failures: List[CopyFailure] = []
+        self._results: Dict[str, List[Any]] = {}
+        self._busy: Dict[Tuple[str, int], float] = {}
+        self._retries = 0
+        self._reroutes = 0
+        self._wire: Dict[str, int] = {}
+        self._wire_lock = threading.Lock()
+        self._next_seq = 0
+        self._inflight: Dict[int, Tuple[_EdgeState, _Pending]] = {}
+        self._status: Dict[Tuple[str, int], str] = {}
+        self._outstanding: Dict[Tuple[str, int], int] = {}
+        self._agent_of: Dict[Tuple[str, int], int] = {}
+        for spec in g.filters.values():
+            for i in range(spec.copies):
+                self._status[(spec.name, i)] = "running"
+                self._outstanding[(spec.name, i)] = 0
+                node = self.placement.node_of(spec.name, i)
+                self._agent_of[(spec.name, i)] = self.node_names.index(node)
+        self._edges: Dict[Tuple[str, str], _EdgeState] = {}
+        self._edges_into: Dict[str, List[_EdgeState]] = {
+            name: [] for name in g.filters
+        }
+        for edge in g.edges:
+            es = _EdgeState(edge, g.copies(edge.dst), g.copies(edge.src))
+            self._edges[(edge.src, edge.stream)] = es
+            self._edges_into[edge.dst].append(es)
+        self._conns = [
+            _AgentConn(i, self.node_names[i], self.hosts[i])
+            for i in range(len(self.hosts))
+        ]
+
+    def _conn_of(self, filter_name: str, copy_index: int) -> _AgentConn:
+        return self._conns[self._agent_of[(filter_name, copy_index)]]
+
+    # ------------------------------------------------------------------
+    # Routing (every method below runs with self._lock held)
+
+    def _choose(self, es: _EdgeState, buffer: DataBuffer) -> Optional[int]:
+        dst = es.edge.dst
+        alive = [
+            s for s in es.states if self._status[(dst, s.copy_index)] == "running"
+        ]
+        if not alive:
+            return None
+        idx = es.policy.choose(alive, buffer)
+        es.states[idx].on_assign(buffer)
+        return idx
+
+    def _trigger_fatal(self, message: str) -> None:
+        if not self._fatal:
+            self._fatal = True
+            self._failures.append(
+                CopyFailure(
+                    filter_name="<runtime>",
+                    copy_index=-1,
+                    error=message,
+                    kind="crash",
+                )
+            )
+        self._done_event.set()
+
+    def _route(
+        self,
+        src_f: str,
+        src_copy: int,
+        stream: str,
+        dest_copy: Optional[int],
+        buffer: DataBuffer,
+    ) -> None:
+        es = self._edges.get((src_f, stream))
+        if es is None:
+            self._trigger_fatal(f"send on unknown stream {src_f}:{stream}")
+            return
+        explicit = es.policy.requires_explicit_dest()
+        if explicit:
+            # Explicit placement is semantic (all pieces of one chunk
+            # meet at one copy); a dead destination is unrecoverable.
+            if self._status[(es.edge.dst, dest_copy)] != "running":
+                self._trigger_fatal(
+                    f"explicit stream {es.key} targets dead copy "
+                    f"{es.edge.dst}[{dest_copy}]"
+                )
+                return
+            es.states[dest_copy].on_assign(buffer)
+            target = dest_copy
+        else:
+            target = self._choose(es, buffer)
+            if target is None:
+                self._trigger_fatal(
+                    f"stream {es.key}: no surviving consumer copies"
+                )
+                return
+        es.sent += 1
+        es.pending.append(_Pending(buffer, target, explicit, src_copy))
+        self._pump_edge(es)
+
+    def _dispatch(self, es: _EdgeState, p: _Pending) -> None:
+        dst = es.edge.dst
+        seq = self._next_seq
+        self._next_seq += 1
+        self._inflight[seq] = (es, p)
+        es.inflight += 1
+        self._outstanding[(dst, p.target)] += 1
+        self._conn_of(dst, p.target).out_q.put(
+            (("buf", dst, p.target, es.edge.stream, seq, p.buffer), es.key)
+        )
+        # The producer's send-window slot frees as soon as the buffer
+        # leaves the head's pending queue.
+        pconn = self._conn_of(es.edge.src, p.src_copy)
+        if not pconn.dead:
+            pconn.out_q.put(
+                (("scredit", es.edge.src, p.src_copy, es.edge.stream), None)
+            )
+
+    def _pump_edge(self, es: _EdgeState) -> None:
+        """Dispatch every pending buffer whose target has credit.
+
+        Entries whose target lacks credit are skipped, not blocked on —
+        other producers' buffers for other copies must keep flowing,
+        exactly as they do when each producer blocks on its own copy's
+        queue in the local runtime.  Per-target FIFO order is preserved.
+        """
+        dst = es.edge.dst
+        if es.pending:
+            remaining: "deque[_Pending]" = deque()
+            while es.pending:
+                p = es.pending.popleft()
+                if self._status[(dst, p.target)] != "running":
+                    if p.explicit:
+                        self._trigger_fatal(
+                            f"explicit stream {es.key} targets dead copy "
+                            f"{dst}[{p.target}]"
+                        )
+                        return
+                    # Committed but never on the wire: re-pick quietly,
+                    # like a producer blocked on a queue whose copy died.
+                    es.states[p.target].on_unassign(p.buffer)
+                    es.sent -= 1
+                    target = self._choose(es, p.buffer)
+                    if target is None:
+                        self._trigger_fatal(
+                            f"stream {es.key}: no surviving consumer copies"
+                        )
+                        return
+                    p.target = target
+                    es.sent += 1
+                if self._outstanding[(dst, p.target)] < self.max_queue:
+                    self._dispatch(es, p)
+                else:
+                    remaining.append(p)
+            es.pending = remaining
+        self._maybe_close(es)
+
+    def _maybe_close(self, es: _EdgeState) -> None:
+        """Send end-of-stream once the edge is fully drained.
+
+        Drained means every producer copy is done *and* nothing is
+        pending or unacknowledged anywhere on the edge — so after the
+        close no reroute can ever target this edge again, which is the
+        distributed form of the local router's sibling condition.
+        """
+        if es.closed:
+            return
+        if es.producers_done < es.n_producers or es.pending or es.inflight:
+            return
+        es.closed = True
+        dst = es.edge.dst
+        for i in range(self.graph.copies(dst)):
+            if self._status[(dst, i)] == "running":
+                conn = self._conn_of(dst, i)
+                if not conn.dead:
+                    conn.out_q.put((("close", dst, i, es.edge.stream), None))
+
+    # ------------------------------------------------------------------
+    # Agent message handling
+
+    def _handle(self, conn: _AgentConn, msg: Tuple) -> None:
+        kind = msg[0]
+        if kind == "hb":
+            return
+        with self._lock:
+            if self._stopping:
+                return
+            if kind == "send":
+                _, src_f, src_copy, stream, dest_copy, buffer = msg
+                self._route(src_f, src_copy, stream, dest_copy, buffer)
+            elif kind == "ack":
+                self._on_ack(msg[1])
+            elif kind == "nack":
+                self._on_nack(msg[1])
+            elif kind == "done":
+                _, f, c, busy, retries = msg
+                self._on_done(f, c, busy, retries)
+            elif kind == "copy_failed":
+                _, failure, busy, retries = msg
+                self._on_copy_failed(failure, busy, retries)
+            elif kind == "deposit":
+                _, key, value = msg
+                self._results.setdefault(key, []).append(value)
+            else:  # pragma: no cover - protocol growth guard
+                self._trigger_fatal(f"unknown agent message {kind!r}")
+
+    def _on_ack(self, seq: int) -> None:
+        entry = self._inflight.pop(seq, None)
+        if entry is None:
+            return  # late ack for a delivery already rerouted elsewhere
+        es, p = entry
+        dst = es.edge.dst
+        es.inflight -= 1
+        self._outstanding[(dst, p.target)] -= 1
+        es.states[p.target].on_consume()
+        # The freed credit may unblock this edge and any sibling edge
+        # into the same consumer filter.
+        for other in self._edges_into[dst]:
+            self._pump_edge(other)
+
+    def _on_nack(self, seq: int) -> None:
+        """An injected connection drop: re-deliver to the same copy."""
+        entry = self._inflight.pop(seq, None)
+        if entry is None:
+            return
+        es, p = entry
+        es.inflight -= 1
+        self._outstanding[(es.edge.dst, p.target)] -= 1
+        self._retries += 1
+        es.pending.appendleft(p)
+        self._pump_edge(es)
+
+    def _on_done(self, f: str, c: int, busy: float, retries: int) -> None:
+        if self._status.get((f, c)) != "running":
+            return
+        self._status[(f, c)] = "done"
+        self._busy[(f, c)] = busy
+        self._retries += retries
+        for e in self.graph.out_edges(f):
+            es = self._edges[(f, e.stream)]
+            es.producers_done += 1
+            self._maybe_close(es)
+        self._check_complete()
+
+    def _on_copy_failed(
+        self, failure: CopyFailure, busy: float, retries: int
+    ) -> None:
+        key = (failure.filter_name, failure.copy_index)
+        if self._status.get(key) != "running":
+            return
+        self._busy[key] = busy
+        self._retries += retries
+        self._status[key] = "failed"
+        self._handle_failed(failure)
+        self._check_complete()
+
+    def _handle_failed(self, failure: CopyFailure) -> None:
+        """Recover from one failed copy (status already set to failed)."""
+        f, c = failure.filter_name, failure.copy_index
+        g = self.graph
+        in_edges = g.in_edges(f)
+        edges_in = self._edges_into[f]
+        recoverable = (
+            bool(in_edges)  # a dead source's remaining output is unknowable
+            and self.retry.reroute
+            and all(not es.policy.requires_explicit_dest() for es in edges_in)
+            # All inputs closed means the copy was finalizing; whatever
+            # its finalize would have deposited cannot be rerouted.
+            and any(not es.closed for es in edges_in)
+            and any(
+                self._status[(f, i)] == "running" for i in range(g.copies(f))
+            )
+        )
+        failure.recovered = recoverable
+        self._failures.append(failure)
+        if not recoverable:
+            self._fatal = True
+            self._done_event.set()
+            return
+        # Reroute every unacknowledged delivery of the dead copy: these
+        # were on the wire (or queued at its agent) and never processed.
+        for seq in [
+            s
+            for s, (es, p) in self._inflight.items()
+            if es.edge.dst == f and p.target == c
+        ]:
+            es, p = self._inflight.pop(seq)
+            es.inflight -= 1
+            self._outstanding[(f, c)] -= 1
+            es.states[c].on_unassign(p.buffer)
+            es.sent -= 1
+            target = self._choose(es, p.buffer)
+            if target is None:
+                self._trigger_fatal(
+                    f"stream {es.key}: no surviving consumer copies"
+                )
+                return
+            self._reroutes += 1
+            p.target = target
+            es.sent += 1
+            es.pending.appendleft(p)
+        # The dead copy will send no more buffers: tick its out-edges.
+        for e in g.out_edges(f):
+            self._edges[(f, e.stream)].producers_done += 1
+        for es in edges_in:
+            self._pump_edge(es)
+        for e in g.out_edges(f):
+            self._maybe_close(self._edges[(f, e.stream)])
+
+    def _check_complete(self) -> None:
+        if all(s != "running" for s in self._status.values()):
+            self._done_event.set()
+
+    # ------------------------------------------------------------------
+    # Agent death
+
+    def _injected_agent_crash(self, conn: _AgentConn) -> bool:
+        if self.faults is None:
+            return False
+        return any(
+            isinstance(s, CrashAgent)
+            and (s.agent == conn.index or s.agent == conn.name)
+            for s in self.faults.connection_faults()
+        )
+
+    def _on_agent_gone(self, conn: _AgentConn, reason: str) -> None:
+        with self._lock:
+            if conn.dead or self._stopping:
+                return
+            conn.dead = True
+            victims = [
+                key
+                for key, agent in self._agent_of.items()
+                if agent == conn.index and self._status[key] == "running"
+            ]
+            if not victims:
+                return
+            injected = self._injected_agent_crash(conn)
+            # Mark every victim dead *before* rerouting, so no victim is
+            # ever chosen as a reroute target for a sibling copy hosted
+            # on the same dead agent.
+            for key in victims:
+                self._status[key] = "failed"
+            for f, c in victims:
+                self._handle_failed(
+                    CopyFailure(
+                        filter_name=f,
+                        copy_index=c,
+                        error=f"agent {conn.name} died: {reason}",
+                        kind="crash",
+                        injected=injected,
+                    )
+                )
+            self._check_complete()
+
+    # ------------------------------------------------------------------
+    # Connection threads
+
+    def _reader(self, conn: _AgentConn) -> None:
+        try:
+            while True:
+                msg = codec.recv_message(conn.sock)
+                conn.last_seen = time.monotonic()
+                self._handle(conn, msg)
+        except (codec.ConnectionClosed, codec.CodecError, OSError) as exc:
+            self._on_agent_gone(conn, f"connection lost ({exc})")
+
+    def _writer(self, conn: _AgentConn) -> None:
+        while True:
+            item = conn.out_q.get()
+            if item is None:
+                return
+            msg, wire_key = item
+            try:
+                n = codec.send_message(conn.sock, msg)
+            except OSError as exc:
+                self._on_agent_gone(conn, f"send failed ({exc})")
+                return
+            if wire_key is not None:
+                with self._wire_lock:
+                    self._wire[wire_key] = self._wire.get(wire_key, 0) + n
+
+    # ------------------------------------------------------------------
+    # Startup: listener, spawned agents, handshake
+
+    def _spawn_loopback(self, conn: _AgentConn, port: int, token: str) -> None:
+        import multiprocessing
+
+        from .agent import spawned_agent_main
+
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(
+            target=spawned_agent_main,
+            args=("127.0.0.1", port, conn.index, token, self.graph),
+            name=f"dc-agent-{conn.index}",
+            daemon=True,
+        )
+        proc.start()
+        conn.proc = proc
+
+    def _accept_agents(self, listener: socket.socket, token: str) -> None:
+        deadline = time.monotonic() + self.connect_timeout
+        waiting = {c.index for c in self._conns}
+        listener.settimeout(0.2)
+        while waiting:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"agents {sorted(waiting)} did not connect within "
+                    f"{self.connect_timeout}s"
+                )
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            sock.settimeout(self.connect_timeout)
+            try:
+                hello = codec.recv_message(sock)
+            except (codec.ConnectionClosed, codec.CodecError, OSError):
+                sock.close()
+                continue
+            if not (
+                isinstance(hello, tuple)
+                and len(hello) == 4
+                and hello[0] == "hello"
+                and hello[2] == token
+            ):
+                sock.close()  # a stranger, or a stale agent of another run
+                continue
+            index, pid = hello[1], hello[3]
+            if index not in waiting:
+                sock.close()
+                continue
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = self._conns[index]
+            conn.sock = sock
+            conn.pid = pid
+            waiting.discard(index)
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def run(self, timeout: Optional[float] = None) -> RunResult:
+        self._reset()
+        token = binascii.hexlify(os.urandom(16)).decode()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.bind_host, self.port))
+        listener.listen(len(self._conns))
+        port = listener.getsockname()[1]
+        start = time.perf_counter()
+        try:
+            for conn in self._conns:
+                if conn.host in _LOOPBACK:
+                    self._spawn_loopback(conn, port, token)
+                else:
+                    print(
+                        f"[DistRuntime] waiting for agent {conn.index} on "
+                        f"{conn.host}: run `python -m "
+                        f"repro.datacutter.net.agent --connect "
+                        f"<head-address>:{port} --index {conn.index} "
+                        f"--token {token}`",
+                        file=sys.stderr,
+                    )
+            self._accept_agents(listener, token)
+        except BaseException:
+            self._teardown()
+            listener.close()
+            raise
+        listener.close()
+
+        now = time.monotonic()
+        # Every connection's setup must be queued before ANY reader runs:
+        # a reader relaying the first source buffer could otherwise slip
+        # a "buf" ahead of a later connection's setup.
+        for conn in self._conns:
+            conn.last_seen = now
+            assignments = sorted(
+                key for key, agent in self._agent_of.items()
+                if agent == conn.index
+            )
+            # Spawned agents got the graph through fork memory; external
+            # ones need it pickled (their factories must allow that).
+            graph = None if conn.proc is not None else self.graph
+            conn.out_q.put(
+                (
+                    (
+                        "setup",
+                        graph,
+                        assignments,
+                        self.retry,
+                        self.faults,
+                        self.send_window,
+                        conn.name,
+                    ),
+                    None,
+                )
+            )
+            conn.writer = threading.Thread(
+                target=self._writer,
+                args=(conn,),
+                name=f"head-writer-{conn.index}",
+                daemon=True,
+            )
+            conn.writer.start()
+        for conn in self._conns:
+            conn.reader = threading.Thread(
+                target=self._reader,
+                args=(conn,),
+                name=f"head-reader-{conn.index}",
+                daemon=True,
+            )
+            conn.reader.start()
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        timed_out = False
+        while not self._done_event.is_set():
+            self._done_event.wait(timeout=_POLL)
+            if self._done_event.is_set():
+                break
+            now = time.monotonic()
+            if deadline is not None and now > deadline:
+                timed_out = True
+                with self._lock:
+                    self._fatal = True
+                self._done_event.set()
+                break
+            for conn in self._conns:
+                if conn.dead:
+                    continue
+                if now - conn.last_seen > self.heartbeat_timeout:
+                    self._on_agent_gone(conn, "heartbeat timeout")
+                elif (
+                    conn.proc is not None
+                    and conn.proc.exitcode is not None
+                    and now - conn.last_seen > 1.0
+                ):
+                    self._on_agent_gone(
+                        conn, f"process exited with code {conn.proc.exitcode}"
+                    )
+        elapsed = time.perf_counter() - start
+        self._teardown()
+
+        if timed_out:
+            raise PipelineError(
+                self._failures, f"pipeline did not finish within {timeout}s"
+            )
+        if self._fatal:
+            raise PipelineError(self._failures)
+        return RunResult(
+            results=self._results,
+            elapsed=elapsed,
+            busy_time=dict(self._busy),
+            buffers_sent={es.key: es.sent for es in self._edges.values()},
+            retries=self._retries,
+            reroutes=self._reroutes,
+            failed_copies=list(self._failures),
+            wire_bytes=dict(self._wire),
+        )
+
+    def _teardown(self) -> None:
+        with self._lock:
+            self._stopping = True
+        for conn in self._conns:
+            if conn.sock is not None and not conn.dead:
+                conn.out_q.put((("stop",), None))
+            conn.out_q.put(None)
+        for conn in self._conns:
+            if conn.writer is not None:
+                conn.writer.join(timeout=5.0)
+            if conn.sock is not None:
+                try:
+                    conn.sock.close()
+                except OSError:
+                    pass
+            if conn.reader is not None:
+                conn.reader.join(timeout=5.0)
+        for conn in self._conns:
+            if conn.proc is not None:
+                conn.proc.join(timeout=5.0)
+                if conn.proc.exitcode is None:
+                    conn.proc.terminate()
+                    conn.proc.join(timeout=5.0)

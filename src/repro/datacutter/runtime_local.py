@@ -93,6 +93,11 @@ class RunResult:
     retries: int = 0
     reroutes: int = 0
     failed_copies: List[CopyFailure] = field(default_factory=list)
+    #: Bytes put on the wire per stream (``"src:stream"``) delivering its
+    #: buffers to consumers — populated by the runtimes that serialize
+    #: (distributed TCP, multiprocessing pipes); empty for the threaded
+    #: runtime, whose deliveries are pointer copies.
+    wire_bytes: Dict[str, int] = field(default_factory=dict)
 
     def filter_busy_time(self, name: str) -> float:
         """Total busy seconds summed over all copies of a filter."""

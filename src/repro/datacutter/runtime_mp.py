@@ -11,6 +11,11 @@ Semantics (stream policies, explicit routing, end-of-stream protocol,
 result deposits) match :class:`~repro.datacutter.runtime_local.LocalRuntime`
 exactly; both execute the same :class:`~repro.datacutter.graph.FilterGraph`.
 
+Buffers cross the pipes framed by the same wire codec the distributed
+TCP runtime uses (:mod:`repro.datacutter.net.codec`): ndarray payloads
+travel as out-of-band buffers instead of being pickled in-band, and each
+edge counts the bytes it moved, reported as ``RunResult.wire_bytes``.
+
 Fault tolerance matches the threaded runtime too, with the extra failure
 mode real deployments have: a child can die without saying goodbye.  The
 parent therefore watches every child's exitcode while it collects control
@@ -58,6 +63,7 @@ from .faults import (
 )
 from .filter import FilterContext
 from .graph import FilterGraph, StreamEdge
+from .net import codec
 from .runtime_local import RunResult
 
 __all__ = ["MPRuntime"]
@@ -115,6 +121,7 @@ class _SharedEdge:
         self.rr_next = ctx.Value("l", 0)
         self.sent = ctx.Value("l", 0)
         self.rerouted = ctx.Value("l", 0)
+        self.wire = ctx.Value("l", 0)
 
     def mark_dead(self, idx: int) -> None:
         with self.lock:
@@ -206,7 +213,8 @@ class _SharedEdge:
     def deliver(self, buffer: DataBuffer, dest_copy: Optional[int], abort) -> None:
         """Abort-aware routed put; repicks if the chosen copy dies."""
         explicit = self.edge.policy == "explicit"
-        item = (self.edge.stream, buffer)
+        # Frame once: the same bytes fit whichever copy wins the re-pick.
+        item = codec.dumps((self.edge.stream, buffer))
         while True:
             if explicit:
                 if dest_copy is None:
@@ -234,6 +242,8 @@ class _SharedEdge:
                     break
                 try:
                     self.queues[idx].put(item, timeout=_POLL)
+                    with self.lock:
+                        self.wire.value += len(item)
                     return
                 except queue_mod.Full:
                     continue
@@ -355,7 +365,7 @@ def _copy_main(
                         if in_edges[stream].try_close(copy_index):
                             open_streams.discard(stream)
                     continue
-                stream, payload = item
+                stream, payload = codec.loads(item)
                 shared = in_edges[stream]
                 if dead_failure is not None:
                     # Drain mode: this copy is gone, but it keeps its
@@ -600,6 +610,9 @@ class MPRuntime:
         buffers_sent = {
             f"{src}:{stream}": e.sent.value for (src, stream), e in edges.items()
         }
+        wire_bytes = {
+            f"{src}:{stream}": e.wire.value for (src, stream), e in edges.items()
+        }
         return RunResult(
             results=results,
             elapsed=elapsed,
@@ -608,4 +621,5 @@ class MPRuntime:
             retries=total_retries,
             reroutes=sum(e.rerouted.value for e in edges.values()),
             failed_copies=failures,
+            wire_bytes=wire_bytes,
         )

@@ -12,7 +12,7 @@ from __future__ import annotations
 import glob
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -48,8 +48,10 @@ def _volumes_from_uso(
     out_shape = valid_positions_shape(dataset.shape, roi)
     volumes = {}
     for name in config.texture.features:
+        # Anchor the glob on the exact feature name: "asm_copy*" would
+        # also swallow part files of a feature named "asm_mean".
         paths = sorted(
-            glob.glob(os.path.join(config.output_dir, f"{name}_copy*.uso"))
+            glob.glob(os.path.join(config.output_dir, f"{name}_copy[0-9]*.uso"))
         )
         if not paths:
             raise FileNotFoundError(f"no USO output files for feature {name!r}")
@@ -64,6 +66,7 @@ def run_pipeline(
     runtime: str = "threads",
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    hosts: Optional[List[str]] = None,
 ) -> PipelineResult:
     """Run the parallel pipeline over a disk-resident dataset.
 
@@ -77,15 +80,21 @@ def run_pipeline(
     max_queue:
         Bound on each filter copy's input queue (backpressure).
     runtime:
-        ``"threads"`` (default, :class:`LocalRuntime`) or
+        ``"threads"`` (default, :class:`LocalRuntime`),
         ``"processes"`` (:class:`MPRuntime` — one OS process per filter
-        copy, buffers serialized between them).
+        copy, buffers serialized between them), or ``"distributed"``
+        (:class:`~repro.datacutter.net.DistRuntime` — one worker agent
+        per host, buffers framed over TCP by the zero-copy wire codec).
     retry:
         Fault-tolerance policy; overrides ``config.retry``.  ``None``
         falls back to the config's, then to the runtime default.
     faults:
         Optional :class:`~repro.datacutter.faults.FaultPlan` injecting
         failures (testing / resilience experiments).
+    hosts:
+        Distributed runtime only: one entry per worker agent.  Loopback
+        entries spawn local agent processes, so ``["127.0.0.1"] * 3``
+        (the default) runs the full TCP stack on this machine.
 
     Returns
     -------
@@ -95,6 +104,9 @@ def run_pipeline(
     dataset = DiskDataset4D.open(dataset_root)
     graph = build_graph(dataset, config)
     retry = retry if retry is not None else config.retry
+    if hosts is not None and runtime != "distributed":
+        raise ValueError(f"hosts= only applies to runtime='distributed', "
+                         f"not {runtime!r}")
     if runtime == "threads":
         run = LocalRuntime(
             graph, max_queue=max_queue, retry=retry, faults=faults
@@ -102,6 +114,16 @@ def run_pipeline(
     elif runtime == "processes":
         run = MPRuntime(
             graph, max_queue=max_queue, retry=retry, faults=faults
+        ).run()
+    elif runtime == "distributed":
+        from ..datacutter.net import DistRuntime
+
+        run = DistRuntime(
+            graph,
+            hosts=hosts if hosts is not None else ["127.0.0.1"] * 3,
+            max_queue=max_queue,
+            retry=retry,
+            faults=faults,
         ).run()
     else:
         raise ValueError(f"unknown runtime {runtime!r}")

@@ -1,0 +1,232 @@
+"""Wire codec tests: round-trip properties and the zero-copy guarantee.
+
+The property tests sweep dtypes (both endiannesses), shapes (including
+0-d and empty arrays), and memory orders through ``dumps``/``loads`` and
+the socket framing, asserting bit-exact reconstruction.  The zero-copy
+tests pin the behaviours the runtimes rely on: decoded arrays alias the
+frame buffer, and any array that cannot travel out-of-band fires the
+array-copy hook.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.datacutter.buffers import DataBuffer
+from repro.datacutter.net import codec
+
+# Every dtype kind the pipeline's payloads use, in both byte orders for
+# the multi-byte ones (a big-endian peer must decode exactly).
+_DTYPES = [
+    "bool", "int8", "uint8",
+    "<i2", ">i2", "<u4", ">u4", "<i8", ">i8",
+    "<f4", ">f4", "<f8", ">f8",
+    "<c8", ">c8", "<c16", ">c16",
+]
+
+
+def arrays():
+    return st.sampled_from(_DTYPES).flatmap(
+        lambda dt: hnp.arrays(
+            dtype=np.dtype(dt),
+            shape=hnp.array_shapes(
+                min_dims=0, max_dims=4, min_side=0, max_side=5
+            ),
+        )
+    )
+
+
+class TestRoundTripProperties:
+    @given(arrays())
+    @settings(max_examples=80, deadline=None)
+    def test_dumps_loads_bit_exact(self, arr):
+        out = codec.loads(codec.dumps(arr))
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        np.testing.assert_array_equal(out, arr)
+
+    @given(arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_fortran_order_preserved(self, arr):
+        f = np.asfortranarray(arr)
+        out = codec.loads(codec.dumps(f))
+        np.testing.assert_array_equal(out, f)
+
+    @given(st.lists(arrays(), min_size=0, max_size=4),
+           st.integers(-(2 ** 40), 2 ** 40))
+    @settings(max_examples=40, deadline=None)
+    def test_nested_structures(self, arrs, tag):
+        obj = {"tag": tag, "parts": arrs, "pair": (arrs[:1], "label")}
+        out = codec.loads(codec.dumps(obj))
+        assert out["tag"] == tag
+        assert len(out["parts"]) == len(arrs)
+        for a, b in zip(out["parts"], arrs):
+            np.testing.assert_array_equal(a, b)
+
+    @given(arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_wire_bytes_accounting(self, arr):
+        frame = codec.encode(arr)
+        assert len(codec.dumps(arr)) == frame.wire_bytes
+        assert frame.payload_bytes == (0 if arr.size == 0 else arr.nbytes)
+
+
+class TestEdgeShapes:
+    def test_zero_d_array(self):
+        a = np.array(3.5, dtype=">f8")
+        out = codec.loads(codec.dumps(a))
+        assert out.shape == () and out.dtype == a.dtype
+        assert out == a
+
+    def test_empty_array(self):
+        a = np.empty((0, 7), dtype="<i4")
+        out = codec.loads(codec.dumps(a))
+        assert out.shape == (0, 7) and out.dtype == a.dtype
+
+    def test_data_buffer_payload(self):
+        buf = DataBuffer(
+            payload=np.arange(24, dtype="<f8").reshape(4, 6),
+            size_bytes=192,
+            metadata={"chunk": (1, 2)},
+        )
+        out = codec.loads(codec.dumps(buf))
+        assert out.metadata == {"chunk": (1, 2)}
+        np.testing.assert_array_equal(out.payload, buf.payload)
+
+
+class TestZeroCopy:
+    def test_decoded_array_aliases_frame_buffer(self):
+        a = np.arange(100, dtype="<f8")
+        blob = bytearray(codec.dumps(a))
+        out = codec.loads(blob)
+        assert np.shares_memory(out, np.frombuffer(blob, dtype=np.uint8))
+
+    def test_writable_when_buffer_writable(self):
+        a = np.arange(10, dtype="<i8")
+        out = codec.loads(bytearray(codec.dumps(a)))
+        out[0] = 99  # must not raise
+        assert out[0] == 99
+
+    def test_contiguous_arrays_never_fire_hook(self):
+        payload = {"c": np.arange(12.0).reshape(3, 4),
+                   "f": np.asfortranarray(np.arange(12.0).reshape(3, 4))}
+        with codec.forbid_array_copies():
+            codec.loads(codec.dumps(payload))
+
+    def test_non_contiguous_fires_hook(self):
+        with codec.forbid_array_copies():
+            with pytest.raises(codec.CodecError, match="non-contiguous"):
+                codec.dumps(np.arange(20)[::2])
+
+    def test_object_dtype_fires_hook(self):
+        with codec.forbid_array_copies():
+            with pytest.raises(codec.CodecError, match="object dtype"):
+                codec.dumps(np.array([{"a": 1}], dtype=object))
+
+    def test_ndarray_subclass_fires_hook(self):
+        class Sub(np.ndarray):
+            pass
+
+        with codec.forbid_array_copies():
+            with pytest.raises(codec.CodecError, match="subclass"):
+                codec.dumps(np.arange(4).view(Sub))
+
+    def test_hook_uninstalls_on_exit(self):
+        with codec.forbid_array_copies():
+            pass
+        codec.dumps(np.arange(20)[::2])  # copies silently again
+
+
+class TestSocketFraming:
+    def _round_trip(self, obj):
+        a, b = socket.socketpair()
+        try:
+            got = {}
+
+            def _send():
+                got["wire"] = codec.send_message(a, obj)
+
+            t = threading.Thread(target=_send)
+            t.start()
+            out = codec.recv_message(b)
+            t.join()
+            return out, got["wire"]
+        finally:
+            a.close()
+            b.close()
+
+    @given(arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_socket_round_trip(self, arr):
+        out, wire = self._round_trip(arr)
+        np.testing.assert_array_equal(out, arr)
+        assert wire == codec.encode(arr).wire_bytes
+
+    def test_multiple_frames_in_sequence(self):
+        a, b = socket.socketpair()
+        try:
+            msgs = [np.arange(i + 1, dtype="<f8") for i in range(5)]
+
+            def _send():
+                for m in msgs:
+                    codec.send_message(a, m)
+
+            t = threading.Thread(target=_send)
+            t.start()
+            for m in msgs:
+                np.testing.assert_array_equal(codec.recv_message(b), m)
+            t.join()
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_close_detected(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(codec.ConnectionClosed) as exc:
+                codec.recv_message(b)
+            assert exc.value.clean
+        finally:
+            b.close()
+
+    def test_mid_frame_close_is_dirty(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"DCW1")  # prefix cut short
+            a.close()
+            with pytest.raises(codec.ConnectionClosed) as exc:
+                codec.recv_message(b)
+            assert not exc.value.clean
+        finally:
+            b.close()
+
+
+class TestMalformedFrames:
+    def test_bad_magic(self):
+        blob = bytearray(codec.dumps("x"))
+        blob[:4] = b"NOPE"
+        with pytest.raises(codec.CodecError, match="magic"):
+            codec.loads(blob)
+
+    def test_truncated_prefix(self):
+        with pytest.raises(codec.CodecError, match="truncated"):
+            codec.loads(b"DC")
+
+    def test_truncated_buffer(self):
+        blob = codec.dumps(np.arange(100, dtype="<f8"))
+        with pytest.raises(codec.CodecError, match="truncated"):
+            codec.loads(blob[:-1])
+
+    def test_oversized_header_rejected(self):
+        blob = bytearray(codec.dumps("x"))
+        # Rewrite header_len to an absurd value (offset 9: after 4s B I).
+        import struct
+
+        struct.pack_into("!I", blob, 9, codec.MAX_HEADER_BYTES + 1)
+        with pytest.raises(codec.CodecError, match="too large"):
+            codec.loads(blob)

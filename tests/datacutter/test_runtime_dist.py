@@ -1,0 +1,168 @@
+"""Distributed-runtime specifics: placement, connection faults, recovery.
+
+Cross-runtime semantics are covered by ``test_runtime_conformance``;
+these tests exercise what only the TCP runtime has — worker agents,
+per-connection fault injection, agent-death detection and rerouting,
+and the default placement policy.
+"""
+
+import sys
+
+import pytest
+
+from repro.datacutter.faults import FaultPlan, PipelineError
+from repro.datacutter.filter import Filter
+from repro.datacutter.graph import FilterGraph
+from repro.datacutter.net import DistRuntime, default_placement
+from repro.datacutter.placement import Placement
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="fork start method required"
+)
+
+COUNT = 24
+
+
+class Producer(Filter):
+    def __init__(self, count=COUNT):
+        self.count = count
+
+    def generate(self, ctx):
+        for i in range(self.count):
+            ctx.send("out", i, size_bytes=8)
+
+
+class Doubler(Filter):
+    def process(self, stream, buffer, ctx):
+        ctx.send("out", buffer.payload * 2, size_bytes=8)
+
+
+class Collector(Filter):
+    def __init__(self):
+        self.items = []
+
+    def process(self, stream, buffer, ctx):
+        self.items.append(buffer.payload)
+
+    def finalize(self, ctx):
+        ctx.deposit("collected", sorted(self.items))
+
+
+def pipeline(doubler_copies=3, count=COUNT):
+    g = FilterGraph()
+    g.add_filter("P", lambda: Producer(count))
+    g.add_filter("D", Doubler, copies=doubler_copies)
+    g.add_filter("C", Collector)
+    g.connect("P", "out", "D", policy="demand_driven")
+    g.connect("D", "out", "C")
+    return g
+
+
+def run_dist(graph, hosts=None, **kw):
+    rt = DistRuntime(graph, hosts=hosts or ["127.0.0.1"] * 3, **kw)
+    return rt.run(timeout=120)
+
+
+EXPECTED = [[2 * i for i in range(COUNT)]]
+
+
+class TestDefaultPlacement:
+    def test_endpoints_on_head_node_workers_spread(self):
+        g = pipeline(doubler_copies=4)
+        p = default_placement(g, ["n0", "n1", "n2"])
+        assert p.node_of("P", 0) == "n0"
+        assert p.node_of("C", 0) == "n0"
+        # Replicated transparent-input copies round-robin over n1..n2.
+        workers = {p.node_of("D", i) for i in range(4)}
+        assert workers == {"n1", "n2"}
+
+    def test_single_node_takes_everything(self):
+        g = pipeline()
+        p = default_placement(g, ["solo"])
+        for i in range(3):
+            assert p.node_of("D", i) == "solo"
+
+    def test_explicit_input_copies_stay_on_head_node(self):
+        g = FilterGraph()
+        g.add_filter("P", Producer)
+        g.add_filter("D", Doubler, copies=3)
+        g.connect("P", "out", "D", policy="explicit")
+        p = default_placement(g, ["n0", "n1"])
+        for i in range(3):
+            assert p.node_of("D", i) == "n0"
+
+
+class TestValidation:
+    def test_empty_host_list_rejected(self):
+        with pytest.raises(ValueError):
+            DistRuntime(pipeline(), hosts=[])
+
+    def test_placement_must_cover_every_copy(self):
+        g = pipeline()
+        p = Placement()
+        p.place("P", 0, "127.0.0.1")
+        with pytest.raises(ValueError):
+            DistRuntime(g, hosts=["127.0.0.1"], placement=p)
+
+    def test_connection_fault_unknown_agent_rejected(self):
+        plan = FaultPlan().crash_agent(9)
+        with pytest.raises(ValueError):
+            DistRuntime(pipeline(), hosts=["127.0.0.1"] * 2, faults=plan)
+
+    def test_duplicate_hosts_get_distinct_node_names(self):
+        rt = DistRuntime(pipeline(), hosts=["127.0.0.1"] * 3)
+        assert len(set(rt.node_names)) == 3
+
+
+class TestConnectionFaults:
+    def test_dropped_deliveries_are_redelivered(self):
+        plan = FaultPlan(seed=2).drop_deliveries(1, probability=0.3,
+                                                 max_drops=5)
+        result = run_dist(pipeline(), faults=plan)
+        assert result.deposits("collected") == EXPECTED
+        assert result.retries >= 1
+        assert result.failed_copies == []
+
+    def test_delayed_connection_still_completes(self):
+        plan = FaultPlan(seed=4).delay_connection(2, delay=0.05, max_delays=4)
+        result = run_dist(pipeline(), faults=plan)
+        assert result.deposits("collected") == EXPECTED
+
+    def test_agent_crash_reroutes_to_survivors(self):
+        plan = FaultPlan(seed=7).crash_agent(1, after_buffers=1)
+        result = run_dist(pipeline(doubler_copies=4), faults=plan)
+        assert result.deposits("collected") == EXPECTED
+        assert result.reroutes >= 1
+        assert result.failed_copies != []
+        assert all(f.recovered and f.kind == "crash"
+                   for f in result.failed_copies)
+        assert {f.filter_name for f in result.failed_copies} == {"D"}
+
+    def test_agent_crash_by_node_name(self):
+        rt = DistRuntime(pipeline(doubler_copies=4),
+                         hosts=["127.0.0.1"] * 3)
+        name = rt.node_names[2]
+        plan = FaultPlan(seed=9).crash_agent(name, after_buffers=1)
+        result = run_dist(pipeline(doubler_copies=4), faults=plan)
+        assert result.deposits("collected") == EXPECTED
+
+    def test_head_agent_crash_is_fatal(self):
+        # Agent 0 hosts the source and sink: nothing to reroute to.
+        plan = FaultPlan().crash_agent(0, after_buffers=1)
+        with pytest.raises(PipelineError) as exc:
+            run_dist(pipeline(), faults=plan)
+        assert any(f.kind == "crash" for f in exc.value.failures)
+
+
+class TestAccounting:
+    def test_wire_bytes_per_stream(self):
+        result = run_dist(pipeline())
+        assert set(result.wire_bytes) == {"P:out", "D:out"}
+        assert all(v > 0 for v in result.wire_bytes.values())
+
+    def test_matches_local_runtime(self):
+        from repro.datacutter.runtime_local import LocalRuntime
+
+        a = LocalRuntime(pipeline()).run(timeout=60).deposits("collected")
+        b = run_dist(pipeline()).deposits("collected")
+        assert a == b

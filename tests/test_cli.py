@@ -68,6 +68,39 @@ class TestAnalyze:
         assert os.path.isdir(os.path.join(images, "asm"))
 
 
+class TestAnalyzeRuntimes:
+    def test_distributed_over_loopback_agents(self, dataset_dir, capsys):
+        rc = main([
+            "analyze", dataset_dir, "--levels", "8", "--roi", "3", "3", "3", "2",
+            "--features", "asm", "--copies", "2",
+            "--runtime", "distributed", "--agents", "3",
+        ])
+        assert rc == 0
+        assert "asm" in capsys.readouterr().out
+
+    def test_hosts_without_distributed_rejected(self, dataset_dir, capsys):
+        rc = main([
+            "analyze", dataset_dir, "--hosts", "127.0.0.1",
+        ])
+        assert rc == 2
+        assert "--runtime distributed" in capsys.readouterr().err
+
+    def test_hosts_and_agents_mutually_exclusive(self, dataset_dir, capsys):
+        rc = main([
+            "analyze", dataset_dir, "--runtime", "distributed",
+            "--hosts", "127.0.0.1", "--agents", "2",
+        ])
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_runtime_choices(self):
+        args = build_parser().parse_args(
+            ["analyze", "dir", "--runtime", "processes"])
+        assert args.runtime == "processes"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "dir", "--runtime", "magic"])
+
+
 class TestSimulate:
     @pytest.mark.parametrize("figure", ["7a", "7b", "8", "9", "10", "11"])
     def test_figures_run(self, figure, capsys):
