@@ -3,17 +3,31 @@
 Not a paper figure — these measure the building blocks (co-occurrence
 scan, feature kernels, quantization) on this machine, and feed the
 ``measure_costs`` calibration path of the simulator.
+
+``test_kernel_backend_comparison`` and the peak-memory tests need only
+numpy and stdlib, so they double as the CI kernel-benchmark smoke job::
+
+    pytest benchmarks/bench_kernels.py -k "backend_comparison or peak_memory"
+
+The comparison writes ``BENCH_kernels.json`` at the repo root with
+rois/sec per scan backend (see docs/kernels.md).
 """
+
+import time
+import tracemalloc
 
 import numpy as np
 import pytest
 
+from harness import record_repo_json
+from repro.core.backends import KERNELS, get_kernel, incremental_scan
 from repro.core.cooccurrence import cooccurrence_matrix, cooccurrence_scan
 from repro.core.features import HARALICK_FEATURES, PAPER_FEATURES, haralick_features
 from repro.core.features_sparse import features_from_sparse
 from repro.core.quantization import quantize_linear
 from repro.core.roi import ROISpec
 from repro.core.sparse import batch_sparse_from_dense, sparse_from_dense
+from repro.core.workspace import WORKSPACE_BYTES
 
 LEVELS = 32
 ROI = ROISpec((5, 5, 5, 3))
@@ -71,3 +85,121 @@ def test_quantization(benchmark):
     rng = np.random.default_rng(1)
     raw = rng.integers(0, 4096, size=(256, 256, 8, 4)).astype(np.uint16)
     benchmark(lambda: quantize_linear(raw, LEVELS, lo=0, hi=4095))
+
+
+# --------------------------------------------------------------------------
+# Backend comparison + memory bounds: numpy/stdlib only (no scipy, no
+# pytest-benchmark), so CI can run them as a smoke job.
+# --------------------------------------------------------------------------
+
+
+def _smoke_volume(shape=(20, 20, 12, 7), seed=0):
+    """Quantized paper-config volume without the scipy dependency."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, LEVELS, size=shape, dtype=np.int32)
+
+
+def _collect(scan, volume, batch=2048):
+    out = []
+    for _start, mats in scan(volume, ROI, LEVELS, batch=batch):
+        out.append(mats)
+    return np.concatenate(out)
+
+
+def _time_scan(scan, volume, repeats, batch=2048):
+    """Best-of-N wall time for one full scan of ``volume``."""
+    best = float("inf")
+    rois = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rois = sum(m.shape[0] for _s, m in scan(volume, ROI, LEVELS, batch=batch))
+        best = min(best, time.perf_counter() - t0)
+    return rois, best
+
+
+def test_kernel_backend_comparison():
+    """All backends bit-identical; incremental at least as fast as batched.
+
+    Paper configuration: 5x5x5x3 ROI, 32 levels, all 40 unique 4D
+    directions, distance 1.  Writes rois/sec per backend to
+    ``BENCH_kernels.json`` at the repo root.
+    """
+    volume = _smoke_volume()
+    mats = {k: _collect(get_kernel(k), volume) for k in KERNELS}
+    for k in KERNELS:
+        assert np.array_equal(mats[k], mats["reference"]), (
+            f"{k} backend not bit-identical to reference"
+        )
+
+    results = {}
+    for kernel, repeats in (("batched", 3), ("incremental", 3), ("reference", 1)):
+        rois, secs = _time_scan(get_kernel(kernel), volume, repeats)
+        results[kernel] = {
+            "rois": rois,
+            "seconds": round(secs, 6),
+            "rois_per_sec": round(rois / secs, 1),
+        }
+
+    payload = {
+        "config": {
+            "volume_shape": list(volume.shape),
+            "roi_shape": list(ROI.shape),
+            "levels": LEVELS,
+            "distance": 1,
+            "directions": "all unique 4D",
+            "batch": 2048,
+        },
+        "backends": results,
+        "speedup_incremental_vs_batched": round(
+            results["incremental"]["rois_per_sec"]
+            / results["batched"]["rois_per_sec"],
+            2,
+        ),
+    }
+    path = record_repo_json("BENCH_kernels.json", payload)
+    print(f"\nwrote {path}")
+    for k, r in results.items():
+        print(f"  {k:>11}: {r['rois_per_sec']:>10.1f} rois/sec")
+
+    # CI gate: the rolling kernel must not regress below the batched one.
+    assert (
+        results["incremental"]["rois_per_sec"]
+        >= results["batched"]["rois_per_sec"]
+    ), payload
+
+
+def _scan_peak_bytes(scan, volume, batch):
+    """Peak python-allocator bytes during one full scan (max-RSS proxy)."""
+    # Warm the cached workspaces so they don't count against the scan.
+    for _ in scan(volume, ROI, LEVELS, batch=batch):
+        break
+    tracemalloc.start()
+    try:
+        for _start, mats in scan(volume, ROI, LEVELS, batch=batch):
+            pass
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    mats_bytes = batch * LEVELS * LEVELS * 8
+    return peak, mats_bytes
+
+
+@pytest.mark.parametrize("kernel", ["batched", "incremental"])
+def test_scan_peak_memory(kernel):
+    """Kernel temporaries stay within the workspace budget.
+
+    The unavoidable output batch (``batch`` G x G int64 matrices) is
+    excluded; everything else — pair-code gathers, bincount inputs and
+    outputs, symmetrization scratch — must fit in a small multiple of
+    ``WORKSPACE_BYTES``.  Guards the removal of the transpose copy and
+    the ``block + shift`` mega-temporary from the batched scan.
+    """
+    volume = _smoke_volume(shape=(16, 16, 10, 6), seed=1)
+    batch = 4096
+    peak, mats_bytes = _scan_peak_bytes(get_kernel(kernel), volume, batch)
+    budget = mats_bytes + 3 * WORKSPACE_BYTES
+    assert peak < budget, (
+        f"{kernel} scan peak {peak / 2**20:.1f} MiB exceeds "
+        f"{budget / 2**20:.1f} MiB (output {mats_bytes / 2**20:.1f} MiB "
+        f"+ 3x workspace)"
+    )

@@ -18,6 +18,7 @@ import os
 from typing import Dict, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def record(name: str, rows: List[Dict]) -> None:
@@ -25,6 +26,20 @@ def record(name: str, rows: List[Dict]) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
         json.dump(rows, fh, indent=1)
+
+
+def record_repo_json(filename: str, payload: Dict) -> str:
+    """Write a machine-readable result file at the repository root.
+
+    Used for headline numbers that gate CI or document the repo's
+    current performance (e.g. ``BENCH_kernels.json``), as opposed to
+    the per-figure series under ``benchmarks/results/``.
+    """
+    path = os.path.join(REPO_ROOT, filename)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def print_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None:

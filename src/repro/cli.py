@@ -23,6 +23,8 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .core.backends import DEFAULT_KERNEL, KERNELS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Parallel 4D Haralick texture analysis (SC 2004 reproduction)",
@@ -53,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default=["asm", "correlation", "sum_of_squares", "idm"])
     p.add_argument("--sparse", action="store_true",
                    help="use the sparse co-occurrence representation")
+    p.add_argument("--kernel", choices=KERNELS, default=DEFAULT_KERNEL,
+                   help="co-occurrence scan backend (all are bit-identical; "
+                        "incremental is the fast rolling kernel)")
     p.add_argument("--scheduling", choices=("demand_driven", "round_robin"),
                    default="demand_driven")
     p.add_argument("--intensity-max", type=float, default=4095.0)
@@ -125,6 +130,7 @@ def _cmd_analyze(args) -> int:
         features=tuple(args.features),
         intensity_range=(0.0, args.intensity_max),
         sparse=args.sparse,
+        kernel=args.kernel,
     )
     kwargs = dict(
         texture=params,

@@ -11,6 +11,12 @@ roi
 cooccurrence
     Dense co-occurrence matrices: per-window reference kernel and the
     vectorized batched scan.
+backends
+    Pluggable GLCM scan kernels (batched / incremental / reference) and
+    the dispatch registry.
+workspace
+    Shared cached scan workspaces (pair-shift arrays, symmetrization
+    index tables).
 sparse
     Sparse (upper-triangle triplet) co-occurrence representation.
 features
@@ -27,7 +33,14 @@ from .analysis import HaralickConfig, haralick_transform
 from .directional import anisotropy, directional_features, directional_statistics
 from .masking import mask_statistics, mask_to_positions, masked_feature_samples
 from .multidistance import multi_distance_transform, stack_distance_features
-from .cooccurrence import cooccurrence_matrix, cooccurrence_scan
+from .backends import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    get_kernel,
+    incremental_scan,
+    reference_scan,
+)
+from .cooccurrence import check_levels, cooccurrence_matrix, cooccurrence_scan
 from .directions import all_directions, direction_count, unique_directions
 from .features import (
     HARALICK_FEATURES,
@@ -52,6 +65,12 @@ __all__ = [
     "mask_statistics",
     "multi_distance_transform",
     "stack_distance_features",
+    "DEFAULT_KERNEL",
+    "KERNELS",
+    "get_kernel",
+    "incremental_scan",
+    "reference_scan",
+    "check_levels",
     "cooccurrence_matrix",
     "cooccurrence_scan",
     "all_directions",

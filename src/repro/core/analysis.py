@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .backends import DEFAULT_KERNEL, get_kernel
 from .directions import Direction
 from .features import PAPER_FEATURES, feature_index
 from .quantization import quantize_linear
@@ -31,6 +32,11 @@ class HaralickConfig:
     ``5 x 5 x 5 x 3`` ROI, 32 grey levels, the four most expensive
     parameters (ASM, Correlation, Sum of Squares, IDM), distance 1 over
     all unique 4D directions.
+
+    ``kernel`` selects the co-occurrence scan backend
+    (:data:`repro.core.backends.KERNELS`); every backend produces
+    bit-identical feature volumes, so this is purely a performance
+    knob.  The default is the incremental (rolling) kernel.
     """
 
     roi_shape: Tuple[int, ...] = (5, 5, 5, 3)
@@ -38,6 +44,7 @@ class HaralickConfig:
     features: Tuple[str, ...] = PAPER_FEATURES
     distance: int = 1
     directions: Optional[Tuple[Direction, ...]] = None
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "roi_shape", tuple(int(s) for s in self.roi_shape))
@@ -49,6 +56,7 @@ class HaralickConfig:
         ROISpec(self.roi_shape)  # validates
         if self.distance < 1:
             raise ValueError(f"distance must be >= 1, got {self.distance}")
+        get_kernel(self.kernel)  # validates
 
     @property
     def roi(self) -> ROISpec:
@@ -103,4 +111,5 @@ def haralick_transform(
         config.directions,
         config.distance,
         batch=batch,
+        kernel=config.kernel,
     )

@@ -21,6 +21,9 @@ Two computation paths are provided:
     at once, using pair-code arrays and ``sliding_window_view`` plus a
     single ``bincount`` per batch — the vectorized equivalent of the
     paper's per-ROI loop, far faster in Python than per-window calls.
+
+A third, incremental (rolling) kernel and the backend-dispatch layer
+that selects between all of them live in ``repro.core.backends``.
 """
 
 from __future__ import annotations
@@ -33,8 +36,10 @@ from numpy.lib.stride_tricks import sliding_window_view
 from .directions import Direction, scale_direction, unique_directions
 from .quantization import num_levels_ok
 from .roi import ROISpec, valid_positions_shape
+from .workspace import WORKSPACE_BYTES, pair_shift, symmetrize_inplace
 
 __all__ = [
+    "check_levels",
     "cooccurrence_matrix",
     "cooccurrence_scan",
     "pair_code_array",
@@ -64,7 +69,13 @@ def resolve_directions(
     return dirs
 
 
-def _check_levels(data: np.ndarray, levels: int) -> None:
+def check_levels(data: np.ndarray, levels: int) -> None:
+    """Validate that ``data`` is requantized into ``[0, levels)``.
+
+    This is a full min/max pass over the array; callers that scan one
+    chunk through many kernel calls should validate the chunk once and
+    pass ``validate=False`` to the kernels.
+    """
     num_levels_ok(levels)
     if data.size and (data.min() < 0 or data.max() >= levels):
         raise ValueError(
@@ -73,21 +84,29 @@ def _check_levels(data: np.ndarray, levels: int) -> None:
         )
 
 
+_check_levels = check_levels
+
+
 def cooccurrence_matrix(
     window: np.ndarray,
     levels: int,
     directions: Optional[Sequence[Direction]] = None,
     distance: int = 1,
     symmetric: bool = True,
+    validate: bool = True,
 ) -> np.ndarray:
     """Dense ``(G, G)`` co-occurrence count matrix of one ROI window.
 
     Counts are accumulated over all supplied directions.  With
     ``symmetric=True`` (the default, matching the paper) each pair is
-    counted in both orders.
+    counted in both orders.  ``validate=False`` skips the grey-level
+    range check (for callers that validated the enclosing array once).
     """
     window = np.asarray(window)
-    _check_levels(window, levels)
+    if validate:
+        check_levels(window, levels)
+    else:
+        num_levels_ok(levels)
     dirs = resolve_directions(window.ndim, directions, distance)
     out = np.zeros((levels, levels), dtype=np.int64)
     for v in dirs:
@@ -130,6 +149,7 @@ def cooccurrence_scan(
     distance: int = 1,
     batch: int = 2048,
     symmetric: bool = True,
+    validate: bool = True,
 ) -> Iterator[Tuple[int, np.ndarray]]:
     """Raster-scan ``data`` with the ROI window, yielding GLCM batches.
 
@@ -138,11 +158,16 @@ def cooccurrence_scan(
     whose origin is the ``start + k``-th position in C (raster) order of
     the valid-position grid (``valid_positions_shape(data.shape, roi)``).
 
-    This is the high-performance kernel used by the HMP/HCC filters: one
-    ``bincount`` per (direction, batch) instead of one per ROI.
+    This is the "batched" backend of ``repro.core.backends``: one
+    ``bincount`` per (direction, sub-batch) instead of one per ROI.
+    Temporaries are bounded by ``WORKSPACE_BYTES`` — large ``batch``
+    values only size the yielded output, not the working set.
     """
     data = np.asarray(data)
-    _check_levels(data, levels)
+    if validate:
+        check_levels(data, levels)
+    else:
+        num_levels_ok(levels)
     if data.ndim != roi.ndim:
         raise ValueError(f"data ndim {data.ndim} != ROI ndim {roi.ndim}")
     if batch < 1:
@@ -163,19 +188,32 @@ def cooccurrence_scan(
             continue  # pairs never fit inside the ROI for this direction
         codes, _ = pair_code_array(data, levels, v)
         wshape = tuple(roi.shape[i] - absv[i] for i in range(data.ndim))
-        win_views.append(sliding_window_view(codes, wshape))
+        face = 1
+        for c in wshape:
+            face *= c
+        win_views.append((sliding_window_view(codes, wshape), face))
 
     gg = levels * levels
+    # Sub-batch so the gather block (face codes) and the bincount output
+    # (gg-wide histogram segments) stay inside the workspace budget, no
+    # matter how large the caller's output batches are.
+    max_face = max((face for _view, face in win_views), default=1)
+    sub = max(1, min(batch, WORKSPACE_BYTES // (8 * (max_face + gg))))
     for start in range(0, npos, batch):
         stop = min(start + batch, npos)
         b = stop - start
-        idx = np.unravel_index(np.arange(start, stop), grid)
         mats = np.zeros((b, levels, levels), dtype=np.int64)
-        shift = np.arange(b, dtype=np.int64)[:, None] * gg
-        for view in win_views:
-            block = view[idx].reshape(b, -1) + shift
-            counts = np.bincount(block.reshape(-1), minlength=b * gg)
-            mats += counts.reshape(b, levels, levels)
+        flat = mats.reshape(b, gg)
+        for s0 in range(start, stop, sub):
+            s1 = min(s0 + sub, stop)
+            sb = s1 - s0
+            idx = np.unravel_index(np.arange(s0, s1), grid)
+            shift = pair_shift(sb, gg)
+            for view, face in win_views:
+                block = view[idx].reshape(sb, face)
+                block += shift  # fresh gather: safe to shift in place
+                counts = np.bincount(block.reshape(-1), minlength=sb * gg)
+                flat[s0 - start : s1 - start] += counts.reshape(sb, gg)
         if symmetric:
-            mats += mats.transpose(0, 2, 1).copy()
+            symmetrize_inplace(mats)
         yield start, mats

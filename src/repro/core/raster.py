@@ -9,11 +9,11 @@ Two implementations:
     property-based tests and kept slow-but-obviously-correct.
 
 ``raster_scan``
-    The production path: batched GLCM computation
-    (:func:`repro.core.cooccurrence.cooccurrence_scan`) feeding the
-    vectorized feature kernels, with a bounded per-batch working set so
-    arbitrarily large chunks can be scanned without densifying all
-    matrices at once.
+    The production path: a GLCM scan backend (``repro.core.backends``,
+    selected by the ``kernel`` argument — batched or incremental)
+    feeding the vectorized feature kernels, with a bounded per-batch
+    working set so arbitrarily large chunks can be scanned without
+    densifying all matrices at once.
 """
 
 from __future__ import annotations
@@ -22,7 +22,8 @@ from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .cooccurrence import cooccurrence_matrix, cooccurrence_scan
+from .backends import get_kernel
+from .cooccurrence import check_levels, cooccurrence_matrix
 from .directions import Direction
 from .features import PAPER_FEATURES, haralick_features
 from .roi import ROISpec, iter_roi_origins, valid_positions_shape
@@ -45,12 +46,13 @@ def raster_scan_reference(
     for each Haralick parameter computed".
     """
     data = np.asarray(data)
+    check_levels(data, levels)  # once for the whole scan, not per window
     wanted = tuple(features) if features is not None else PAPER_FEATURES
     grid = valid_positions_shape(data.shape, roi)
     out = {name: np.zeros(grid, dtype=np.float64) for name in wanted}
     for origin in iter_roi_origins(data.shape, roi):
         window = data[tuple(slice(o, o + r) for o, r in zip(origin, roi.shape))]
-        mat = cooccurrence_matrix(window, levels, directions, distance)
+        mat = cooccurrence_matrix(window, levels, directions, distance, validate=False)
         vals = haralick_features(mat, wanted)
         for name in wanted:
             out[name][origin] = vals[name]
@@ -65,17 +67,22 @@ def raster_scan_batches(
     directions: Optional[Sequence[Direction]] = None,
     distance: int = 1,
     batch: int = 2048,
+    kernel: str = "batched",
+    validate: bool = True,
 ) -> Iterator[Tuple[int, Dict[str, np.ndarray]]]:
     """Stream feature batches in raster order.
 
     Yields ``(start, {name: values})`` where ``values[k]`` belongs to the
     flattened position ``start + k``.  This is the kernel driven by the
     HMP filter, which forwards each batch downstream as soon as it is
-    computed (pipelining).
+    computed (pipelining).  ``kernel`` selects the scan backend
+    (``repro.core.backends``); every backend yields bit-identical
+    batches.
     """
     wanted = tuple(features) if features is not None else PAPER_FEATURES
-    for start, mats in cooccurrence_scan(
-        data, roi, levels, directions, distance, batch=batch
+    scan = get_kernel(kernel)
+    for start, mats in scan(
+        data, roi, levels, directions, distance, batch=batch, validate=validate
     ):
         yield start, haralick_features(mats, wanted)
 
@@ -88,6 +95,8 @@ def raster_scan(
     directions: Optional[Sequence[Direction]] = None,
     distance: int = 1,
     batch: int = 2048,
+    kernel: str = "batched",
+    validate: bool = True,
 ) -> Dict[str, np.ndarray]:
     """Vectorized raster scan; same results as ``raster_scan_reference``."""
     data = np.asarray(data)
@@ -96,7 +105,8 @@ def raster_scan(
     npos = int(np.prod(grid))
     out = {name: np.zeros(npos, dtype=np.float64) for name in wanted}
     for start, vals in raster_scan_batches(
-        data, roi, levels, wanted, directions, distance, batch
+        data, roi, levels, wanted, directions, distance, batch,
+        kernel=kernel, validate=validate,
     ):
         b = next(iter(vals.values())).shape[0]
         for name in wanted:

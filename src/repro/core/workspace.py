@@ -1,0 +1,94 @@
+"""Shared, cached workspaces for the co-occurrence scan kernels.
+
+The hot loops of the batched and incremental kernels need a handful of
+auxiliary arrays whose contents depend only on ``(levels, batch)``-style
+parameters, not on the data being scanned:
+
+``pair_shift``
+    The per-row bincount offset ``arange(n) * G**2`` that turns a batch
+    of per-window pair codes into disjoint histogram segments for a
+    single ``bincount`` call.
+``symmetric_index``
+    The strict-upper-triangle index pair plus the diagonal used to
+    symmetrize count matrices in place (without materializing a full
+    transposed copy).
+
+Allocating these per call shows up in profiles (they are as large as a
+batch row), so they are cached here and shared by every kernel and every
+filter copy.  Cached arrays are returned *read-only*; kernels must never
+write into them.  The cache is guarded by a lock because the local
+runtime executes filter copies on threads.
+
+``WORKSPACE_BYTES`` is the soft bound on transient working-set size the
+kernels aim for when they sub-batch internally (it bounds temporaries,
+not the caller-visible output batches).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WORKSPACE_BYTES",
+    "pair_shift",
+    "symmetric_index",
+    "symmetrize_inplace",
+]
+
+#: Soft cap on kernel-internal temporaries (gather blocks, histogram
+#: segments).  Yielded matrix batches are sized by the caller's ``batch``
+#: and are not subject to this bound.
+WORKSPACE_BYTES = 32 * 2**20
+
+_lock = threading.Lock()
+_shift_cache: Dict[int, np.ndarray] = {}
+_triu_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def pair_shift(n: int, gg: int) -> np.ndarray:
+    """Read-only ``(n, 1)`` int64 array of ``arange(n) * gg``.
+
+    Cached per ``gg`` and grown geometrically, so repeated calls from a
+    scan loop reuse one allocation.
+    """
+    with _lock:
+        arr = _shift_cache.get(gg)
+        if arr is None or arr.shape[0] < n:
+            size = max(n, 2 * arr.shape[0] if arr is not None else n)
+            arr = (np.arange(size, dtype=np.int64) * gg)[:, None]
+            arr.setflags(write=False)
+            _shift_cache[gg] = arr
+        return arr[:n]
+
+
+def symmetric_index(levels: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cached ``(iu, ju, diag)`` index arrays for in-place symmetrization."""
+    with _lock:
+        cached = _triu_cache.get(levels)
+        if cached is None:
+            iu, ju = np.triu_indices(levels, k=1)
+            diag = np.arange(levels)
+            for a in (iu, ju, diag):
+                a.setflags(write=False)
+            cached = (iu, ju, diag)
+            _triu_cache[levels] = cached
+        return cached
+
+
+def symmetrize_inplace(mats: np.ndarray) -> np.ndarray:
+    """``mats += mats.T`` per matrix, in place and without a full copy.
+
+    ``mats`` has shape ``(B, G, G)``.  The only temporary is the strict
+    upper triangle (half a matrix batch), versus the full transposed
+    copy the naive ``mats += mats.transpose(0, 2, 1).copy()`` needs.
+    """
+    iu, ju, diag = symmetric_index(mats.shape[-1])
+    if iu.size:
+        s = mats[:, iu, ju] + mats[:, ju, iu]
+        mats[:, iu, ju] = s
+        mats[:, ju, iu] = s
+    mats[:, diag, diag] *= 2
+    return mats

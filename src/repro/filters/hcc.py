@@ -13,7 +13,8 @@ which "can greatly reduce the data traffic leaving the HCC filter"
 
 from __future__ import annotations
 
-from ..core.cooccurrence import cooccurrence_scan
+from ..core.backends import get_kernel
+from ..core.cooccurrence import check_levels
 from ..core.sparse import batch_sparse_from_dense
 from ..datacutter.buffers import DataBuffer
 from ..datacutter.filter import Filter, FilterContext
@@ -37,9 +38,11 @@ class HaralickCoMatrixCalculator(Filter):
             raise TypeError(f"HCC expected TextureChunk, got {type(tc).__name__}")
         p = self.params
         q = p.quantize(tc.data)
+        check_levels(q, p.levels)  # once per chunk, not per kernel call
+        scan = get_kernel(p.kernel)
         batch = p.packet_rois(tc.chunk)
-        for start, mats in cooccurrence_scan(
-            q, p.roi, p.levels, distance=p.distance, batch=batch
+        for start, mats in scan(
+            q, p.roi, p.levels, distance=p.distance, batch=batch, validate=False
         ):
             if p.sparse:
                 packet = MatrixPacket(

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.cooccurrence import cooccurrence_scan
+from ..core.backends import get_kernel
+from ..core.cooccurrence import check_levels
 from ..core.features import haralick_features
 from ..core.features_sparse import features_from_sparse
 from ..core.sparse import batch_sparse_from_dense
@@ -45,9 +46,11 @@ class HaralickMatrixProducer(Filter):
             raise TypeError(f"HMP expected TextureChunk, got {type(tc).__name__}")
         p = self.params
         q = p.quantize(tc.data)
+        check_levels(q, p.levels)  # once per chunk, not per kernel call
+        scan = get_kernel(p.kernel)
         batch = p.packet_rois(tc.chunk)
-        for start, mats in cooccurrence_scan(
-            q, p.roi, p.levels, distance=p.distance, batch=batch
+        for start, mats in scan(
+            q, p.roi, p.levels, distance=p.distance, batch=batch, validate=False
         ):
             if p.sparse:
                 # Sparse path inside one filter: pay the conversion, then

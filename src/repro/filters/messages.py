@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..chunks.chunking import ChunkSpec
+from ..core.backends import DEFAULT_KERNEL, get_kernel
 from ..core.features import PAPER_FEATURES, feature_index
 from ..core.roi import ROISpec
 from ..core.sparse import SparseCooc
@@ -38,7 +39,9 @@ class TextureParams:
     every chunk is quantized identically regardless of which filter copy
     processes it.  ``packet_fraction`` is the fraction of a chunk's ROIs
     per HCC output packet (the paper sends a packet whenever 1/8 of a
-    chunk has been processed).
+    chunk has been processed).  ``kernel`` selects the co-occurrence
+    scan backend (:data:`repro.core.backends.KERNELS`); all backends are
+    bit-identical, so it is purely a performance knob.
     """
 
     roi_shape: Tuple[int, ...] = (5, 5, 5, 3)
@@ -48,6 +51,7 @@ class TextureParams:
     intensity_range: Tuple[float, float] = (0.0, 65535.0)
     packet_fraction: float = 1.0 / 8.0
     sparse: bool = False
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         for name in self.features:
@@ -60,6 +64,7 @@ class TextureParams:
         if hi <= lo:
             raise ValueError(f"invalid intensity range [{lo}, {hi}]")
         ROISpec(self.roi_shape)  # validates
+        get_kernel(self.kernel)  # validates
 
     @property
     def roi(self) -> ROISpec:

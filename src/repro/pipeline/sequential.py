@@ -52,6 +52,7 @@ def iter_chunk_features(
             params.levels,
             features=params.features,
             distance=params.distance,
+            kernel=params.kernel,
         )
         yield chunk, local
 

@@ -1,0 +1,139 @@
+"""Unit tests for the pluggable GLCM scan-backend layer."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser
+from repro.core.analysis import HaralickConfig, haralick_transform
+from repro.core.backends import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    get_kernel,
+    incremental_scan,
+    reference_scan,
+)
+from repro.core.cooccurrence import check_levels, cooccurrence_scan
+from repro.core.raster import raster_scan, raster_scan_reference
+from repro.core.roi import ROISpec
+from repro.core.workspace import pair_shift, symmetric_index, symmetrize_inplace
+from repro.filters.messages import TextureParams
+
+
+@pytest.fixture(scope="module")
+def small_volume():
+    rng = np.random.default_rng(7)
+    return rng.integers(0, 16, size=(8, 7, 6, 5), dtype=np.int32)
+
+
+class TestRegistry:
+    def test_kernels_contents(self):
+        assert KERNELS == ("batched", "incremental", "reference")
+        assert DEFAULT_KERNEL in KERNELS
+
+    def test_get_kernel_resolves(self):
+        assert get_kernel("batched") is cooccurrence_scan
+        assert get_kernel("incremental") is incremental_scan
+        assert get_kernel("reference") is reference_scan
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(ValueError, match="unknown scan kernel"):
+            get_kernel("turbo")
+
+    def test_config_validates_kernel(self):
+        with pytest.raises(ValueError, match="unknown scan kernel"):
+            HaralickConfig(kernel="turbo")
+        with pytest.raises(ValueError, match="unknown scan kernel"):
+            TextureParams(kernel="turbo")
+        assert HaralickConfig().kernel == DEFAULT_KERNEL
+        assert TextureParams().kernel == DEFAULT_KERNEL
+
+
+class TestDispatch:
+    def test_raster_scan_kernel_equality(self, small_volume):
+        roi = ROISpec((3, 3, 3, 2))
+        outs = {
+            k: raster_scan(small_volume, roi, 16, kernel=k) for k in KERNELS
+        }
+        # Identical matrices through identical feature kernels: the
+        # backend choice must be invisible, down to the last bit.
+        for kernel in KERNELS:
+            for name, vol in outs["reference"].items():
+                assert np.array_equal(outs[kernel][name], vol), (kernel, name)
+        # Against the per-window reference *feature* path the reduction
+        # order differs, so only closeness is promised (as in test_raster).
+        ref = raster_scan_reference(small_volume, roi, 16)
+        for name, vol in ref.items():
+            np.testing.assert_allclose(outs["batched"][name], vol, atol=1e-12)
+
+    def test_haralick_transform_kernel_equality(self, small_volume):
+        outs = {
+            k: haralick_transform(
+                small_volume,
+                HaralickConfig(roi_shape=(3, 3, 3, 2), levels=16, kernel=k),
+                quantized=True,
+            )
+            for k in KERNELS
+        }
+        for k in KERNELS:
+            for name in outs["reference"]:
+                assert np.array_equal(outs[k][name], outs["reference"][name])
+
+    def test_cli_kernel_flag(self):
+        parser = build_parser()
+        assert parser.parse_args(["analyze", "d"]).kernel == DEFAULT_KERNEL
+        for k in KERNELS:
+            assert parser.parse_args(["analyze", "d", "--kernel", k]).kernel == k
+        with pytest.raises(SystemExit):
+            parser.parse_args(["analyze", "d", "--kernel", "turbo"])
+
+
+class TestValidation:
+    def test_check_levels_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_levels(np.array([[0, 8]]), 8)
+        with pytest.raises(ValueError):
+            check_levels(np.array([[-1, 0]]), 8)
+        check_levels(np.array([[0, 7]]), 8)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_scan_validate_gating(self, kernel):
+        bad = np.full((4, 4), 9, dtype=np.int32)  # out of range for levels=8
+        scan = get_kernel(kernel)
+        with pytest.raises(ValueError):
+            list(scan(bad, ROISpec((2, 2)), 8))
+        # validate=False skips the data range check (caller's contract).
+        list(scan(bad % 8, ROISpec((2, 2)), 8, validate=False))
+
+
+class TestWorkspace:
+    def test_pair_shift_values_and_readonly(self):
+        arr = pair_shift(5, 9)
+        assert arr.shape == (5, 1)
+        assert np.array_equal(arr[:, 0], np.arange(5) * 9)
+        assert not arr.flags.writeable
+
+    def test_pair_shift_cache_growth(self):
+        small = pair_shift(3, 11)
+        big = pair_shift(300, 11)
+        assert np.array_equal(big[:3], small)
+        # A smaller request after growth reuses the grown allocation.
+        again = pair_shift(3, 11)
+        assert again.base is big.base or again.base is big
+
+    def test_symmetric_index_readonly(self):
+        iu, ju, diag = symmetric_index(6)
+        assert not iu.flags.writeable
+        assert np.array_equal(diag, np.arange(6))
+        assert iu.size == 6 * 5 // 2
+
+    def test_symmetrize_inplace_matches_transpose_add(self):
+        rng = np.random.default_rng(3)
+        mats = rng.integers(0, 50, size=(4, 7, 7)).astype(np.int64)
+        want = mats + mats.transpose(0, 2, 1)
+        got = symmetrize_inplace(mats)
+        assert got is mats
+        assert np.array_equal(got, want)
+
+    def test_symmetrize_inplace_single_level(self):
+        mats = np.full((2, 1, 1), 3, dtype=np.int64)
+        assert np.array_equal(symmetrize_inplace(mats), np.full((2, 1, 1), 6))
