@@ -15,6 +15,8 @@ from repro.pipeline.config import AnalysisConfig
 from repro.pipeline.run import run_pipeline
 from repro.storage.dataset import write_dataset
 
+from harness import metrics_summary
+
 PARAMS = TextureParams(
     roi_shape=(5, 5, 5, 3),
     levels=16,
@@ -53,6 +55,7 @@ def test_hmp_pipeline(benchmark, dataset_root, copies):
     )
     assert set(result.volumes) == set(PARAMS.features)
     benchmark.extra_info["copies"] = copies
+    benchmark.extra_info["metrics"] = metrics_summary(result.run.metrics)
 
 
 @pytest.mark.parametrize("sparse", [False, True])
@@ -74,3 +77,24 @@ def test_split_pipeline(benchmark, dataset_root, sparse):
         lambda: run_pipeline(dataset_root, cfg), rounds=1, iterations=1
     )
     assert set(result.volumes) == set(params.features)
+    benchmark.extra_info["metrics"] = metrics_summary(result.run.metrics)
+
+
+@pytest.mark.parametrize("trace", [None, "events"])
+def test_tracing_overhead(benchmark, dataset_root, trace):
+    """Same workload with tracing off vs. on.
+
+    The acceptance bar is that disabled tracing costs (near) nothing;
+    compare the two variants' timings in the benchmark report.  The
+    traced run also records how many events the workload produces.
+    """
+    cfg = _config("hmp", 2)
+    result = benchmark.pedantic(
+        lambda: run_pipeline(dataset_root, cfg, trace=trace),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(result.volumes) == set(PARAMS.features)
+    benchmark.extra_info["trace"] = trace or "off"
+    if trace:
+        benchmark.extra_info["trace_events"] = len(result.trace.events)

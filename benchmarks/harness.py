@@ -42,6 +42,27 @@ def record_repo_json(filename: str, payload: Dict) -> str:
     return path
 
 
+def metrics_summary(metrics: Dict) -> Dict[str, float]:
+    """Compact one-level summary of a run's obs metrics snapshot.
+
+    Flattens the pieces worth keeping next to a benchmark number —
+    per-filter busy totals, buffers per stream, fault counters — into a
+    flat ``{key: number}`` dict that fits in ``benchmark.extra_info``.
+    """
+    out: Dict[str, float] = {}
+    for key, value in (metrics.get("counters") or {}).items():
+        if key.startswith(("buffers_sent", "retries", "reroutes",
+                           "failed_copies", "wire_frames")):
+            out[key] = value
+    for key, h in (metrics.get("histograms") or {}).items():
+        if key.startswith("busy_seconds"):
+            out[key + ".sum"] = h["sum"]
+    gauges = metrics.get("gauges") or {}
+    if "elapsed_seconds" in gauges:
+        out["elapsed_seconds"] = gauges["elapsed_seconds"]["value"]
+    return out
+
+
 def print_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None:
     """Print a small aligned table (the figure's data series)."""
     widths = [

@@ -73,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--agents", type=int, metavar="N",
                    help="distributed runtime shorthand: N loopback agents "
                         "(equivalent to --hosts 127.0.0.1 x N)")
+    p.add_argument("--trace", choices=("chrome", "jsonl", "live"),
+                   help="collect per-chunk trace events: chrome "
+                        "(Perfetto/chrome://tracing JSON), jsonl (flat "
+                        "JSON lines), or live (terminal summary)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="output file for --trace chrome/jsonl "
+                        "(default trace.json / trace.jsonl)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the run's metrics snapshot "
+                        "(counters/gauges/histograms)")
 
     p = sub.add_parser("simulate", help="regenerate a paper figure series")
     p.add_argument("--figure", choices=("7a", "7b", "8", "9", "10", "11"),
@@ -121,7 +131,7 @@ def _cmd_info(args) -> int:
 def _cmd_analyze(args) -> int:
     from .filters.messages import TextureParams
     from .pipeline.config import AnalysisConfig
-    from .pipeline.report import format_breakdown
+    from .pipeline.report import format_breakdown, format_metrics
     from .pipeline.run import run_pipeline
 
     params = TextureParams(
@@ -159,8 +169,19 @@ def _cmd_analyze(args) -> int:
         hosts = list(args.hosts)
     elif args.agents:
         hosts = ["127.0.0.1"] * args.agents
-    result = run_pipeline(args.dataset, config, runtime=args.runtime, hosts=hosts)
+    if args.trace_out and args.trace not in ("chrome", "jsonl"):
+        print("--trace-out requires --trace chrome or jsonl", file=sys.stderr)
+        return 2
+    result = run_pipeline(
+        args.dataset, config, runtime=args.runtime, hosts=hosts,
+        trace=args.trace, trace_out=args.trace_out,
+    )
     print(format_breakdown(result.run, order=("RFR", "IIC", "HMP", "HCC", "HPC")))
+    if args.metrics:
+        print(format_metrics(result.run))
+    if args.trace in ("chrome", "jsonl"):
+        default = "trace.json" if args.trace == "chrome" else "trace.jsonl"
+        print(f"trace written to {args.trace_out or default}")
     for name, vol in result.volumes.items():
         print(f"{name:<16} shape={vol.shape} min={vol.min():.4f} "
               f"max={vol.max():.4f}")

@@ -18,6 +18,14 @@ from .faults import (
 from .filter import Filter, FilterContext
 from .graph import FilterGraph, FilterSpec, StreamEdge
 from .net import DistRuntime, default_placement
+from .obs import (
+    MetricsRegistry,
+    Trace,
+    TraceEvent,
+    Tracer,
+    lifecycle_counts,
+    validate_events,
+)
 from .placement import Placement
 from .runtime_local import LocalRuntime, RunResult
 from .runtime_mp import MPRuntime
@@ -65,4 +73,10 @@ __all__ = [
     "make_policy",
     "graph_from_xml",
     "graph_to_xml",
+    "TraceEvent",
+    "Tracer",
+    "Trace",
+    "MetricsRegistry",
+    "validate_events",
+    "lifecycle_counts",
 ]

@@ -35,10 +35,29 @@ __all__ = ["Filter", "FilterContext"]
 class FilterContext(abc.ABC):
     """Runtime services available to a running filter copy."""
 
+    #: True when the hosting runtime is collecting trace events.  Filters
+    #: consult this before doing any tracing-only work (extra timers), so
+    #: the disabled path costs one attribute read.
+    tracing: bool = False
+
     def __init__(self, filter_name: str, copy_index: int, num_copies: int):
         self.filter_name = filter_name
         self.copy_index = copy_index
         self.num_copies = num_copies
+
+    def event(
+        self,
+        kind: str,
+        *,
+        dur: float = 0.0,
+        chunk: Optional[tuple] = None,
+        **attrs: Any,
+    ) -> None:
+        """Emit a trace event attributed to this filter copy.
+
+        No-op unless the runtime traces (see
+        :mod:`repro.datacutter.obs`); runtimes that trace override this.
+        """
 
     @abc.abstractmethod
     def send(

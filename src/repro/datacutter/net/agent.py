@@ -67,6 +67,7 @@ from ..faults import (
 )
 from ..filter import FilterContext
 from ..graph import FilterGraph
+from ..obs import Tracer
 from . import codec
 
 __all__ = ["AgentRunner", "run_agent", "spawned_agent_main", "main"]
@@ -136,10 +137,24 @@ class _AgentContext(FilterContext):
         copy_index: int,
         num_copies: int,
         out_edges: Dict[str, Any],
+        tracer: Optional[Tracer] = None,
     ):
         super().__init__(filter_name, copy_index, num_copies)
         self._runner = runner
         self._out = out_edges  # stream name -> StreamEdge
+        self._tracer = tracer
+        self.tracing = tracer is not None
+
+    def event(self, kind, *, dur=0.0, chunk=None, **attrs):
+        if self._tracer is not None:
+            self._tracer.emit(
+                kind,
+                filter=self.filter_name,
+                copy=self.copy_index,
+                dur=dur,
+                chunk=chunk,
+                **attrs,
+            )
 
     def send(self, stream, payload, size_bytes=0, metadata=None, dest_copy=None):
         try:
@@ -187,6 +202,9 @@ class _CopyWorker:
         self.in_q: "queue.Queue" = queue.Queue()
         self.dead = False  # failed; the dispatcher drops later deliveries
         self.retries = 0
+        # Per-copy tracer: events batch locally and ride home on the
+        # terminal done/copy_failed message, never per-buffer frames.
+        self.tracer: Optional[Tracer] = Tracer() if runner.trace else None
         self.thread = threading.Thread(
             target=self._run,
             name=f"{filter_name}[{copy_index}]@agent{runner.agent_index}",
@@ -219,6 +237,14 @@ class _CopyWorker:
                 if attempt >= retry.max_attempts:
                     raise _CopyDied(exc, injected=isinstance(exc, InjectedFault))
                 self.retries += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "fault.retry",
+                        filter=self.filter_name,
+                        copy=self.copy_index,
+                        attempt=attempt,
+                        error=repr(exc),
+                    )
                 deadline = time.perf_counter() + retry.delay(attempt)
                 while time.perf_counter() < deadline:
                     if runner.abort.is_set():
@@ -243,8 +269,20 @@ class _CopyWorker:
         try:
             filt = spec.factory()
             ctx = _AgentContext(
-                runner, self.filter_name, self.copy_index, spec.copies, out_edges
+                runner,
+                self.filter_name,
+                self.copy_index,
+                spec.copies,
+                out_edges,
+                self.tracer,
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "copy.start",
+                    filter=self.filter_name,
+                    copy=self.copy_index,
+                    agent=runner.agent_name,
+                )
             t0 = time.perf_counter()
             filt.initialize(ctx)
             t_busy += time.perf_counter() - t0
@@ -268,10 +306,38 @@ class _CopyWorker:
                     if kind == "stop":
                         raise _Aborted()
                     _, stream, seq, buffer = item
+                    if self.tracer is not None:
+                        enq = buffer.metadata.pop("_obs_enq", None)
+                        chunk = buffer.metadata.get("chunk")
+                        if enq is not None:
+                            self.tracer.emit(
+                                "queue.wait",
+                                filter=self.filter_name,
+                                copy=self.copy_index,
+                                dur=max(time.time() - enq, 0.0),
+                                chunk=chunk,
+                                stream=stream,
+                            )
+                        self.tracer.emit(
+                            "queue.depth",
+                            filter=self.filter_name,
+                            copy=self.copy_index,
+                            depth=self.in_q.qsize(),
+                        )
                     try:
-                        t_busy += self._process_with_retry(
+                        dt = self._process_with_retry(
                             filt, stream, buffer, ctx, injector
                         )
+                        t_busy += dt
+                        if self.tracer is not None:
+                            self.tracer.emit(
+                                "service",
+                                filter=self.filter_name,
+                                copy=self.copy_index,
+                                dur=dt,
+                                chunk=buffer.metadata.get("chunk"),
+                                stream=stream,
+                            )
                         runner.post(("ack", seq))
                     except _CopyDied as died:
                         self.dead = True
@@ -291,14 +357,30 @@ class _CopyWorker:
                                 ),
                                 t_busy,
                                 self.retries,
+                                self._drain_events(),
                             )
                         )
                         return
             t0 = time.perf_counter()
             filt.finalize(ctx)
             t_busy += time.perf_counter() - t0
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "copy.done",
+                    filter=self.filter_name,
+                    copy=self.copy_index,
+                    busy=t_busy,
+                    dead=False,
+                )
             runner.post(
-                ("done", self.filter_name, self.copy_index, t_busy, self.retries)
+                (
+                    "done",
+                    self.filter_name,
+                    self.copy_index,
+                    t_busy,
+                    self.retries,
+                    self._drain_events(),
+                )
             )
         except _Aborted:
             pass
@@ -315,8 +397,12 @@ class _CopyWorker:
                     ),
                     t_busy,
                     self.retries,
+                    self._drain_events(),
                 )
             )
+
+    def _drain_events(self):
+        return self.tracer.drain() if self.tracer is not None else []
 
 
 class AgentRunner:
@@ -336,6 +422,7 @@ class AgentRunner:
         self.graph = graph
         self.retry = RetryPolicy()
         self.faults = None
+        self.trace = False
         self.abort = threading.Event()
         self.out_q: "queue.Queue" = queue.Queue()
         self.copies: Dict[Tuple[str, int], _CopyWorker] = {}
@@ -389,7 +476,7 @@ class AgentRunner:
     # -- setup + dispatch ---------------------------------------------------
 
     def _apply_setup(self, msg: Tuple) -> None:
-        _, graph, assignments, retry, faults, send_window, agent_name = msg
+        _, graph, assignments, retry, faults, send_window, agent_name, trace = msg
         if graph is not None:
             self.graph = graph
         if self.graph is None:
@@ -401,6 +488,7 @@ class AgentRunner:
         self.faults = faults
         self._send_window_limit = send_window
         self.agent_name = agent_name
+        self.trace = bool(trace)
         if faults is not None:
             self._conn_injector = faults.connection_injector_for(
                 self.agent_index, agent_name

@@ -63,6 +63,7 @@ from ..faults import (
     RetryPolicy,
 )
 from ..graph import FilterGraph, StreamEdge
+from ..obs import Trace, Tracer, snapshot_run
 from ..placement import Placement
 from ..runtime_local import LocalRuntime, RunResult
 from ..scheduling import CopyState, make_policy
@@ -187,6 +188,12 @@ class DistRuntime:
     port / bind_host:
         Listening endpoint; port 0 picks an ephemeral port (fine for
         loopback runs, external agents need a fixed one).
+    trace:
+        When true, collect :mod:`repro.datacutter.obs` trace events —
+        head-side scheduling and wire frames plus per-copy events the
+        agents batch home on their terminal messages.  Timestamps are
+        wall clock, so spans from different real hosts are only as
+        comparable as those hosts' clocks.
     """
 
     def __init__(
@@ -202,6 +209,7 @@ class DistRuntime:
         port: int = 0,
         bind_host: str = "",
         connect_timeout: float = 30.0,
+        trace: bool = False,
     ):
         graph.validate()
         LocalRuntime._check_stream_names(graph)
@@ -235,12 +243,14 @@ class DistRuntime:
         self.port = port
         self.bind_host = bind_host
         self.connect_timeout = connect_timeout
+        self.trace = bool(trace)
 
     # ------------------------------------------------------------------
     # Per-run state (one run at a time, like the single-host runtimes)
 
     def _reset(self) -> None:
         g = self.graph
+        self._tracer = Tracer() if self.trace else None
         self._lock = threading.RLock()
         self._done_event = threading.Event()
         self._fatal = False
@@ -337,6 +347,14 @@ class DistRuntime:
                     f"stream {es.key}: no surviving consumer copies"
                 )
                 return
+        if self._tracer is not None:
+            self._tracer.emit(
+                "sched.pick",
+                chunk=buffer.metadata.get("chunk"),
+                stream=es.edge.stream,
+                policy=es.edge.policy,
+                dest=target,
+            )
         es.sent += 1
         es.pending.append(_Pending(buffer, target, explicit, src_copy))
         self._pump_edge(es)
@@ -345,6 +363,10 @@ class DistRuntime:
         dst = es.edge.dst
         seq = self._next_seq
         self._next_seq += 1
+        if self._tracer is not None:
+            # Consumer-side queue wait is measured from head dispatch; on
+            # real multi-host runs this spans two wall clocks.
+            p.buffer.metadata["_obs_enq"] = time.time()
         self._inflight[seq] = (es, p)
         es.inflight += 1
         self._outstanding[(dst, p.target)] += 1
@@ -436,10 +458,14 @@ class DistRuntime:
             elif kind == "nack":
                 self._on_nack(msg[1])
             elif kind == "done":
-                _, f, c, busy, retries = msg
+                _, f, c, busy, retries, events = msg
+                if self._tracer is not None:
+                    self._tracer.extend(events)
                 self._on_done(f, c, busy, retries)
             elif kind == "copy_failed":
-                _, failure, busy, retries = msg
+                _, failure, busy, retries, events = msg
+                if self._tracer is not None:
+                    self._tracer.extend(events)
                 self._on_copy_failed(failure, busy, retries)
             elif kind == "deposit":
                 _, key, value = msg
@@ -539,6 +565,13 @@ class DistRuntime:
                 )
                 return
             self._reroutes += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "fault.reroute",
+                    chunk=p.buffer.metadata.get("chunk"),
+                    stream=es.edge.stream,
+                    dest=target,
+                )
             p.target = target
             es.sent += 1
             es.pending.appendleft(p)
@@ -622,6 +655,17 @@ class DistRuntime:
             if wire_key is not None:
                 with self._wire_lock:
                     self._wire[wire_key] = self._wire.get(wire_key, 0) + n
+                if self._tracer is not None:
+                    # msg is ("buf", dst, target, stream, seq, buffer).
+                    self._tracer.emit(
+                        "wire.frame",
+                        chunk=msg[5].metadata.get("chunk"),
+                        stream=msg[3],
+                        bytes=n,
+                        link=wire_key,
+                        agent=conn.name,
+                        dest=msg[2],
+                    )
 
     # ------------------------------------------------------------------
     # Startup: listener, spawned agents, handshake
@@ -735,6 +779,7 @@ class DistRuntime:
                         self.faults,
                         self.send_window,
                         conn.name,
+                        self.trace,
                     ),
                     None,
                 )
@@ -790,15 +835,28 @@ class DistRuntime:
             )
         if self._fatal:
             raise PipelineError(self._failures)
+        buffers_sent = {es.key: es.sent for es in self._edges.values()}
+        events = self._tracer.drain() if self._tracer is not None else None
         return RunResult(
             results=self._results,
             elapsed=elapsed,
             busy_time=dict(self._busy),
-            buffers_sent={es.key: es.sent for es in self._edges.values()},
+            buffers_sent=buffers_sent,
             retries=self._retries,
             reroutes=self._reroutes,
             failed_copies=list(self._failures),
             wire_bytes=dict(self._wire),
+            metrics=snapshot_run(
+                self._busy,
+                buffers_sent,
+                self._retries,
+                self._reroutes,
+                [(f.filter_name, f.copy_index) for f in self._failures],
+                self._wire,
+                elapsed,
+                events,
+            ),
+            trace=Trace(events) if events is not None else None,
         )
 
     def _teardown(self) -> None:

@@ -1,0 +1,49 @@
+"""Structured observability for the filter-stream runtimes.
+
+One event schema (:mod:`~repro.datacutter.obs.events`), one tracer
+(:mod:`~repro.datacutter.obs.tracer`), one metrics registry
+(:mod:`~repro.datacutter.obs.metrics`) and a set of exporters
+(:mod:`~repro.datacutter.obs.export`), shared by the sequential driver,
+:class:`~repro.datacutter.runtime_local.LocalRuntime`,
+:class:`~repro.datacutter.runtime_mp.MPRuntime`,
+:class:`~repro.datacutter.net.DistRuntime` and the cluster simulator —
+the measurement layer behind the paper's per-filter evaluation
+(Figs. 7-11), available for real runs.  See ``docs/observability.md``.
+"""
+
+from .events import (
+    LIFECYCLE_KINDS,
+    TraceEvent,
+    lifecycle_counts,
+    validate_event,
+    validate_events,
+)
+from .export import (
+    events_from_sim_spans,
+    format_summary,
+    to_chrome_json,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import MetricsRegistry, parse_metric_key, snapshot_run
+from .tracer import NULL_TRACER, Trace, Tracer, resolve_trace_mode
+
+__all__ = [
+    "TraceEvent",
+    "LIFECYCLE_KINDS",
+    "validate_event",
+    "validate_events",
+    "lifecycle_counts",
+    "Tracer",
+    "NULL_TRACER",
+    "Trace",
+    "resolve_trace_mode",
+    "MetricsRegistry",
+    "snapshot_run",
+    "parse_metric_key",
+    "to_chrome_json",
+    "write_chrome_trace",
+    "write_jsonl",
+    "format_summary",
+    "events_from_sim_spans",
+]

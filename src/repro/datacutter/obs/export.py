@@ -1,0 +1,261 @@
+"""Trace exporters: Chrome ``chrome://tracing`` JSON, flat JSONL, and a
+terminal summary — plus the bridge that turns simulator spans into the
+shared event schema so simulated and real traces are diffable.
+
+Chrome trace mapping (the "Trace Event Format", loadable in Perfetto or
+``chrome://tracing``):
+
+* one *process* per filter (``pid``), one *thread* per copy (``tid``),
+  named via ``M`` metadata events;
+* span kinds (chunk lifecycle, ``queue.wait``, ``service``) become
+  ``ph: "X"`` complete events with microsecond timestamps relative to
+  the first event in the trace;
+* ``queue.depth`` samples become ``ph: "C"`` counter events, so queue
+  occupancy renders as a stacked area chart per filter;
+* everything else (scheduler picks, wire frames, faults) becomes
+  ``ph: "i"`` instant events on a synthetic ``runtime`` process.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .events import LIFECYCLE_KINDS, SPAN_KINDS, TraceEvent
+
+__all__ = [
+    "to_chrome_json",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "format_summary",
+    "events_from_sim_spans",
+]
+
+#: pid used for head/router events that have no hosting filter copy.
+_RUNTIME_PROC = "runtime"
+
+
+def to_chrome_json(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Build a Chrome Trace Event Format document (as a dict)."""
+    evs = sorted(events, key=lambda e: e.start)
+    t0 = evs[0].start if evs else 0.0
+
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, int], int] = {}
+    out: List[Dict[str, Any]] = []
+
+    def pid_of(name: str) -> int:
+        if name not in pids:
+            pid = len(pids) + 1
+            pids[name] = pid
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        return pids[name]
+
+    def tid_of(fname: str, copy: int) -> int:
+        key = (fname, copy)
+        if key not in tids:
+            tid = copy + 1
+            tids[key] = tid
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid_of(fname),
+                    "tid": tid,
+                    "args": {"name": f"copy {copy}"},
+                }
+            )
+        return tids[key]
+
+    for ev in evs:
+        us = (ev.start - t0) * 1e6
+        args: Dict[str, Any] = dict(ev.attrs)
+        if ev.chunk is not None:
+            args["chunk"] = "/".join(str(i) for i in ev.chunk)
+        if ev.kind in SPAN_KINDS and ev.filter is not None:
+            name = ev.kind
+            if ev.kind in LIFECYCLE_KINDS and ev.chunk is not None:
+                name = f"{ev.kind} {args['chunk']}"
+            out.append(
+                {
+                    "name": name,
+                    "cat": ev.kind.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": us,
+                    "dur": max(ev.dur * 1e6, 0.01),
+                    "pid": pid_of(ev.filter),
+                    "tid": tid_of(ev.filter, ev.copy or 0),
+                    "args": args,
+                }
+            )
+        elif ev.kind == "queue.depth" and ev.filter is not None:
+            out.append(
+                {
+                    "name": f"queue depth {ev.filter}",
+                    "ph": "C",
+                    "ts": us,
+                    "pid": pid_of(ev.filter),
+                    "tid": 0,
+                    "args": {"depth": ev.attrs.get("depth", 0)},
+                }
+            )
+        else:
+            if ev.filter is not None:
+                pid = pid_of(ev.filter)
+                tid = tid_of(ev.filter, ev.copy or 0)
+            else:
+                pid = pid_of(_RUNTIME_PROC)
+                tid = 0
+            out.append(
+                {
+                    "name": ev.kind,
+                    "cat": ev.kind.split(".", 1)[0],
+                    "ph": "i",
+                    "s": "g",
+                    "ts": us,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str) -> str:
+    doc = to_chrome_json(events)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> str:
+    """One event per line, in :meth:`TraceEvent.to_dict` form."""
+    with open(path, "w") as fh:
+        for ev in sorted(events, key=lambda e: e.ts):
+            fh.write(json.dumps(ev.to_dict()) + "\n")
+    return path
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    out: List[TraceEvent] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TraceEvent.from_dict(json.loads(line)))
+    return out
+
+
+def format_summary(events: Iterable[TraceEvent]) -> str:
+    """Terminal summary: per-filter busy/wait totals and per-stage
+    chunk-lifecycle stats, aligned like ``report.format_breakdown``."""
+    evs = list(events)
+    if not evs:
+        return "trace: no events"
+    t0 = min(e.start for e in evs)
+    t1 = max(e.ts for e in evs)
+
+    per_filter: Dict[str, Dict[str, float]] = {}
+    for ev in evs:
+        if ev.filter is None:
+            continue
+        row = per_filter.setdefault(
+            ev.filter, {"service": 0.0, "wait": 0.0, "buffers": 0}
+        )
+        if ev.kind == "service":
+            row["service"] += ev.dur
+            row["buffers"] += 1
+        elif ev.kind == "queue.wait":
+            row["wait"] += ev.dur
+
+    stages: Dict[str, List[float]] = {}
+    chunks = set()
+    for ev in evs:
+        if ev.kind in LIFECYCLE_KINDS:
+            stages.setdefault(ev.kind, []).append(ev.dur)
+            if ev.chunk is not None:
+                chunks.add(ev.chunk)
+
+    lines = [
+        f"trace: {len(evs)} events over {t1 - t0:.3f}s, "
+        f"{len(chunks)} chunks"
+    ]
+    if per_filter:
+        lines.append(
+            f"  {'filter':<10} {'buffers':>8} {'service_s':>10} {'wait_s':>10}"
+        )
+        for fname in sorted(per_filter):
+            row = per_filter[fname]
+            lines.append(
+                f"  {fname:<10} {int(row['buffers']):>8} "
+                f"{row['service']:>10.3f} {row['wait']:>10.3f}"
+            )
+    if stages:
+        lines.append(
+            f"  {'stage':<16} {'count':>6} {'total_s':>9} "
+            f"{'mean_ms':>9} {'max_ms':>9}"
+        )
+        for kind in LIFECYCLE_KINDS:
+            durs = stages.get(kind)
+            if not durs:
+                continue
+            total = sum(durs)
+            lines.append(
+                f"  {kind:<16} {len(durs):>6} {total:>9.3f} "
+                f"{1e3 * total / len(durs):>9.2f} {1e3 * max(durs):>9.2f}"
+            )
+    return "\n".join(lines)
+
+
+#: simulator span kind -> shared event kind.  The simulator models the
+#: fused TEXTURE computation as one ``compute`` span, which maps onto
+#: the co-occurrence stage (its dominant cost, paper Table 2).
+_SIM_KIND_MAP = {
+    "read": "chunk.read",
+    "stitch": "chunk.stitch",
+    "compute": "chunk.cooccur",
+    "write": "chunk.write",
+}
+
+
+def events_from_sim_spans(
+    spans: Mapping[Tuple[str, int], Iterable[Tuple[float, float, str]]],
+    t0: float = 0.0,
+    chunk_ids: Optional[Mapping[Tuple[str, int], Iterable]] = None,
+) -> List[TraceEvent]:
+    """Convert ``SimReport.spans`` into shared-schema events.
+
+    Simulated time is kept as-is (seconds since sim start) with ``t0``
+    added, so a simulated trace exports through the same
+    :func:`write_chrome_trace` / :func:`write_jsonl` as a real one.
+    """
+    out: List[TraceEvent] = []
+    for (fname, copy), rows in spans.items():
+        ids = list(chunk_ids.get((fname, copy), [])) if chunk_ids else []
+        for i, (s, e, kind) in enumerate(rows):
+            ev_kind = _SIM_KIND_MAP.get(kind)
+            if ev_kind is None:
+                continue
+            chunk = tuple(ids[i]) if i < len(ids) else None
+            out.append(
+                TraceEvent(
+                    ts=t0 + e,
+                    kind=ev_kind,
+                    filter=fname,
+                    copy=copy,
+                    dur=e - s,
+                    chunk=chunk,
+                )
+            )
+    out.sort(key=lambda ev: ev.ts)
+    return out

@@ -1,0 +1,177 @@
+"""Tracers collect :class:`TraceEvent` records during a run.
+
+Design constraints (ISSUE 4): tracing is **opt-in** and must be
+near-zero cost when disabled.  Every instrumentation site in the
+runtimes is guarded by ``if tracer is not None`` (or the filter-visible
+``ctx.tracing`` flag), so a run without a tracer executes the exact
+pre-observability code path plus one predictable branch.
+
+A :class:`Tracer` is thread-safe (one lock around an append).  Runtimes
+that cross process boundaries give each child its own tracer and merge
+the drained events into the parent's at copy completion, so no
+cross-process synchronization happens on the hot path.
+
+A :class:`Trace` is the finished, immutable view attached to
+``RunResult.trace``: events sorted by timestamp plus convenience
+exporters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .events import TraceEvent, lifecycle_counts
+
+__all__ = ["Tracer", "NULL_TRACER", "Trace", "resolve_trace_mode"]
+
+#: Exporter names accepted by ``run_pipeline(trace=...)`` / ``--trace``.
+TRACE_MODES = ("events", "chrome", "jsonl", "live")
+
+
+class Tracer:
+    """Collects events for one run (or one filter copy of one run)."""
+
+    __slots__ = ("_events", "_lock", "t0")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._lock = threading.Lock()
+        self.t0 = time.time()
+
+    def emit(
+        self,
+        kind: str,
+        filter: Optional[str] = None,
+        copy: Optional[int] = None,
+        dur: float = 0.0,
+        chunk: Optional[Tuple[int, ...]] = None,
+        **attrs: Any,
+    ) -> None:
+        ev = TraceEvent(
+            ts=time.time(),
+            kind=kind,
+            filter=filter,
+            copy=copy,
+            dur=dur,
+            chunk=tuple(chunk) if chunk is not None else None,
+            attrs=attrs,
+        )
+        with self._lock:
+            self._events.append(ev)
+
+    def extend(self, events: List[TraceEvent]) -> None:
+        """Merge events drained from another tracer (child process)."""
+        if events:
+            with self._lock:
+                self._events.extend(events)
+
+    def drain(self) -> List[TraceEvent]:
+        """Remove and return everything collected so far."""
+        with self._lock:
+            out = self._events
+            self._events = []
+        return out
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class _NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    Exists so call sites that *must* hold a tracer object (filter
+    contexts) can avoid ``None`` checks; the runtimes themselves pass
+    ``None`` and skip instrumentation entirely.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def emit(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def extend(self, events: List[TraceEvent]) -> None:
+        pass
+
+    def drain(self) -> List[TraceEvent]:
+        return []
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACER = _NullTracer()
+
+
+class Trace:
+    """The finished trace of one run: sorted events + exporters."""
+
+    def __init__(self, events: List[TraceEvent]):
+        self.events: List[TraceEvent] = sorted(events, key=lambda e: e.ts)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def t0(self) -> float:
+        return self.events[0].start if self.events else 0.0
+
+    def kinds(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def lifecycle_counts(self):
+        return lifecycle_counts(self.events)
+
+    def to_chrome(self, path: str) -> str:
+        from .export import write_chrome_trace
+
+        return write_chrome_trace(self.events, path)
+
+    def to_jsonl(self, path: str) -> str:
+        from .export import write_jsonl
+
+        return write_jsonl(self.events, path)
+
+    def summary(self) -> str:
+        from .export import format_summary
+
+        return format_summary(self.events)
+
+
+def resolve_trace_mode(trace: Any) -> Optional[str]:
+    """Normalize a ``trace=`` argument to an exporter name or ``None``.
+
+    ``None``/``False`` disable tracing; ``True`` collects events without
+    exporting (``"events"``); a string names an exporter
+    (:data:`TRACE_MODES`).
+    """
+    if trace is None or trace is False:
+        return None
+    if trace is True:
+        return "events"
+    mode = str(trace)
+    if mode not in TRACE_MODES:
+        raise ValueError(
+            f"unknown trace mode {trace!r}; valid: {', '.join(TRACE_MODES)}"
+        )
+    return mode

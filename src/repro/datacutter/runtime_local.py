@@ -55,6 +55,7 @@ from .faults import (
 )
 from .filter import Filter, FilterContext
 from .graph import FilterGraph, StreamEdge
+from .obs import Trace, Tracer, snapshot_run
 from .scheduling import CopyState, make_policy
 
 __all__ = ["LocalRuntime", "RunResult"]
@@ -98,6 +99,13 @@ class RunResult:
     #: (distributed TCP, multiprocessing pipes); empty for the threaded
     #: runtime, whose deliveries are pointer copies.
     wire_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Standard metrics snapshot (:func:`repro.datacutter.obs.snapshot_run`):
+    #: counters/gauges/histograms derived from this run's aggregates, plus
+    #: event-derived instruments when tracing was on.
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: The collected :class:`repro.datacutter.obs.Trace`, or ``None`` when
+    #: tracing was disabled (the default).
+    trace: Optional[Trace] = None
 
     def filter_busy_time(self, name: str) -> float:
         """Total busy seconds summed over all copies of a filter."""
@@ -154,6 +162,7 @@ class _EdgeRouter:
         consumer_queues: List["queue.Queue"],
         state: _RunState,
         n_producers: int,
+        tracer: Optional[Tracer] = None,
     ):
         self.edge = edge
         self.policy = make_policy(edge.policy)
@@ -166,6 +175,7 @@ class _EdgeRouter:
         self.dead: set = set()  # copies that failed
         self.departed: set = set()  # copies that closed the stream cleanly
         self.sent = 0
+        self.tracer = tracer
 
     def mark_dead(self, copy_index: int) -> None:
         with self.lock:
@@ -257,6 +267,15 @@ class _EdgeRouter:
         item = (self.edge.stream, buffer)
         while True:
             idx = self._pick(buffer, dest_copy)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "sched.pick",
+                    chunk=buffer.metadata.get("chunk"),
+                    stream=self.edge.stream,
+                    policy=self.edge.policy,
+                    dest=idx,
+                )
+                buffer.metadata["_obs_enq"] = time.time()
             while True:
                 if self.state.abort.is_set():
                     raise _Aborted()
@@ -295,10 +314,24 @@ class _LocalContext(FilterContext):
         copy_index: int,
         num_copies: int,
         out_routers: Dict[str, _EdgeRouter],
+        tracer: Optional[Tracer] = None,
     ):
         super().__init__(filter_name, copy_index, num_copies)
         self._runtime = runtime
         self._out = out_routers
+        self._tracer = tracer
+        self.tracing = tracer is not None
+
+    def event(self, kind, *, dur=0.0, chunk=None, **attrs):
+        if self._tracer is not None:
+            self._tracer.emit(
+                kind,
+                filter=self.filter_name,
+                copy=self.copy_index,
+                dur=dur,
+                chunk=chunk,
+                **attrs,
+            )
 
     def send(self, stream, payload, size_bytes=0, metadata=None, dest_copy=None):
         try:
@@ -333,6 +366,11 @@ class LocalRuntime:
         to fail fast.
     faults:
         Optional :class:`FaultPlan` to inject failures for testing.
+    trace:
+        When true, collect :mod:`repro.datacutter.obs` trace events
+        (queue waits, service spans, scheduler picks, chunk lifecycle via
+        ``ctx.event``) into ``RunResult.trace``.  Off by default; the
+        disabled path adds only ``is not None`` branches.
     """
 
     def __init__(
@@ -341,6 +379,7 @@ class LocalRuntime:
         max_queue: int = 64,
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        trace: bool = False,
     ):
         graph.validate()
         self._check_stream_names(graph)
@@ -348,6 +387,7 @@ class LocalRuntime:
         self.max_queue = max_queue
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
+        self.trace = bool(trace)
         self._results: Dict[str, List[Any]] = {}
         self._results_lock = threading.Lock()
 
@@ -388,6 +428,7 @@ class LocalRuntime:
                 if attempt >= self.retry.max_attempts:
                     raise _CopyDied(exc, injected=isinstance(exc, InjectedFault))
                 state.count_retry()
+                ctx.event("fault.retry", attempt=attempt, error=repr(exc))
                 delay = self.retry.delay(attempt)
                 deadline = time.perf_counter() + delay
                 while time.perf_counter() < deadline:
@@ -406,6 +447,7 @@ class LocalRuntime:
                 {name: spec.copies for name, spec in graph.filters.items()}
             )
         state = _RunState()
+        tracer = Tracer() if self.trace else None
         # Input queues per (filter, copy).
         queues: Dict[Tuple[str, int], queue.Queue] = {}
         for spec in graph.filters.values():
@@ -419,7 +461,11 @@ class LocalRuntime:
                 queues[(edge.dst, i)] for i in range(graph.copies(edge.dst))
             ]
             routers[(edge.src, edge.stream)] = _EdgeRouter(
-                edge, consumer_queues, state, n_producers=graph.copies(edge.src)
+                edge,
+                consumer_queues,
+                state,
+                n_producers=graph.copies(edge.src),
+                tracer=tracer,
             )
 
         busy: Dict[Tuple[str, int], float] = {}
@@ -444,8 +490,10 @@ class LocalRuntime:
             try:
                 filt = spec.factory()
                 ctx = _LocalContext(
-                    self, spec_name, copy_index, spec.copies, out_routers
+                    self, spec_name, copy_index, spec.copies, out_routers, tracer
                 )
+                if tracer is not None:
+                    tracer.emit("copy.start", filter=spec_name, copy=copy_index)
                 t0 = time.perf_counter()
                 filt.initialize(ctx)
                 t_busy += time.perf_counter() - t0
@@ -473,6 +521,24 @@ class LocalRuntime:
                             continue
                         stream, item = got
                         router = in_routers[stream]
+                        if tracer is not None:
+                            chunk_id = item.metadata.get("chunk")
+                            enq = item.metadata.pop("_obs_enq", None)
+                            if enq is not None:
+                                tracer.emit(
+                                    "queue.wait",
+                                    filter=spec_name,
+                                    copy=copy_index,
+                                    dur=max(time.time() - enq, 0.0),
+                                    chunk=chunk_id,
+                                    stream=stream,
+                                )
+                            tracer.emit(
+                                "queue.depth",
+                                filter=spec_name,
+                                copy=copy_index,
+                                depth=q.qsize(),
+                            )
                         if dead:
                             # Drain mode: this copy is gone, but it keeps
                             # its queue moving — every buffer is handed
@@ -481,13 +547,31 @@ class LocalRuntime:
                             # re-assign happens *before* on_consume so the
                             # buffer is never invisible to try_close.
                             state.count_reroute()
+                            if tracer is not None:
+                                tracer.emit(
+                                    "fault.reroute",
+                                    filter=spec_name,
+                                    copy=copy_index,
+                                    chunk=item.metadata.get("chunk"),
+                                    stream=stream,
+                                )
                             router.route(item, None)
                             router.on_consume(copy_index)
                             continue
                         try:
-                            t_busy += self._process_with_retry(
+                            dt = self._process_with_retry(
                                 filt, stream, item, ctx, injector, state
                             )
+                            t_busy += dt
+                            if tracer is not None:
+                                tracer.emit(
+                                    "service",
+                                    filter=spec_name,
+                                    copy=copy_index,
+                                    dur=dt,
+                                    chunk=item.metadata.get("chunk"),
+                                    stream=stream,
+                                )
                             router.on_consume(copy_index)
                         except _CopyDied as died_exc:
                             for r in in_routers.values():
@@ -515,6 +599,14 @@ class LocalRuntime:
                             failure.recovered = True
                             state.record_failure(failure, fatal=False)
                             state.count_reroute()
+                            if tracer is not None:
+                                tracer.emit(
+                                    "fault.reroute",
+                                    filter=spec_name,
+                                    copy=copy_index,
+                                    chunk=item.metadata.get("chunk"),
+                                    stream=stream,
+                                )
                             router.route(item, None)
                             router.on_consume(copy_index)
                             dead = True
@@ -543,6 +635,14 @@ class LocalRuntime:
                 for e in graph.out_edges(spec_name):
                     routers[(spec_name, e.stream)].producer_done()
                 busy[(spec_name, copy_index)] = t_busy
+                if tracer is not None:
+                    tracer.emit(
+                        "copy.done",
+                        filter=spec_name,
+                        copy=copy_index,
+                        busy=t_busy,
+                        dead=dead,
+                    )
 
         start = time.perf_counter()
         for spec in graph.filters.values():
@@ -577,6 +677,7 @@ class LocalRuntime:
         buffers_sent = {
             f"{src}:{stream}": r.sent for (src, stream), r in routers.items()
         }
+        events = tracer.drain() if tracer is not None else None
         return RunResult(
             results=self._results,
             elapsed=elapsed,
@@ -585,4 +686,15 @@ class LocalRuntime:
             retries=state.retries,
             reroutes=state.reroutes,
             failed_copies=list(state.failures),
+            metrics=snapshot_run(
+                busy,
+                buffers_sent,
+                state.retries,
+                state.reroutes,
+                [(f.filter_name, f.copy_index) for f in state.failures],
+                {},
+                elapsed,
+                events,
+            ),
+            trace=Trace(events) if events is not None else None,
         )

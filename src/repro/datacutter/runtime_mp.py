@@ -64,6 +64,7 @@ from .faults import (
 from .filter import FilterContext
 from .graph import FilterGraph, StreamEdge
 from .net import codec
+from .obs import Trace, Tracer, snapshot_run
 from .runtime_local import RunResult
 
 __all__ = ["MPRuntime"]
@@ -210,9 +211,15 @@ class _SharedEdge:
         with self.lock:
             self.queued[idx] -= 1
 
-    def deliver(self, buffer: DataBuffer, dest_copy: Optional[int], abort) -> None:
+    def deliver(
+        self, buffer: DataBuffer, dest_copy: Optional[int], abort, tracer=None
+    ) -> None:
         """Abort-aware routed put; repicks if the chosen copy dies."""
         explicit = self.edge.policy == "explicit"
+        if tracer is not None:
+            # Enqueue timestamp rides inside the frame so the consumer
+            # process can measure queue wait across the pipe.
+            buffer.metadata["_obs_enq"] = time.time()
         # Frame once: the same bytes fit whichever copy wins the re-pick.
         item = codec.dumps((self.edge.stream, buffer))
         while True:
@@ -231,6 +238,14 @@ class _SharedEdge:
                         "dest_copy only valid on explicit streams"
                     )
                 idx = self.choose(buffer, abort)
+            if tracer is not None:
+                tracer.emit(
+                    "sched.pick",
+                    chunk=buffer.metadata.get("chunk"),
+                    stream=self.edge.stream,
+                    policy=self.edge.policy,
+                    dest=idx,
+                )
             while True:
                 if abort.value:
                     raise _Aborted()
@@ -244,22 +259,52 @@ class _SharedEdge:
                     self.queues[idx].put(item, timeout=_POLL)
                     with self.lock:
                         self.wire.value += len(item)
+                    if tracer is not None:
+                        tracer.emit(
+                            "wire.frame",
+                            chunk=buffer.metadata.get("chunk"),
+                            stream=self.edge.stream,
+                            bytes=len(item),
+                            dest=idx,
+                        )
                     return
                 except queue_mod.Full:
                     continue
 
-    def reroute(self, buffer: DataBuffer, abort) -> None:
+    def reroute(self, buffer: DataBuffer, abort, tracer=None) -> None:
         with self.lock:
             self.rerouted.value += 1
-        self.deliver(buffer, None, abort)
+        self.deliver(buffer, None, abort, tracer)
 
 
 class _MPContext(FilterContext):
-    def __init__(self, filter_name, copy_index, num_copies, out_edges, results_q, abort):
+    def __init__(
+        self,
+        filter_name,
+        copy_index,
+        num_copies,
+        out_edges,
+        results_q,
+        abort,
+        tracer=None,
+    ):
         super().__init__(filter_name, copy_index, num_copies)
         self._out = out_edges
         self._results_q = results_q
         self._abort = abort
+        self._tracer = tracer
+        self.tracing = tracer is not None
+
+    def event(self, kind, *, dur=0.0, chunk=None, **attrs):
+        if self._tracer is not None:
+            self._tracer.emit(
+                kind,
+                filter=self.filter_name,
+                copy=self.copy_index,
+                dur=dur,
+                chunk=chunk,
+                **attrs,
+            )
 
     def send(self, stream, payload, size_bytes=0, metadata=None, dest_copy=None):
         try:
@@ -271,7 +316,7 @@ class _MPContext(FilterContext):
         buf = DataBuffer(
             payload=payload, size_bytes=size_bytes, metadata=dict(metadata or {})
         )
-        shared.deliver(buf, dest_copy, self._abort)
+        shared.deliver(buf, dest_copy, self._abort, self._tracer)
 
     def deposit(self, key, value):
         self._results_q.put((_CTRL_DEPOSIT, key, value))
@@ -287,6 +332,7 @@ def _copy_main(
     abort,
     retry: RetryPolicy,
     faults: Optional[FaultPlan],
+    trace: bool = False,
 ) -> None:
     """Child-process entry point for one filter copy."""
     spec = graph.filters[spec_name]
@@ -295,6 +341,9 @@ def _copy_main(
         if faults is not None
         else NULL_INJECTOR
     )
+    # Per-child tracer: events batch locally and ride home on the
+    # terminal control message, so tracing adds no per-buffer IPC.
+    tracer = Tracer() if trace else None
     t_busy = 0.0
     retries = 0
     reroutes = 0
@@ -324,6 +373,14 @@ def _copy_main(
                 if attempt >= retry.max_attempts:
                     raise _CopyDied(exc, injected=isinstance(exc, InjectedFault))
                 retries += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "fault.retry",
+                        filter=spec_name,
+                        copy=copy_index,
+                        attempt=attempt,
+                        error=repr(exc),
+                    )
                 deadline = time.perf_counter() + retry.delay(attempt)
                 while time.perf_counter() < deadline:
                     if abort.value:
@@ -334,8 +391,10 @@ def _copy_main(
     try:
         filt = spec.factory()
         ctx = _MPContext(
-            spec_name, copy_index, spec.copies, out_edges, results_q, abort
+            spec_name, copy_index, spec.copies, out_edges, results_q, abort, tracer
         )
+        if tracer is not None:
+            tracer.emit("copy.start", filter=spec_name, copy=copy_index)
         t0 = time.perf_counter()
         filt.initialize(ctx)
         t_busy += time.perf_counter() - t0
@@ -367,6 +426,24 @@ def _copy_main(
                     continue
                 stream, payload = codec.loads(item)
                 shared = in_edges[stream]
+                if tracer is not None:
+                    chunk_id = payload.metadata.get("chunk")
+                    enq = payload.metadata.pop("_obs_enq", None)
+                    if enq is not None:
+                        tracer.emit(
+                            "queue.wait",
+                            filter=spec_name,
+                            copy=copy_index,
+                            dur=max(time.time() - enq, 0.0),
+                            chunk=chunk_id,
+                            stream=stream,
+                        )
+                    tracer.emit(
+                        "queue.depth",
+                        filter=spec_name,
+                        copy=copy_index,
+                        depth=int(shared.queued[copy_index]),
+                    )
                 if dead_failure is not None:
                     # Drain mode: this copy is gone, but it keeps its
                     # queue moving — every buffer is re-delivered to a
@@ -374,11 +451,29 @@ def _copy_main(
                     # queue.  Re-deliver *before* on_consume so the
                     # buffer is never invisible to try_close.
                     reroutes += 1
-                    shared.reroute(payload, abort)
+                    if tracer is not None:
+                        tracer.emit(
+                            "fault.reroute",
+                            filter=spec_name,
+                            copy=copy_index,
+                            chunk=payload.metadata.get("chunk"),
+                            stream=stream,
+                        )
+                    shared.reroute(payload, abort, tracer)
                     shared.on_consume(copy_index)
                     continue
                 try:
-                    t_busy += process_with_retry(filt, stream, payload, ctx)
+                    dt = process_with_retry(filt, stream, payload, ctx)
+                    t_busy += dt
+                    if tracer is not None:
+                        tracer.emit(
+                            "service",
+                            filter=spec_name,
+                            copy=copy_index,
+                            dur=dt,
+                            chunk=payload.metadata.get("chunk"),
+                            stream=stream,
+                        )
                     shared.on_consume(copy_index)
                 except _CopyDied as died:
                     for e in in_edges.values():
@@ -399,7 +494,8 @@ def _copy_main(
                     )
                     if not recoverable:
                         results_q.put(
-                            (_CTRL_FAILED, failure, t_busy, retries, reroutes)
+                            (_CTRL_FAILED, failure, t_busy, retries, reroutes,
+                             tracer.drain() if tracer is not None else [])
                         )
                         terminal_sent = True
                         abort.value = 1
@@ -407,7 +503,15 @@ def _copy_main(
                     failure.recovered = True
                     dead_failure = failure
                     reroutes += 1
-                    shared.reroute(payload, abort)
+                    if tracer is not None:
+                        tracer.emit(
+                            "fault.reroute",
+                            filter=spec_name,
+                            copy=copy_index,
+                            chunk=payload.metadata.get("chunk"),
+                            stream=stream,
+                        )
+                    shared.reroute(payload, abort, tracer)
                     shared.on_consume(copy_index)
         if dead_failure is None:
             t0 = time.perf_counter()
@@ -424,12 +528,23 @@ def _copy_main(
         for e in graph.out_edges(spec_name):
             out_edges[e.stream].producer_done()
         if not terminal_sent and not abort.value:
+            if tracer is not None:
+                tracer.emit(
+                    "copy.done",
+                    filter=spec_name,
+                    copy=copy_index,
+                    busy=t_busy,
+                    dead=dead_failure is not None,
+                )
+            events = tracer.drain() if tracer is not None else []
             if dead_failure is not None:
                 results_q.put(
-                    (_CTRL_FAILED, dead_failure, t_busy, retries, reroutes)
+                    (_CTRL_FAILED, dead_failure, t_busy, retries, reroutes, events)
                 )
             else:
-                results_q.put((_CTRL_DONE, spec_name, copy_index, t_busy, retries))
+                results_q.put(
+                    (_CTRL_DONE, spec_name, copy_index, t_busy, retries, events)
+                )
 
 
 class MPRuntime:
@@ -445,6 +560,7 @@ class MPRuntime:
         max_queue: int = 16,
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        trace: bool = False,
     ):
         graph.validate()
         for name in graph.filters:
@@ -457,6 +573,7 @@ class MPRuntime:
         self.max_queue = max_queue
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
+        self.trace = bool(trace)
 
     def run(self, timeout: Optional[float] = None) -> RunResult:
         graph = self.graph
@@ -492,7 +609,7 @@ class MPRuntime:
                 p = ctx.Process(
                     target=_copy_main,
                     args=(graph, spec.name, i, in_edges, out_edges, results_q,
-                          abort, self.retry, self.faults),
+                          abort, self.retry, self.faults, self.trace),
                     name=f"{spec.name}[{i}]",
                 )
                 p.start()
@@ -500,6 +617,7 @@ class MPRuntime:
 
         results: Dict[str, List[Any]] = {}
         busy: Dict[Tuple[str, int], float] = {}
+        all_events: List[Any] = []
         failures: List[CopyFailure] = []
         total_retries = 0
         drain_reroutes = 0
@@ -520,15 +638,17 @@ class MPRuntime:
                     _, key, value = msg
                     results.setdefault(key, []).append(value)
                 elif kind == _CTRL_DONE:
-                    _, name, idx, t_busy, retries = msg
+                    _, name, idx, t_busy, retries, events = msg
                     busy[(name, idx)] = t_busy
                     total_retries += retries
+                    all_events.extend(events)
                     terminal.add((name, idx))
                 elif kind == _CTRL_FAILED:
-                    _, failure, t_busy, retries, reroutes = msg
+                    _, failure, t_busy, retries, reroutes, events = msg
                     busy[(failure.filter_name, failure.copy_index)] = t_busy
                     total_retries += retries
                     drain_reroutes += reroutes
+                    all_events.extend(events)
                     failures.append(failure)
                     terminal.add((failure.filter_name, failure.copy_index))
                     if not failure.recovered:
@@ -613,13 +733,26 @@ class MPRuntime:
         wire_bytes = {
             f"{src}:{stream}": e.wire.value for (src, stream), e in edges.items()
         }
+        reroutes = sum(e.rerouted.value for e in edges.values())
+        events = all_events if self.trace else None
         return RunResult(
             results=results,
             elapsed=elapsed,
             busy_time=busy,
             buffers_sent=buffers_sent,
             retries=total_retries,
-            reroutes=sum(e.rerouted.value for e in edges.values()),
+            reroutes=reroutes,
             failed_copies=failures,
             wire_bytes=wire_bytes,
+            metrics=snapshot_run(
+                busy,
+                buffers_sent,
+                total_retries,
+                reroutes,
+                [(f.filter_name, f.copy_index) for f in failures],
+                wire_bytes,
+                elapsed,
+                events,
+            ),
+            trace=Trace(events) if events is not None else None,
         )

@@ -13,12 +13,14 @@ which "can greatly reduce the data traffic leaving the HCC filter"
 
 from __future__ import annotations
 
+import time
+
 from ..core.backends import get_kernel
 from ..core.cooccurrence import check_levels
 from ..core.sparse import batch_sparse_from_dense
 from ..datacutter.buffers import DataBuffer
 from ..datacutter.filter import Filter, FilterContext
-from .messages import MatrixPacket, TextureChunk, TextureParams
+from .messages import MatrixPacket, TextureChunk, TextureParams, trace_headers
 
 __all__ = ["HaralickCoMatrixCalculator"]
 
@@ -41,6 +43,9 @@ class HaralickCoMatrixCalculator(Filter):
         check_levels(q, p.levels)  # once per chunk, not per kernel call
         scan = get_kernel(p.kernel)
         batch = p.packet_rois(tc.chunk)
+        tracing = ctx.tracing
+        t_cooc = 0.0
+        t_mark = time.perf_counter() if tracing else 0.0
         for start, mats in scan(
             q, p.roi, p.levels, distance=p.distance, batch=batch, validate=False
         ):
@@ -50,9 +55,20 @@ class HaralickCoMatrixCalculator(Filter):
                 )
             else:
                 packet = MatrixPacket(chunk=tc.chunk, start=start, dense=mats)
+            if tracing:
+                # Matrix production time: the scan plus any sparse
+                # conversion, excluding downstream send.
+                now = time.perf_counter()
+                t_cooc += now - t_mark
             ctx.send(
                 self.out_stream,
                 packet,
                 size_bytes=packet.wire_bytes(p.levels),
-                metadata={"kind": "matrices", "count": packet.count},
+                metadata=trace_headers(
+                    tc.chunk, kind="matrices", count=packet.count
+                ),
             )
+            if tracing:
+                t_mark = time.perf_counter()
+        if tracing:
+            ctx.event("chunk.cooccur", dur=t_cooc, chunk=tc.chunk.index)

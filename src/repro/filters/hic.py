@@ -12,6 +12,7 @@ HIC runs as a single copy: it holds the global output volumes.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -84,7 +85,19 @@ class HaralickImageConstructor(Filter):
             local = {
                 name: arr.reshape(local_grid) for name, arr in store.items()
             }
+            t0 = time.perf_counter() if ctx.tracing else 0.0
             self.stitcher.place(self._chunks[key], local)
+            if ctx.tracing:
+                own = self._chunks[key].local_own_slices(self.roi)
+                records = 1
+                for s in own:
+                    records *= s.stop - s.start
+                ctx.event(
+                    "chunk.write",
+                    dur=time.perf_counter() - t0,
+                    chunk=key,
+                    records=int(records) * len(self.stitcher.features),
+                )
             self._placed.add(key)
             self._seen_starts.pop(key, None)
             del self._partial[key], self._filled[key], self._chunks[key]

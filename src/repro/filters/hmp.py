@@ -13,6 +13,8 @@ communication between matrix and parameter computation to save).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.backends import get_kernel
@@ -22,7 +24,7 @@ from ..core.features_sparse import features_from_sparse
 from ..core.sparse import batch_sparse_from_dense
 from ..datacutter.buffers import DataBuffer
 from ..datacutter.filter import Filter, FilterContext
-from .messages import FeaturePortion, TextureChunk, TextureParams
+from .messages import FeaturePortion, TextureChunk, TextureParams, trace_headers
 
 __all__ = ["HaralickMatrixProducer"]
 
@@ -49,9 +51,19 @@ class HaralickMatrixProducer(Filter):
         check_levels(q, p.levels)  # once per chunk, not per kernel call
         scan = get_kernel(p.kernel)
         batch = p.packet_rois(tc.chunk)
+        # When tracing, split the chunk's busy time into co-occurrence
+        # scan time (the generator) and parameter time, summed over
+        # packets and emitted as one span each per chunk.
+        tracing = ctx.tracing
+        t_cooc = t_feat = 0.0
+        t_mark = time.perf_counter() if tracing else 0.0
         for start, mats in scan(
             q, p.roi, p.levels, distance=p.distance, batch=batch, validate=False
         ):
+            if tracing:
+                now = time.perf_counter()
+                t_cooc += now - t_mark
+                t_mark = now
             if p.sparse:
                 # Sparse path inside one filter: pay the conversion, then
                 # compute parameters directly from the triplets.
@@ -63,10 +75,20 @@ class HaralickMatrixProducer(Filter):
                         vals[name][k] = f[name]
             else:
                 vals = haralick_features(mats, p.features)
+            if tracing:
+                now = time.perf_counter()
+                t_feat += now - t_mark
             portion = FeaturePortion(chunk=tc.chunk, start=start, values=vals)
             ctx.send(
                 self.out_stream,
                 portion,
                 size_bytes=portion.nbytes,
-                metadata={"kind": "features", "count": portion.count},
+                metadata=trace_headers(
+                    tc.chunk, kind="features", count=portion.count
+                ),
             )
+            if tracing:
+                t_mark = time.perf_counter()
+        if tracing:
+            ctx.event("chunk.cooccur", dur=t_cooc, chunk=tc.chunk.index)
+            ctx.event("chunk.features", dur=t_feat, chunk=tc.chunk.index)

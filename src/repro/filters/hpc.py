@@ -9,13 +9,15 @@ sparse form, and no conversion back to a co-occurrence array is needed"
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.features import haralick_features
 from ..core.features_sparse import features_from_sparse
 from ..datacutter.buffers import DataBuffer
 from ..datacutter.filter import Filter, FilterContext
-from .messages import FeaturePortion, MatrixPacket, TextureParams
+from .messages import FeaturePortion, MatrixPacket, TextureParams, trace_headers
 
 __all__ = ["HaralickParameterCalculator"]
 
@@ -34,6 +36,7 @@ class HaralickParameterCalculator(Filter):
         if not isinstance(packet, MatrixPacket):
             raise TypeError(f"HPC expected MatrixPacket, got {type(packet).__name__}")
         p = self.params
+        t0 = time.perf_counter() if ctx.tracing else 0.0
         if packet.sparse is not None:
             vals = {name: np.empty(len(packet.sparse)) for name in p.features}
             for k, sp in enumerate(packet.sparse):
@@ -42,10 +45,20 @@ class HaralickParameterCalculator(Filter):
                     vals[name][k] = f[name]
         else:
             vals = haralick_features(packet.dense, p.features)
+        if ctx.tracing:
+            # One span per packet: HPC never sees whole chunks.
+            ctx.event(
+                "chunk.features",
+                dur=time.perf_counter() - t0,
+                chunk=packet.chunk.index,
+                start=packet.start,
+            )
         portion = FeaturePortion(chunk=packet.chunk, start=packet.start, values=vals)
         ctx.send(
             self.out_stream,
             portion,
             size_bytes=portion.nbytes,
-            metadata={"kind": "features", "count": portion.count},
+            metadata=trace_headers(
+                packet.chunk, kind="features", count=portion.count
+            ),
         )

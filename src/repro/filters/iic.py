@@ -13,13 +13,14 @@ assigned to it.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..chunks.chunking import ChunkSpec
 from ..chunks.stitch import ChunkAssembler
 from ..datacutter.buffers import DataBuffer
 from ..datacutter.filter import Filter, FilterContext
-from .messages import SlicePortion, TextureChunk, iic_copy_for_chunk
+from .messages import SlicePortion, TextureChunk, iic_copy_for_chunk, trace_headers
 
 __all__ = ["InputImageConstructor"]
 
@@ -45,6 +46,9 @@ class InputImageConstructor(Filter):
         # either are silently dropped, keeping duplicates idempotent).
         self._seen_planes: Dict[int, set] = {}
         self._emitted_chunks: set = set()
+        #: First-portion arrival time per chunk (assembly latency for the
+        #: ``chunk.stitch`` trace span).
+        self._t_first: Dict[int, float] = {}
 
     def initialize(self, ctx: FilterContext) -> None:
         for li, chunk in enumerate(self.all_chunks):
@@ -54,6 +58,7 @@ class InputImageConstructor(Filter):
     def _assembler(self, li: int) -> ChunkAssembler:
         if li not in self._assemblers:
             self._assemblers[li] = ChunkAssembler(self._my_chunks[li])
+            self._t_first[li] = time.perf_counter()
         return self._assemblers[li]
 
     def process(self, stream: str, buffer: DataBuffer, ctx: FilterContext) -> None:
@@ -126,11 +131,21 @@ class InputImageConstructor(Filter):
         chunk = self._my_chunks[li]
         data = self._assemblers.pop(li).result()
         tc = TextureChunk(chunk=chunk, data=data)
+        if ctx.tracing:
+            t0 = self._t_first.pop(li, None)
+            ctx.event(
+                "chunk.stitch",
+                dur=time.perf_counter() - t0 if t0 is not None else 0.0,
+                chunk=chunk.index,
+                bytes=tc.nbytes,
+            )
         ctx.send(
             self.out_stream,
             tc,
             size_bytes=tc.nbytes,
-            metadata={"kind": "chunk", "n_rois": chunk.num_rois},
+            metadata=trace_headers(
+                chunk, kind="chunk", n_rois=chunk.num_rois
+            ),
         )
         self._emitted += 1
         self._emitted_chunks.add(li)

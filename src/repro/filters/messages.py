@@ -28,7 +28,23 @@ __all__ = [
     "ParameterVolume",
     "iic_copy_for_chunk",
     "texture_wire_bytes",
+    "trace_headers",
 ]
+
+
+def trace_headers(chunk: Optional[ChunkSpec] = None, **extra) -> Dict[str, object]:
+    """Buffer-metadata headers that let trace events follow a chunk.
+
+    The ``"chunk"`` key is the chunk's grid index (a tuple) — the
+    chunk's identity in :mod:`repro.datacutter.obs` events.  It rides in
+    ``DataBuffer.metadata``, so it crosses process and socket boundaries
+    with the buffer and lets every runtime stamp queue/service/scheduler
+    events with the chunk they concern.
+    """
+    headers: Dict[str, object] = dict(extra)
+    if chunk is not None:
+        headers["chunk"] = tuple(chunk.index)
+    return headers
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ that assembles a texture chunk intersecting it.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from ..chunks.chunking import ChunkSpec
@@ -102,7 +103,18 @@ class RawFileReader(Filter):
                 if not dests:
                     continue  # no chunk needs this region
                 x0, x1, y0, y1 = rect
-                data = ds.read_slice_region(t, z, x0, x1, y0, y1)
+                if ctx.tracing:
+                    t0 = time.perf_counter()
+                    data = ds.read_slice_region(t, z, x0, x1, y0, y1)
+                    ctx.event(
+                        "chunk.read",
+                        dur=time.perf_counter() - t0,
+                        t=t,
+                        z=z,
+                        bytes=int(data.nbytes),
+                    )
+                else:
+                    data = ds.read_slice_region(t, z, x0, x1, y0, y1)
                 portion = SlicePortion(t=t, z=z, x0=x0, x1=x1, y0=y0, y1=y1, data=data)
                 for dest in dests:
                     ctx.send(

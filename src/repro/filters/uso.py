@@ -16,6 +16,7 @@ Record format (little-endian): ``ndim`` uint32 coordinates + 1 float64.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -71,6 +72,7 @@ class UnstitchedOutput(Filter):
             return
         flat = np.arange(portion.start, portion.start + count)[owned]
         coords = flat_to_global(portion.chunk, self.roi, flat).astype("<u4")
+        t0 = time.perf_counter() if ctx.tracing else 0.0
         for feature, values in portion.values.items():
             fh = self._file(feature, ctx)
             vals = np.asarray(values, dtype="<f8")[owned]
@@ -82,6 +84,13 @@ class UnstitchedOutput(Filter):
             rec["val"] = vals
             fh.write(rec.tobytes())
             self._counts[feature] += coords.shape[0]
+        if ctx.tracing:
+            ctx.event(
+                "chunk.write",
+                dur=time.perf_counter() - t0,
+                chunk=portion.chunk.index,
+                records=int(coords.shape[0]) * len(portion.values),
+            )
 
     def finalize(self, ctx: FilterContext) -> None:
         for feature, fh in self._files.items():

@@ -2,7 +2,7 @@
 
 from .builder import build_graph, plan_chunks
 from .config import AnalysisConfig, clip_chunk_shape
-from .report import filter_breakdown, format_breakdown
+from .report import filter_breakdown, format_breakdown, format_metrics
 from .run import PipelineResult, run_pipeline
 from .sequential import iter_chunk_features, transform_disk_dataset
 
@@ -13,6 +13,7 @@ __all__ = [
     "plan_chunks",
     "filter_breakdown",
     "format_breakdown",
+    "format_metrics",
     "PipelineResult",
     "run_pipeline",
     "iter_chunk_features",

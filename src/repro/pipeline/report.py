@@ -4,9 +4,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..datacutter.obs import parse_metric_key
 from ..datacutter.runtime_local import RunResult
 
-__all__ = ["filter_breakdown", "format_breakdown", "failure_summary"]
+__all__ = [
+    "filter_breakdown",
+    "format_breakdown",
+    "format_metrics",
+    "failure_summary",
+]
 
 
 def filter_breakdown(run: RunResult) -> Dict[str, Dict[str, float]]:
@@ -16,11 +22,29 @@ def filter_breakdown(run: RunResult) -> Dict[str, Dict[str, float]]:
     all copies' busy seconds, ``mean``/``max`` are per-copy statistics
     (the paper's Fig. 9 plots the per-filter processing time; ``max``
     approximates the critical-path contribution of a replicated filter).
+
+    Built from the run's :mod:`repro.datacutter.obs` metrics snapshot
+    (the ``busy_seconds{filter=...}`` histograms observe one value per
+    copy), falling back to raw ``run.busy_time`` for results that carry
+    no metrics.
     """
+    hists = (run.metrics or {}).get("histograms", {})
+    out: Dict[str, Dict[str, float]] = {}
+    for key, h in hists.items():
+        name, labels = parse_metric_key(key)
+        if name != "busy_seconds" or "filter" not in labels:
+            continue
+        out[labels["filter"]] = {
+            "copies": float(h["count"]),
+            "total": h["sum"],
+            "mean": h["mean"],
+            "max": h["max"],
+        }
+    if out:
+        return out
     per_filter: Dict[str, List[float]] = {}
     for (name, _copy), busy in run.busy_time.items():
         per_filter.setdefault(name, []).append(busy)
-    out = {}
     for name, times in per_filter.items():
         out[name] = {
             "copies": float(len(times)),
@@ -71,4 +95,27 @@ def format_breakdown(run: RunResult, order: Tuple[str, ...] = ()) -> str:
         for f in run.failed_copies:
             status = "recovered" if f.recovered else "fatal"
             lines.append(f"  [{status}] {f.describe()}")
+    return "\n".join(lines)
+
+
+def format_metrics(run: RunResult) -> str:
+    """Flat, sorted dump of the run's metrics snapshot.
+
+    One ``name{labels} = value`` line per instrument — counters as
+    plain numbers, gauges as ``value (max ...)``, histograms as
+    ``count/sum/mean/max``.
+    """
+    m = run.metrics or {}
+    lines: List[str] = []
+    for key in sorted(m.get("counters", {})):
+        lines.append(f"{key} = {m['counters'][key]:g}")
+    for key in sorted(m.get("gauges", {})):
+        g = m["gauges"][key]
+        lines.append(f"{key} = {g['value']:g} (max {g['max']:g})")
+    for key in sorted(m.get("histograms", {})):
+        h = m["histograms"][key]
+        lines.append(
+            f"{key} = count {h['count']} / sum {h['sum']:.6g} / "
+            f"mean {h['mean']:.6g} / max {h['max']:.6g}"
+        )
     return "\n".join(lines)

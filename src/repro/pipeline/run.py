@@ -12,12 +12,13 @@ from __future__ import annotations
 import glob
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..core.roi import valid_positions_shape
 from ..datacutter.faults import FaultPlan, RetryPolicy
+from ..datacutter.obs import Trace, format_summary, resolve_trace_mode
 from ..datacutter.runtime_local import LocalRuntime, RunResult
 from ..datacutter.runtime_mp import MPRuntime
 from ..filters.uso import combine_uso_outputs
@@ -39,6 +40,16 @@ class PipelineResult:
     @property
     def elapsed(self) -> float:
         return self.run.elapsed
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        """Trace events collected when the run was launched with tracing."""
+        return self.run.trace
+
+    @property
+    def metrics(self) -> Dict[str, Dict[str, object]]:
+        """Metrics snapshot of the underlying run."""
+        return self.run.metrics
 
 
 def _volumes_from_uso(
@@ -67,6 +78,8 @@ def run_pipeline(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
     hosts: Optional[List[str]] = None,
+    trace: Union[bool, str, None] = None,
+    trace_out: Optional[str] = None,
 ) -> PipelineResult:
     """Run the parallel pipeline over a disk-resident dataset.
 
@@ -95,25 +108,41 @@ def run_pipeline(
         Distributed runtime only: one entry per worker agent.  Loopback
         entries spawn local agent processes, so ``["127.0.0.1"] * 3``
         (the default) runs the full TCP stack on this machine.
+    trace:
+        Observability mode (see :mod:`repro.datacutter.obs`).  ``None``
+        or ``False`` disables tracing (near-zero overhead); ``True`` or
+        ``"events"`` collects events on ``result.trace``; ``"chrome"``
+        additionally writes a Chrome/Perfetto trace file; ``"jsonl"``
+        writes flat JSON lines; ``"live"`` prints a terminal summary
+        after the run.
+    trace_out:
+        Output path for the ``"chrome"`` / ``"jsonl"`` modes (defaults
+        to ``trace.json`` / ``trace.jsonl``).
 
     Returns
     -------
     :class:`PipelineResult` with one stitched volume per feature.
     """
     config = config or AnalysisConfig()
+    mode = resolve_trace_mode(trace)
+    if trace_out is not None and mode not in ("chrome", "jsonl"):
+        raise ValueError("trace_out= requires trace='chrome' or 'jsonl'")
     dataset = DiskDataset4D.open(dataset_root)
     graph = build_graph(dataset, config)
     retry = retry if retry is not None else config.retry
     if hosts is not None and runtime != "distributed":
         raise ValueError(f"hosts= only applies to runtime='distributed', "
                          f"not {runtime!r}")
+    tracing = mode is not None
     if runtime == "threads":
         run = LocalRuntime(
-            graph, max_queue=max_queue, retry=retry, faults=faults
+            graph, max_queue=max_queue, retry=retry, faults=faults,
+            trace=tracing,
         ).run()
     elif runtime == "processes":
         run = MPRuntime(
-            graph, max_queue=max_queue, retry=retry, faults=faults
+            graph, max_queue=max_queue, retry=retry, faults=faults,
+            trace=tracing,
         ).run()
     elif runtime == "distributed":
         from ..datacutter.net import DistRuntime
@@ -124,9 +153,18 @@ def run_pipeline(
             max_queue=max_queue,
             retry=retry,
             faults=faults,
+            trace=tracing,
         ).run()
     else:
         raise ValueError(f"unknown runtime {runtime!r}")
+
+    if run.trace is not None:
+        if mode == "chrome":
+            run.trace.to_chrome(trace_out or "trace.json")
+        elif mode == "jsonl":
+            run.trace.to_jsonl(trace_out or "trace.jsonl")
+        elif mode == "live":
+            print(format_summary(run.trace.events))
 
     if config.output == "uso":
         volumes = _volumes_from_uso(dataset, config)

@@ -5,10 +5,17 @@ chunk in one process, holding at most one IIC-to-TEXTURE chunk plus the
 output volumes in memory.  Numerically identical to both the in-memory
 ``haralick_transform`` and the parallel pipelines; useful as a baseline
 and for datasets that merely exceed RAM rather than patience.
+
+Both entry points take an optional :class:`~repro.datacutter.obs.Tracer`
+and emit the same chunk-lifecycle events (``chunk.read`` →
+``chunk.stitch`` → ``chunk.cooccur``/``chunk.features`` →
+``chunk.write``) as the parallel runtimes, under the synthetic filter
+name ``"SEQ"`` — so one trace schema describes every execution mode.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
@@ -16,11 +23,15 @@ import numpy as np
 from ..chunks.chunking import ChunkSpec
 from ..chunks.stitch import OutputStitcher
 from ..core.raster import raster_scan
+from ..datacutter.obs import Tracer
 from ..storage.dataset import DiskDataset4D
 from .builder import plan_chunks
 from .config import AnalysisConfig
 
 __all__ = ["transform_disk_dataset", "iter_chunk_features"]
+
+#: Filter name stamped on sequential trace events.
+SEQ_FILTER = "SEQ"
 
 
 def _read_chunk(dataset: DiskDataset4D, chunk: ChunkSpec) -> np.ndarray:
@@ -33,7 +44,9 @@ def _read_chunk(dataset: DiskDataset4D, chunk: ChunkSpec) -> np.ndarray:
 
 
 def iter_chunk_features(
-    dataset: DiskDataset4D, config: AnalysisConfig
+    dataset: DiskDataset4D,
+    config: AnalysisConfig,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[Tuple[ChunkSpec, Dict[str, np.ndarray]]]:
     """Yield ``(chunk, local feature volumes)`` one chunk at a time.
 
@@ -43,9 +56,27 @@ def iter_chunk_features(
     its outputs.
     """
     params = config.texture
+
+    def emit(kind: str, chunk: ChunkSpec, dur: float, **attrs) -> None:
+        if tracer is not None:
+            tracer.emit(
+                kind, filter=SEQ_FILTER, copy=0, dur=dur,
+                chunk=chunk.index, **attrs,
+            )
+
     for chunk in plan_chunks(dataset.shape, config):
+        t0 = time.perf_counter()
         data = _read_chunk(dataset, chunk)
+        emit("chunk.read", chunk, time.perf_counter() - t0,
+             bytes=int(data.nbytes))
+        # Quantization stands in for the parallel IIC's assembly step:
+        # it is the last thing that happens to the input chunk before
+        # the texture scan.
+        t0 = time.perf_counter()
         q = params.quantize(data)
+        emit("chunk.stitch", chunk, time.perf_counter() - t0,
+             bytes=int(q.nbytes))
+        t0 = time.perf_counter()
         local = raster_scan(
             q,
             params.roi,
@@ -54,11 +85,18 @@ def iter_chunk_features(
             distance=params.distance,
             kernel=params.kernel,
         )
+        dt = time.perf_counter() - t0
+        # raster_scan fuses co-occurrence and feature computation; split
+        # the span evenly so both lifecycle stages appear per chunk.
+        emit("chunk.cooccur", chunk, dt / 2.0)
+        emit("chunk.features", chunk, dt / 2.0)
         yield chunk, local
 
 
 def transform_disk_dataset(
-    dataset_root: str, config: Optional[AnalysisConfig] = None
+    dataset_root: str,
+    config: Optional[AnalysisConfig] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, np.ndarray]:
     """Full sequential out-of-core run; returns stitched feature volumes."""
     config = config or AnalysisConfig()
@@ -66,6 +104,20 @@ def transform_disk_dataset(
     stitcher = OutputStitcher(
         dataset.shape, config.texture.roi, config.texture.features
     )
-    for chunk, local in iter_chunk_features(dataset, config):
+    for chunk, local in iter_chunk_features(dataset, config, tracer=tracer):
+        t0 = time.perf_counter()
         stitcher.place(chunk, local)
+        if tracer is not None:
+            own = chunk.local_own_slices(config.texture.roi)
+            records = 1
+            for s in own:
+                records *= s.stop - s.start
+            tracer.emit(
+                "chunk.write",
+                filter=SEQ_FILTER,
+                copy=0,
+                dur=time.perf_counter() - t0,
+                chunk=chunk.index,
+                records=int(records) * len(config.texture.features),
+            )
     return stitcher.result()

@@ -102,6 +102,24 @@ class SimReport:
         times = self.filter_busy(name)
         return max(times) if times else 0.0
 
+    def to_trace_events(self, t0: float = 0.0) -> List:
+        """Export the run's spans in the shared observability schema.
+
+        Returns :class:`repro.datacutter.obs.TraceEvent` objects (kinds
+        ``chunk.read`` / ``chunk.stitch`` / ``chunk.cooccur`` /
+        ``chunk.write``), so simulated runs flow through the same
+        exporters — ``write_chrome_trace``, ``write_jsonl``,
+        ``format_summary`` — as real ones.  Requires the runtime to have
+        been created with ``trace=True``.
+        """
+        if self.spans is None:
+            raise ValueError(
+                "no spans recorded: create SimRuntime with trace=True"
+            )
+        from ..datacutter.obs import events_from_sim_spans
+
+        return events_from_sim_spans(self.spans, t0=t0)
+
 
 class SimRuntime:
     """Build and run one simulated pipeline execution."""
