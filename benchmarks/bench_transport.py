@@ -1,0 +1,193 @@
+"""MPRuntime transport comparison: pipe copies vs shared-memory handoff.
+
+Runs the same disk-resident analysis (paper configuration: 5x5x5x3 ROI,
+32 grey levels, the four paper features, HMP variant) on the
+multiprocessing runtime twice — once with the default pipe transport,
+once with ``transport="shm"`` — and records wall time, bytes actually
+copied through pipes, bytes handed over via pool slabs, and peak RSS in
+``BENCH_transport.json`` at the repo root.
+
+Each transport runs in its own subprocess: the runtime forks one child
+per filter copy, and ``resource.getrusage(RUSAGE_CHILDREN)`` only
+reports a high-water mark per parent process, so two in-process runs
+could not be told apart.
+
+Needs only numpy and the stdlib, so CI can run the smoke variant::
+
+    pytest benchmarks/bench_transport.py -k smoke
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from harness import record_repo_json
+
+ROI = (5, 5, 5, 3)
+LEVELS = 32
+FEATURES = ("asm", "correlation", "sum_of_squares", "idm")
+
+# One pipeline run inside a fresh interpreter.  Prints a JSON summary on
+# stdout and saves the stitched volumes for the bit-identity check.
+_WORKER = r"""
+import json, resource, sys, time
+import numpy as np
+cfg = json.loads(sys.stdin.read())
+from repro.filters.messages import TextureParams
+from repro.pipeline.config import AnalysisConfig
+from repro.pipeline.run import run_pipeline
+params = TextureParams(
+    roi_shape=tuple(cfg["roi"]), levels=cfg["levels"],
+    features=tuple(cfg["features"]), intensity_range=(0.0, 65535.0),
+)
+acfg = AnalysisConfig(
+    texture=params, variant="hmp",
+    texture_chunk_shape=tuple(cfg["chunk"]),
+    num_texture_copies=cfg["copies"],
+)
+t0 = time.perf_counter()
+result = run_pipeline(
+    cfg["dataset"], acfg, runtime="processes",
+    transport=cfg["transport"], **cfg["shm_kwargs"],
+)
+wall = time.perf_counter() - t0
+np.savez(cfg["out_npz"], **result.volumes)
+rss = max(
+    resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+)
+print(json.dumps({
+    "wall_seconds": wall,
+    "wire_bytes": sum(result.run.wire_bytes.values()),
+    "shm_bytes": sum(result.run.shm_bytes.values()),
+    "peak_rss_kib": rss,
+}))
+"""
+
+
+def _make_dataset(tmpdir, shape, seed=5):
+    from repro.data.synthetic import PhantomConfig, generate_phantom
+    from repro.storage.dataset import write_dataset
+
+    root = os.path.join(str(tmpdir), "ds")
+    write_dataset(generate_phantom(PhantomConfig(shape=shape, seed=seed)),
+                  root, num_nodes=3)
+    return root
+
+
+def _run_transport(dataset, transport, chunk, copies, tmpdir,
+                   shm_threshold=None):
+    out_npz = os.path.join(str(tmpdir), f"volumes_{transport}.npz")
+    cfg = {
+        "dataset": dataset,
+        "transport": transport,
+        "roi": list(ROI),
+        "levels": LEVELS,
+        "features": list(FEATURES),
+        "chunk": list(chunk),
+        "copies": copies,
+        "shm_kwargs": (
+            {"shm_threshold": shm_threshold}
+            if transport == "shm" and shm_threshold is not None
+            else {}
+        ),
+        "out_npz": out_npz,
+    }
+    proc = subprocess.run(
+        [sys.executable, "-c", _WORKER], input=json.dumps(cfg),
+        capture_output=True, text=True, timeout=600, env=os.environ.copy(),
+    )
+    assert proc.returncode == 0, proc.stderr
+    row = json.loads(proc.stdout.strip().splitlines()[-1])
+    row["volumes"] = dict(np.load(out_npz))
+    return row
+
+
+def _compare(tmpdir, shape, chunk, copies, shm_threshold=None):
+    dataset = _make_dataset(tmpdir, shape)
+    rows = {
+        t: _run_transport(dataset, t, chunk, copies, tmpdir,
+                          shm_threshold=shm_threshold)
+        for t in ("pipe", "shm")
+    }
+    for name in FEATURES:
+        np.testing.assert_array_equal(
+            rows["pipe"]["volumes"][name], rows["shm"]["volumes"][name],
+            err_msg=f"{name}: transports disagree",
+        )
+    for row in rows.values():
+        del row["volumes"]
+    return rows
+
+
+def test_transport_comparison_paper(tmp_path):
+    """Paper config: shm must copy >= 5x fewer bytes, outputs identical.
+
+    Writes the headline numbers to ``BENCH_transport.json``.
+    """
+    shape = (96, 96, 8, 4)
+    chunk = (32, 32, 8, 4)
+    # 8 KiB threshold: the uint16 image slices (18 KiB), stitched chunks
+    # (64 KiB) and feature portions all take the slab path; only control
+    # messages and sub-8KiB frames stay in-band.
+    threshold = 8 << 10
+    rows = _compare(tmp_path, shape, chunk, copies=2, shm_threshold=threshold)
+
+    wire_reduction = rows["pipe"]["wire_bytes"] / rows["shm"]["wire_bytes"]
+    payload = {
+        "config": {
+            "volume_shape": list(shape),
+            "chunk_shape": list(chunk),
+            "roi_shape": list(ROI),
+            "levels": LEVELS,
+            "features": list(FEATURES),
+            "variant": "hmp",
+            "num_texture_copies": 2,
+            "runtime": "processes",
+            "shm_threshold_bytes": threshold,
+        },
+        "transports": {
+            t: {
+                "wall_seconds": round(r["wall_seconds"], 3),
+                "wire_bytes": r["wire_bytes"],
+                "shm_bytes": r["shm_bytes"],
+                "peak_rss_kib": r["peak_rss_kib"],
+            }
+            for t, r in rows.items()
+        },
+        "wire_bytes_reduction": round(wire_reduction, 1),
+        "wall_speedup_shm_vs_pipe": round(
+            rows["pipe"]["wall_seconds"] / rows["shm"]["wall_seconds"], 3
+        ),
+        "outputs_bit_identical": True,
+    }
+    path = record_repo_json("BENCH_transport.json", payload)
+    print(f"\nwrote {path}")
+    for t, r in rows.items():
+        print(f"  {t:>4}: {r['wall_seconds']:.2f}s "
+              f"wire={r['wire_bytes'] / 2**20:.1f} MiB "
+              f"shm={r['shm_bytes'] / 2**20:.1f} MiB "
+              f"rss={r['peak_rss_kib'] / 1024:.0f} MiB")
+
+    assert wire_reduction >= 5.0, payload
+    assert rows["shm"]["shm_bytes"] > 0
+
+
+def test_transport_smoke(tmp_path):
+    """CI gate: on a small config, shm copies >= 5x fewer bytes through
+    pipes and is not slower than the pipe transport (noise margin)."""
+    rows = _compare(
+        tmp_path, shape=(48, 48, 8, 4), chunk=(24, 24, 8, 4), copies=2,
+        # Small chunks and slices: lower the slab threshold so they all
+        # take the pool (the 48x48 uint16 slices are only 4.6 KiB).
+        shm_threshold=2 << 10,
+    )
+    assert rows["pipe"]["wire_bytes"] >= 5 * rows["shm"]["wire_bytes"], rows
+    assert (
+        rows["shm"]["wall_seconds"]
+        <= rows["pipe"]["wall_seconds"] * 1.25 + 0.25
+    ), rows

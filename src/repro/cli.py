@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution backend: threads (LocalRuntime), "
                         "processes (MPRuntime), or distributed "
                         "(DistRuntime over TCP worker agents)")
+    p.add_argument("--transport", choices=("pipe", "shm"), default="pipe",
+                   help="processes runtime: pipe (copy payloads through "
+                        "OS pipes) or shm (hand large payloads over via "
+                        "a shared-memory slab pool, zero-copy receive)")
     p.add_argument("--hosts", nargs="+", metavar="HOST",
                    help="distributed runtime: one worker agent per host "
                         "(loopback hosts are spawned locally)")
@@ -158,6 +162,9 @@ def _cmd_analyze(args) -> int:
         kwargs["output"] = "images"
         kwargs["output_dir"] = args.images_out
     config = AnalysisConfig(**kwargs)
+    if args.transport != "pipe" and args.runtime != "processes":
+        print("--transport shm requires --runtime processes", file=sys.stderr)
+        return 2
     if (args.hosts or args.agents) and args.runtime != "distributed":
         print("--hosts/--agents require --runtime distributed", file=sys.stderr)
         return 2
@@ -175,6 +182,7 @@ def _cmd_analyze(args) -> int:
     result = run_pipeline(
         args.dataset, config, runtime=args.runtime, hosts=hosts,
         trace=args.trace, trace_out=args.trace_out,
+        transport=args.transport,
     )
     print(format_breakdown(result.run, order=("RFR", "IIC", "HMP", "HCC", "HPC")))
     if args.metrics:

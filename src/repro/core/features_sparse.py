@@ -27,10 +27,20 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .features import HARALICK_FEATURES, PAPER_FEATURES, feature_index
+from .features import (
+    HARALICK_FEATURES,
+    PAPER_FEATURES,
+    feature_index,
+    haralick_features,
+)
 from .sparse import SparseCooc
 
-__all__ = ["features_from_entries", "features_from_sparse", "features_nonzero"]
+__all__ = [
+    "batch_features_from_sparse",
+    "features_from_entries",
+    "features_from_sparse",
+    "features_nonzero",
+]
 
 
 def _entropy_terms(w: np.ndarray) -> np.ndarray:
@@ -178,6 +188,69 @@ def features_from_sparse(
     wanted = tuple(features) if features is not None else PAPER_FEATURES
     i, j, w = _expand_sparse(sp)
     return features_from_entries(i, j, w, sp.levels, wanted)
+
+
+def batch_features_from_sparse(
+    mats: Sequence[SparseCooc],
+    features: Optional[Sequence[str]] = None,
+    block_bytes: int = 64 << 20,
+) -> Dict[str, np.ndarray]:
+    """Haralick features for a whole packet of sparse matrices at once.
+
+    The per-matrix :func:`features_from_sparse` loop dominated the HPC
+    filter's time on sparse packets: each call re-derives marginals and
+    feature sums for a single ~10-entry matrix in Python.  This batched
+    form densifies the packet in blocks — one vectorized ``bincount``
+    scatter builds a ``(B, G, G)`` stack, then the existing vectorized
+    batch kernel (:func:`~repro.core.features.haralick_features`)
+    computes every matrix's parameters together.  ``block_bytes`` caps
+    the transient dense stack so arbitrarily large packets stay within a
+    fixed memory budget.
+
+    Returns ``{name: (len(mats),) float array}``, matching the dense
+    path's output shape; zero-total matrices yield 0.0 everywhere, like
+    :func:`features_from_entries`.
+    """
+    wanted = tuple(features) if features is not None else PAPER_FEATURES
+    for name in wanted:
+        feature_index(name)
+    mats = list(mats)
+    n = len(mats)
+    out = {name: np.empty(n) for name in wanted}
+    if n == 0:
+        return out
+    levels = mats[0].levels
+    for sp in mats:
+        if sp.levels != levels:
+            raise ValueError(
+                f"mixed grey-level counts in one batch: {sp.levels} != {levels}"
+            )
+    cells = levels * levels
+    block = max(1, int(block_bytes) // (cells * 8))
+    for lo in range(0, n, block):
+        chunk = mats[lo : lo + block]
+        idx_parts = []
+        w_parts = []
+        for k, sp in enumerate(chunk):
+            base = k * cells
+            # Scatter half the symmetric-total count at (r, c) and at
+            # (c, r): off-diagonal mirrors each get counts/2, diagonal
+            # halves land on the same cell and re-sum to the full count
+            # — exactly ``SparseCooc.to_dense`` without the loop.
+            half = sp.counts * 0.5
+            idx_parts.append(base + sp.rows * levels + sp.cols)
+            idx_parts.append(base + sp.cols * levels + sp.rows)
+            w_parts.append(half)
+            w_parts.append(half)
+        dense = np.bincount(
+            np.concatenate(idx_parts),
+            weights=np.concatenate(w_parts),
+            minlength=len(chunk) * cells,
+        ).reshape(len(chunk), levels, levels)
+        vals = haralick_features(dense, wanted)
+        for name in wanted:
+            out[name][lo : lo + len(chunk)] = vals[name]
+    return out
 
 
 def features_nonzero(

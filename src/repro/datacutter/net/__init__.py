@@ -5,6 +5,10 @@ Three layers, mirroring DataCutter's deployment on a real cluster:
 * :mod:`repro.datacutter.net.codec` — the wire format: length-prefixed
   frames whose numpy payloads travel as raw buffers (pickle protocol 5
   out-of-band), never copied into the pickle stream.
+* :mod:`repro.datacutter.net.shm` — the same-host fast path: a
+  reference-counted shared-memory slab pool plus frame extensions that
+  let the multiprocessing runtime hand ndarray payloads over as pool
+  descriptors instead of copying them through pipes.
 * :mod:`repro.datacutter.net.agent` — the per-host worker: hosts filter
   copies and bridges their streams to the head over one TCP connection.
 * :mod:`repro.datacutter.net.runtime_dist` — :class:`DistRuntime`, the
@@ -25,8 +29,10 @@ from .codec import (
     send_message,
 )
 from .runtime_dist import DistRuntime, default_placement
+from .shm import ShmPool
 
 __all__ = [
+    "ShmPool",
     "CodecError",
     "ConnectionClosed",
     "encode",

@@ -53,6 +53,7 @@ __all__ = [
     "decode",
     "dumps",
     "loads",
+    "pack_frame",
     "send_message",
     "recv_message",
     "set_array_copy_hook",
@@ -303,7 +304,15 @@ def dumps(obj: Any) -> bytes:
     pipes).  Array memory is copied exactly once, straight into the
     output frame — never into an intermediate pickle stream.
     """
-    frame = encode(obj)
+    return pack_frame(encode(obj))
+
+
+def pack_frame(frame: Frame) -> bytes:
+    """Pack an already-encoded :class:`Frame` (see :func:`dumps`).
+
+    Split out so the shared-memory transport can reuse the in-band
+    layout for its sub-threshold / fallback path without re-encoding.
+    """
     nbufs = len(frame.buffers)
     total = frame.wire_bytes
     out = bytearray(total)
@@ -330,9 +339,17 @@ def loads(data: Any) -> Any:
     view = memoryview(data)
     if len(view) < _PREFIX.size:
         raise CodecError("truncated frame (no prefix)")
-    magic, _flags, nbufs, header_len = _PREFIX.unpack_from(view, 0)
+    magic, flags, nbufs, header_len = _PREFIX.unpack_from(view, 0)
     if magic != _MAGIC:
         raise CodecError(f"bad frame magic {bytes(magic)!r}")
+    if flags:
+        # Out-of-band transports (the shm pool) set flag bits; their
+        # frames carry descriptors, not buffer bytes, and must be
+        # decoded by the transport that knows where the bytes live.
+        raise CodecError(
+            f"frame flags 0x{flags:02x} need a transport-aware decoder "
+            "(repro.datacutter.net.shm.loads)"
+        )
     if nbufs > MAX_BUFFERS or header_len > MAX_HEADER_BYTES:
         raise CodecError(f"frame too large: nbufs={nbufs} header={header_len}")
     off = _PREFIX.size

@@ -116,6 +116,9 @@ EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
     "sched.pick": ("stream", "policy", "dest"),
     # one serialized frame put on a pipe/socket
     "wire.frame": ("stream", "bytes"),
+    # payload bytes handed over via a shared-memory pool slab (the pipe
+    # carried only the descriptor frame, counted by its wire.frame)
+    "shm.frame": ("stream", "bytes"),
     # fault tolerance
     "fault.retry": (),
     "fault.reroute": ("stream",),
@@ -125,7 +128,9 @@ EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
 SPAN_KINDS = frozenset(LIFECYCLE_KINDS) | {"queue.wait", "service"}
 
 #: Kinds that exist only at the head/router, outside any filter copy.
-_ROUTING_KINDS = frozenset({"sched.pick", "wire.frame", "fault.reroute"})
+_ROUTING_KINDS = frozenset(
+    {"sched.pick", "wire.frame", "shm.frame", "fault.reroute"}
+)
 
 
 def validate_event(ev: TraceEvent) -> None:

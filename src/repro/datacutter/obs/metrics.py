@@ -183,6 +183,8 @@ def _ingest_events(reg: MetricsRegistry, events: Iterable[TraceEvent]) -> None:
             ).inc()
         elif ev.kind == "wire.frame":
             reg.counter("wire_frames", stream=ev.attrs["stream"]).inc()
+        elif ev.kind == "shm.frame":
+            reg.counter("shm_frames", stream=ev.attrs["stream"]).inc()
         elif ev.kind.startswith("chunk.") and ev.kind in SPAN_KINDS:
             stage = ev.kind.split(".", 1)[1]
             reg.histogram("chunk_stage_seconds", stage=stage).observe(ev.dur)
@@ -199,11 +201,16 @@ def snapshot_run(
     wire_bytes: Mapping[Any, int],
     elapsed: float,
     events: Optional[List[TraceEvent]] = None,
+    shm_bytes: Optional[Mapping[Any, int]] = None,
+    shm_pool: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Dict[str, Any]]:
     """Build the standard ``RunResult.metrics`` snapshot for one run.
 
     Always derivable from the aggregates every runtime already tracks;
     event-derived instruments are added only when a trace exists.
+    ``shm_bytes`` / ``shm_pool`` (per-link slab bytes and a
+    :meth:`ShmPool.stats` dict) appear only for shared-memory-transport
+    runs of the multiprocessing runtime.
     """
     reg = MetricsRegistry()
     for (fname, copy), dt in busy.items():
@@ -220,6 +227,20 @@ def snapshot_run(
     for key, n in (wire_bytes or {}).items():
         label = key if isinstance(key, str) else "/".join(str(p) for p in key)
         reg.counter("wire_bytes", link=label).inc(n)
+    for key, n in (shm_bytes or {}).items():
+        label = key if isinstance(key, str) else "/".join(str(p) for p in key)
+        reg.counter("shm_bytes", link=label).inc(n)
+    if shm_pool is not None:
+        reg.counter("shm_pool_hits").inc(shm_pool.get("hits", 0))
+        reg.counter("shm_pool_fallbacks").inc(shm_pool.get("fallbacks", 0))
+        reg.counter("shm_pool_fallback_bytes").inc(
+            shm_pool.get("fallback_bytes", 0)
+        )
+        reg.gauge("shm_pool_in_use").set(float(shm_pool.get("in_use", 0)))
+        reg.gauge("shm_pool_peak_in_use").set(
+            float(shm_pool.get("peak_in_use", 0))
+        )
+        reg.gauge("shm_pool_hit_rate").set(float(shm_pool.get("hit_rate", 0.0)))
     reg.gauge("elapsed_seconds").set(elapsed)
     if events:
         _ingest_events(reg, events)

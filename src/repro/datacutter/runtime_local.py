@@ -99,6 +99,12 @@ class RunResult:
     #: (distributed TCP, multiprocessing pipes); empty for the threaded
     #: runtime, whose deliveries are pointer copies.
     wire_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Payload bytes handed over through shared-memory pool slabs per
+    #: stream (``"src:stream"``) instead of being copied through a pipe —
+    #: populated only by ``MPRuntime(transport="shm")``; empty elsewhere.
+    #: For a shm run, ``wire_bytes`` then counts just the descriptor
+    #: frames that still cross the pipe.
+    shm_bytes: Dict[str, int] = field(default_factory=dict)
     #: Standard metrics snapshot (:func:`repro.datacutter.obs.snapshot_run`):
     #: counters/gauges/histograms derived from this run's aggregates, plus
     #: event-derived instruments when tracing was on.

@@ -16,6 +16,19 @@ TCP runtime uses (:mod:`repro.datacutter.net.codec`): ndarray payloads
 travel as out-of-band buffers instead of being pickled in-band, and each
 edge counts the bytes it moved, reported as ``RunResult.wire_bytes``.
 
+With ``transport="shm"`` the pipes stop carrying payloads at all:
+ndarray payloads above a size threshold are written once into a
+reference-counted shared-memory slab pool
+(:mod:`repro.datacutter.net.shm`) and the frame crossing the pipe
+shrinks to a header plus slab descriptor; consumers map the slab and
+rebuild the arrays zero-copy.  Payload bytes handed over this way are
+accounted separately as ``RunResult.shm_bytes``, and the pool's
+occupancy/hit-rate snapshot lands in ``RunResult.metrics``.  The pool
+is created by the parent before forking and unconditionally destroyed
+(slabs unlinked) when the run ends — normal completion, aborts, and
+silently-dead children alike — so ``/dev/shm`` never accumulates
+segments across runs.
+
 Fault tolerance matches the threaded runtime too, with the extra failure
 mode real deployments have: a child can die without saying goodbye.  The
 parent therefore watches every child's exitcode while it collects control
@@ -63,19 +76,25 @@ from .faults import (
 )
 from .filter import FilterContext
 from .graph import FilterGraph, StreamEdge
-from .net import codec
+from .net import shm
 from .obs import Trace, Tracer, snapshot_run
 from .runtime_local import RunResult
 
-__all__ = ["MPRuntime"]
+__all__ = ["MPRuntime", "TRANSPORTS"]
+
+TRANSPORTS = ("pipe", "shm")
 
 _CTRL_DONE = "__copy_done__"
 _CTRL_ERROR = "__copy_error__"
 _CTRL_FAILED = "__copy_failed__"
 _CTRL_DEPOSIT = "__deposit__"
 
-#: Granularity of abort checks while blocked on a queue (seconds).
-_POLL = 0.05
+#: Granularity (seconds) of every parent/child busy-wait in this module:
+#: abort checks while blocked on a queue, input-stream scans, and retry
+#: backoff sleeps all tick at this one interval.  Overridable per run via
+#: ``MPRuntime(poll_interval=...)`` or globally via the
+#: ``REPRO_MP_POLL_INTERVAL`` environment variable.
+_POLL = float(os.environ.get("REPRO_MP_POLL_INTERVAL", "0.02"))
 #: How long after a child exits the parent waits for its (possibly still
 #: buffered) terminal message before declaring it silently dead.
 _EXIT_GRACE = 2.0
@@ -104,10 +123,14 @@ class _SharedEdge:
         max_queue: int,
         ctx,
         n_producers: int,
+        pool: Optional[shm.ShmPool] = None,
+        poll: float = _POLL,
     ):
         self.edge = edge
         self.num_consumers = num_consumers
         self.n_producers = n_producers
+        self.pool = pool
+        self.poll = poll
         self.queues = [ctx.Queue(maxsize=max_queue) for _ in range(num_consumers)]
         self.lock = ctx.Lock()
         # Shared per-consumer depth and assignment counters.
@@ -123,6 +146,8 @@ class _SharedEdge:
         self.sent = ctx.Value("l", 0)
         self.rerouted = ctx.Value("l", 0)
         self.wire = ctx.Value("l", 0)
+        # Payload bytes handed over via pool slabs instead of the pipe.
+        self.shm = ctx.Value("l", 0)
 
     def mark_dead(self, idx: int) -> None:
         with self.lock:
@@ -221,7 +246,9 @@ class _SharedEdge:
             # process can measure queue wait across the pipe.
             buffer.metadata["_obs_enq"] = time.time()
         # Frame once: the same bytes fit whichever copy wins the re-pick.
-        item = codec.dumps((self.edge.stream, buffer))
+        # Large ndarray payloads land in a pool slab (one copy, consumer
+        # maps it zero-copy); the frame then carries only the descriptor.
+        item, wire_n, shm_n = shm.dumps((self.edge.stream, buffer), self.pool)
         while True:
             if explicit:
                 if dest_copy is None:
@@ -256,17 +283,26 @@ class _SharedEdge:
                         self.rerouted.value += 1
                     break
                 try:
-                    self.queues[idx].put(item, timeout=_POLL)
+                    self.queues[idx].put(item, timeout=self.poll)
                     with self.lock:
-                        self.wire.value += len(item)
+                        self.wire.value += wire_n
+                        self.shm.value += shm_n
                     if tracer is not None:
                         tracer.emit(
                             "wire.frame",
                             chunk=buffer.metadata.get("chunk"),
                             stream=self.edge.stream,
-                            bytes=len(item),
+                            bytes=wire_n,
                             dest=idx,
                         )
+                        if shm_n:
+                            tracer.emit(
+                                "shm.frame",
+                                chunk=buffer.metadata.get("chunk"),
+                                stream=self.edge.stream,
+                                bytes=shm_n,
+                                dest=idx,
+                            )
                     return
                 except queue_mod.Full:
                     continue
@@ -333,6 +369,8 @@ def _copy_main(
     retry: RetryPolicy,
     faults: Optional[FaultPlan],
     trace: bool = False,
+    pool: Optional[shm.ShmPool] = None,
+    poll: float = _POLL,
 ) -> None:
     """Child-process entry point for one filter copy."""
     spec = graph.filters[spec_name]
@@ -385,7 +423,7 @@ def _copy_main(
                 while time.perf_counter() < deadline:
                     if abort.value:
                         raise _Aborted()
-                    time.sleep(min(_POLL, max(0.0, deadline - time.perf_counter())))
+                    time.sleep(min(poll, max(0.0, deadline - time.perf_counter())))
                 attempt += 1
 
     try:
@@ -412,7 +450,7 @@ def _copy_main(
                 for stream in list(open_streams):
                     shared = in_edges[stream]
                     try:
-                        item = shared.queues[copy_index].get(timeout=0.01)
+                        item = shared.queues[copy_index].get(timeout=poll)
                     except queue_mod.Empty:
                         continue
                     break
@@ -424,7 +462,7 @@ def _copy_main(
                         if in_edges[stream].try_close(copy_index):
                             open_streams.discard(stream)
                     continue
-                stream, payload = codec.loads(item)
+                stream, payload = shm.loads(item, pool)
                 shared = in_edges[stream]
                 if tracer is not None:
                     chunk_id = payload.metadata.get("chunk")
@@ -552,6 +590,20 @@ class MPRuntime:
 
     Accepts the same ``retry`` / ``faults`` parameters as
     :class:`~repro.datacutter.runtime_local.LocalRuntime`.
+
+    Parameters
+    ----------
+    transport:
+        ``"pipe"`` (default) frames every payload through the OS pipe;
+        ``"shm"`` hands large ndarray payloads over via a shared-memory
+        slab pool and pipes only descriptors (see
+        :mod:`repro.datacutter.net.shm`).
+    shm_segments / shm_segment_bytes / shm_threshold:
+        Pool geometry for ``transport="shm"`` — slab count, slab size,
+        and the payload size below which frames stay in-band.
+    poll_interval:
+        Seconds between parent/child busy-wait ticks; defaults to the
+        ``REPRO_MP_POLL_INTERVAL`` environment variable (0.02s).
     """
 
     def __init__(
@@ -561,6 +613,11 @@ class MPRuntime:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
         trace: bool = False,
+        transport: str = "pipe",
+        shm_segments: int = 32,
+        shm_segment_bytes: int = 32 << 20,
+        shm_threshold: int = 64 << 10,
+        poll_interval: Optional[float] = None,
     ):
         graph.validate()
         for name in graph.filters:
@@ -569,11 +626,22 @@ class MPRuntime:
                 raise ValueError(
                     f"filter {name!r} has duplicate input stream names: {streams}"
                 )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
         self.graph = graph
         self.max_queue = max_queue
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
         self.trace = bool(trace)
+        self.transport = transport
+        self.shm_segments = int(shm_segments)
+        self.shm_segment_bytes = int(shm_segment_bytes)
+        self.shm_threshold = int(shm_threshold)
+        self.poll_interval = float(poll_interval) if poll_interval else _POLL
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
 
     def run(self, timeout: Optional[float] = None) -> RunResult:
         graph = self.graph
@@ -582,6 +650,30 @@ class MPRuntime:
                 {name: spec.copies for name, spec in graph.filters.items()}
             )
         ctx = mp.get_context("fork")
+        pool: Optional[shm.ShmPool] = None
+        if self.transport == "shm":
+            pool = shm.ShmPool(
+                ctx,
+                segments=self.shm_segments,
+                segment_bytes=self.shm_segment_bytes,
+                threshold=self.shm_threshold,
+            )
+        try:
+            return self._run(ctx, pool, timeout)
+        finally:
+            # Unconditional: normal completion, PipelineError aborts, and
+            # the exitcode-watcher path for silently dead children all
+            # land here, so /dev/shm never accumulates segments.
+            if pool is not None:
+                pool.destroy()
+
+    def _run(
+        self,
+        ctx,
+        pool: Optional[shm.ShmPool],
+        timeout: Optional[float],
+    ) -> RunResult:
+        graph = self.graph
         results_q = ctx.Queue()
         abort = ctx.Value("i", 0)
 
@@ -593,6 +685,8 @@ class MPRuntime:
                 self.max_queue,
                 ctx,
                 n_producers=graph.copies(edge.src),
+                pool=pool,
+                poll=self.poll_interval,
             )
 
         procs: List[Tuple[mp.Process, str, int]] = []
@@ -609,7 +703,8 @@ class MPRuntime:
                 p = ctx.Process(
                     target=_copy_main,
                     args=(graph, spec.name, i, in_edges, out_edges, results_q,
-                          abort, self.retry, self.faults, self.trace),
+                          abort, self.retry, self.faults, self.trace,
+                          pool, self.poll_interval),
                     name=f"{spec.name}[{i}]",
                 )
                 p.start()
@@ -629,7 +724,7 @@ class MPRuntime:
 
         while len(terminal) < len(procs):
             try:
-                msg = results_q.get(timeout=0.1)
+                msg = results_q.get(timeout=self.poll_interval)
             except queue_mod.Empty:
                 msg = None
             if msg is not None:
@@ -733,6 +828,11 @@ class MPRuntime:
         wire_bytes = {
             f"{src}:{stream}": e.wire.value for (src, stream), e in edges.items()
         }
+        shm_bytes = (
+            {f"{src}:{stream}": e.shm.value for (src, stream), e in edges.items()}
+            if pool is not None
+            else {}
+        )
         reroutes = sum(e.rerouted.value for e in edges.values())
         events = all_events if self.trace else None
         return RunResult(
@@ -744,6 +844,7 @@ class MPRuntime:
             reroutes=reroutes,
             failed_copies=failures,
             wire_bytes=wire_bytes,
+            shm_bytes=shm_bytes,
             metrics=snapshot_run(
                 busy,
                 buffers_sent,
@@ -753,6 +854,8 @@ class MPRuntime:
                 wire_bytes,
                 elapsed,
                 events,
+                shm_bytes=shm_bytes if pool is not None else None,
+                shm_pool=pool.stats() if pool is not None else None,
             ),
             trace=Trace(events) if events is not None else None,
         )

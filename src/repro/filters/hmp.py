@@ -15,12 +15,10 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from ..core.backends import get_kernel
 from ..core.cooccurrence import check_levels
 from ..core.features import haralick_features
-from ..core.features_sparse import features_from_sparse
+from ..core.features_sparse import batch_features_from_sparse
 from ..core.sparse import batch_sparse_from_dense
 from ..datacutter.buffers import DataBuffer
 from ..datacutter.filter import Filter, FilterContext
@@ -66,13 +64,9 @@ class HaralickMatrixProducer(Filter):
                 t_mark = now
             if p.sparse:
                 # Sparse path inside one filter: pay the conversion, then
-                # compute parameters directly from the triplets.
+                # compute parameters for the whole packet in one batch.
                 sparse_mats = batch_sparse_from_dense(mats)
-                vals = {name: np.empty(len(sparse_mats)) for name in p.features}
-                for k, sp in enumerate(sparse_mats):
-                    f = features_from_sparse(sp, p.features)
-                    for name in p.features:
-                        vals[name][k] = f[name]
+                vals = batch_features_from_sparse(sparse_mats, p.features)
             else:
                 vals = haralick_features(mats, p.features)
             if tracing:

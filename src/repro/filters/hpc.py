@@ -11,10 +11,8 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from ..core.features import haralick_features
-from ..core.features_sparse import features_from_sparse
+from ..core.features_sparse import batch_features_from_sparse
 from ..datacutter.buffers import DataBuffer
 from ..datacutter.filter import Filter, FilterContext
 from .messages import FeaturePortion, MatrixPacket, TextureParams, trace_headers
@@ -38,11 +36,7 @@ class HaralickParameterCalculator(Filter):
         p = self.params
         t0 = time.perf_counter() if ctx.tracing else 0.0
         if packet.sparse is not None:
-            vals = {name: np.empty(len(packet.sparse)) for name in p.features}
-            for k, sp in enumerate(packet.sparse):
-                f = features_from_sparse(sp, p.features)
-                for name in p.features:
-                    vals[name][k] = f[name]
+            vals = batch_features_from_sparse(packet.sparse, p.features)
         else:
             vals = haralick_features(packet.dense, p.features)
         if ctx.tracing:

@@ -80,6 +80,10 @@ def run_pipeline(
     hosts: Optional[List[str]] = None,
     trace: Union[bool, str, None] = None,
     trace_out: Optional[str] = None,
+    transport: str = "pipe",
+    shm_segments: Optional[int] = None,
+    shm_segment_bytes: Optional[int] = None,
+    shm_threshold: Optional[int] = None,
 ) -> PipelineResult:
     """Run the parallel pipeline over a disk-resident dataset.
 
@@ -118,6 +122,15 @@ def run_pipeline(
     trace_out:
         Output path for the ``"chrome"`` / ``"jsonl"`` modes (defaults
         to ``trace.json`` / ``trace.jsonl``).
+    transport:
+        ``runtime="processes"`` only: ``"pipe"`` (default) copies every
+        payload through OS pipes; ``"shm"`` hands large ndarray payloads
+        over via a shared-memory slab pool — the pipe then carries only
+        descriptors, and the run reports ``RunResult.shm_bytes``.
+    shm_segments / shm_segment_bytes / shm_threshold:
+        ``transport="shm"`` pool geometry overrides (slab count, slab
+        size, minimum payload size for the slab path); ``None`` keeps
+        the :class:`MPRuntime` defaults.
 
     Returns
     -------
@@ -133,6 +146,9 @@ def run_pipeline(
     if hosts is not None and runtime != "distributed":
         raise ValueError(f"hosts= only applies to runtime='distributed', "
                          f"not {runtime!r}")
+    if transport != "pipe" and runtime != "processes":
+        raise ValueError(f"transport={transport!r} only applies to "
+                         f"runtime='processes', not {runtime!r}")
     tracing = mode is not None
     if runtime == "threads":
         run = LocalRuntime(
@@ -140,9 +156,18 @@ def run_pipeline(
             trace=tracing,
         ).run()
     elif runtime == "processes":
+        shm_kwargs = {
+            k: v
+            for k, v in (
+                ("shm_segments", shm_segments),
+                ("shm_segment_bytes", shm_segment_bytes),
+                ("shm_threshold", shm_threshold),
+            )
+            if v is not None
+        }
         run = MPRuntime(
             graph, max_queue=max_queue, retry=retry, faults=faults,
-            trace=tracing,
+            trace=tracing, transport=transport, **shm_kwargs,
         ).run()
     elif runtime == "distributed":
         from ..datacutter.net import DistRuntime

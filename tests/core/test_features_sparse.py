@@ -6,11 +6,12 @@ import pytest
 from repro.core.cooccurrence import cooccurrence_matrix
 from repro.core.features import HARALICK_FEATURES, PAPER_FEATURES, haralick_features
 from repro.core.features_sparse import (
+    batch_features_from_sparse,
     features_from_entries,
     features_from_sparse,
     features_nonzero,
 )
-from repro.core.sparse import sparse_from_dense
+from repro.core.sparse import SparseCooc, sparse_from_dense
 
 
 def glcm(seed=0, g=16, shape=(5, 5, 5, 3)):
@@ -49,6 +50,65 @@ class TestConsistency:
         sp = features_from_sparse(sparse_from_dense(m))
         for name in PAPER_FEATURES:
             assert sp[name] == pytest.approx(float(dense[name])), name
+
+
+class TestBatch:
+    def _stack(self, n=12, g=8):
+        rng = np.random.default_rng(7)
+        out = []
+        for _ in range(n):
+            a = rng.integers(0, 4, size=(g, g))
+            out.append(sparse_from_dense(a + a.T))
+        return out
+
+    def test_batch_matches_per_matrix_all_features(self):
+        mats = self._stack()
+        batch = batch_features_from_sparse(mats, HARALICK_FEATURES)
+        for k, sp in enumerate(mats):
+            one = features_from_sparse(sp, HARALICK_FEATURES)
+            for name in HARALICK_FEATURES:
+                assert batch[name][k] == pytest.approx(one[name], abs=1e-10), name
+
+    def test_block_split_is_invisible(self):
+        # A block budget of one matrix forces the maximum number of
+        # densify blocks; results must not depend on the split.
+        mats = self._stack(n=9, g=8)
+        whole = batch_features_from_sparse(mats, PAPER_FEATURES)
+        split = batch_features_from_sparse(
+            mats, PAPER_FEATURES, block_bytes=8 * 8 * 8
+        )
+        for name in PAPER_FEATURES:
+            np.testing.assert_allclose(split[name], whole[name], atol=1e-12)
+
+    def test_empty_matrix_gives_zeros(self):
+        empty = SparseCooc(
+            levels=8,
+            rows=np.array([], dtype=np.int64),
+            cols=np.array([], dtype=np.int64),
+            counts=np.array([], dtype=np.int64),
+        )
+        mats = [empty, sparse_from_dense(np.eye(8, dtype=np.int64) * 2)]
+        out = batch_features_from_sparse(mats, PAPER_FEATURES)
+        for name in PAPER_FEATURES:
+            assert out[name][0] == 0.0, name
+        assert out["asm"][1] != 0.0
+
+    def test_empty_batch(self):
+        out = batch_features_from_sparse([], PAPER_FEATURES)
+        for name in PAPER_FEATURES:
+            assert out[name].shape == (0,)
+
+    def test_mixed_levels_rejected(self):
+        mats = [
+            sparse_from_dense(np.zeros((8, 8), dtype=np.int64)),
+            sparse_from_dense(np.zeros((16, 16), dtype=np.int64)),
+        ]
+        with pytest.raises(ValueError):
+            batch_features_from_sparse(mats)
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(KeyError):
+            batch_features_from_sparse(self._stack(n=1), ["nope"])
 
 
 class TestEntries:

@@ -1,0 +1,331 @@
+"""The shared-memory transport: pool, framing, runtime, crash cleanup.
+
+Covers the slab pool's allocation/refcount/fallback behavior in one
+process, the dumps/loads framing (zero-copy receive, in-band fallback),
+and the MPRuntime adoption: byte accounting, pool metrics, and — the
+part that matters in production — that ``/dev/shm`` holds no leftover
+``reproshm`` segments after normal runs, ``PipelineError`` aborts, and
+hard-killed children caught only by the exitcode watcher.
+
+Filter classes live at module level so forked children can run them.
+"""
+
+import gc
+import multiprocessing as mp
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.datacutter.faults import NO_RETRY, FaultPlan, PipelineError
+from repro.datacutter.filter import Filter
+from repro.datacutter.graph import FilterGraph
+from repro.datacutter.net import codec, shm
+from repro.datacutter.runtime_mp import MPRuntime
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="fork start method required"
+)
+
+
+def leaked_segments():
+    """reproshm_* entries currently present in /dev/shm."""
+    return [f for f in os.listdir("/dev/shm") if f.startswith(shm.NAME_PREFIX)]
+
+
+@pytest.fixture
+def pool():
+    ctx = mp.get_context("fork")
+    p = shm.ShmPool(ctx, segments=4, segment_bytes=1 << 20, threshold=1 << 10)
+    yield p
+    p.destroy()
+    assert leaked_segments() == []
+
+
+class TestPool:
+    def test_acquire_release_recycles(self, pool):
+        slot = pool.acquire(4096)
+        assert slot is not None
+        assert pool.stats()["in_use"] == 1
+        pool.release(slot)
+        assert pool.stats()["in_use"] == 0
+        # The freed slab is allocatable again.
+        assert pool.acquire(4096) is not None
+
+    def test_sub_threshold_stays_inline_uncounted(self, pool):
+        assert pool.acquire(pool.threshold - 1) is None
+        st = pool.stats()
+        assert st["fallbacks"] == 0 and st["hits"] == 0
+
+    def test_oversize_counts_as_fallback(self, pool):
+        assert pool.acquire(pool.segment_bytes + 1) is None
+        st = pool.stats()
+        assert st["fallbacks"] == 1
+        assert st["fallback_bytes"] == pool.segment_bytes + 1
+
+    def test_exhaustion_falls_back_instead_of_blocking(self, pool):
+        slots = [pool.acquire(4096) for _ in range(pool.num_segments)]
+        assert None not in slots
+        assert pool.acquire(4096) is None  # empty free list: no block
+        st = pool.stats()
+        assert st["fallbacks"] == 1 and st["in_use"] == pool.num_segments
+        assert st["peak_in_use"] == pool.num_segments
+
+    def test_refcounts_delay_recycling(self, pool):
+        slot = pool.acquire(4096)
+        pool.add_refs(slot, 2)  # three holders total
+        pool.release(slot)
+        pool.release(slot)
+        assert pool.stats()["in_use"] == 1
+        pool.release(slot)
+        assert pool.stats()["in_use"] == 0
+
+    def test_carrier_gc_releases_slab(self, pool):
+        slot = pool.acquire(4096)
+        arr = pool.carrier(slot, 0, 4096)
+        view = arr[100:200]  # derived view keeps the carrier alive
+        del arr
+        gc.collect()
+        assert pool.stats()["in_use"] == 1
+        del view
+        gc.collect()
+        assert pool.stats()["in_use"] == 0
+
+    def test_invalid_geometry_rejected(self):
+        ctx = mp.get_context("fork")
+        with pytest.raises(ValueError):
+            shm.ShmPool(ctx, segments=0)
+        with pytest.raises(ValueError):
+            shm.ShmPool(ctx, segments=1, segment_bytes=512, threshold=1024)
+
+    def test_destroy_is_idempotent_and_unlinks(self):
+        ctx = mp.get_context("fork")
+        p = shm.ShmPool(ctx, segments=2, segment_bytes=1 << 16, threshold=8)
+        assert len(leaked_segments()) == 2
+        p.destroy()
+        p.destroy()
+        assert leaked_segments() == []
+
+
+class TestFraming:
+    def test_large_payload_rides_the_slab(self, pool):
+        arr = np.arange(100_000, dtype=np.float64)
+        data, wire_n, shm_n = shm.dumps(("s", arr), pool)
+        assert shm_n == arr.nbytes
+        assert wire_n == len(data) < 1024
+        out_stream, out = shm.loads(data, pool)
+        assert out_stream == "s"
+        np.testing.assert_array_equal(out, arr)
+
+    def test_receive_is_zero_copy(self, pool):
+        arr = np.arange(10_000, dtype=np.float64)
+        data, _, shm_n = shm.dumps(("s", arr), pool)
+        assert shm_n > 0
+        with codec.forbid_array_copies():
+            _, out = shm.loads(data, pool)
+        # The rebuilt array aliases slab memory: writing the slab
+        # through the pool must be visible through the array.
+        slot = shm._SLOT.unpack_from(memoryview(data), len(data) - 4)[0]
+        pool.view(slot, 0, 8)[:] = np.float64(123.0).tobytes()
+        assert out[0] == 123.0
+
+    def test_small_payload_stays_inline(self, pool):
+        arr = np.arange(8, dtype=np.int64)  # 64 B < 1 KiB threshold
+        data, wire_n, shm_n = shm.dumps(("s", arr), pool)
+        assert shm_n == 0
+        assert pool.stats()["hits"] == 0
+        np.testing.assert_array_equal(shm.loads(data, pool)[1], arr)
+
+    def test_no_pool_is_plain_codec(self):
+        obj = ("s", np.arange(1000))
+        data, wire_n, shm_n = shm.dumps(obj, None)
+        assert shm_n == 0 and data == codec.dumps(obj)
+        np.testing.assert_array_equal(shm.loads(data, None)[1], obj[1])
+
+    def test_multi_buffer_payload(self, pool):
+        a = np.arange(30_000, dtype=np.float64)
+        b = np.arange(20_000, dtype=np.int32)
+        data, _, shm_n = shm.dumps({"a": a, "b": b}, pool)
+        assert shm_n == a.nbytes + b.nbytes
+        out = shm.loads(data, pool)
+        np.testing.assert_array_equal(out["a"], a)
+        np.testing.assert_array_equal(out["b"], b)
+        assert pool.stats()["in_use"] == 1  # one slab, two carriers
+        del out
+        gc.collect()
+        assert pool.stats()["in_use"] == 0
+
+    def test_exhausted_pool_falls_back_inline(self, pool):
+        held = [pool.acquire(4096) for _ in range(pool.num_segments)]
+        arr = np.arange(10_000, dtype=np.float64)
+        data, _, shm_n = shm.dumps(("s", arr), pool)
+        assert shm_n == 0  # fell back in-band rather than blocking
+        np.testing.assert_array_equal(shm.loads(data, pool)[1], arr)
+        for slot in held:
+            pool.release(slot)
+
+    def test_shm_frame_without_pool_rejected(self, pool):
+        data, _, shm_n = shm.dumps(("s", np.arange(10_000)), pool)
+        assert shm_n > 0
+        with pytest.raises(codec.CodecError):
+            shm.loads(data, None)
+        with pytest.raises(codec.CodecError):
+            codec.loads(data)  # plain decoder must refuse, not misparse
+
+
+# ---------------------------------------------------------------------------
+# Runtime adoption
+
+
+class ArrayProducer(Filter):
+    def __init__(self, count=12, cells=20_000):
+        self.count = count
+        self.cells = cells
+
+    def generate(self, ctx):
+        for i in range(self.count):
+            a = np.full(self.cells, float(i))
+            ctx.send("out", a, size_bytes=a.nbytes, metadata={"chunk": (i,)})
+
+
+class SumCollector(Filter):
+    def initialize(self, ctx):
+        self.sums = []
+
+    def process(self, stream, buffer, ctx):
+        self.sums.append(float(buffer.payload.sum()))
+
+    def finalize(self, ctx):
+        ctx.deposit("sums", sorted(self.sums))
+
+
+class Retainer(Filter):
+    """Holds every received array past process(): lifetime-safety check."""
+
+    def initialize(self, ctx):
+        self.kept = []
+
+    def process(self, stream, buffer, ctx):
+        self.kept.append(buffer.payload)
+
+    def finalize(self, ctx):
+        # Validate at the very end: if a slab had been recycled while we
+        # still held a view, these sums would be corrupted.
+        ctx.deposit("sums", sorted(float(a.sum()) for a in self.kept))
+
+
+def array_graph(consumer=SumCollector, copies=2, count=12, cells=20_000):
+    g = FilterGraph()
+    g.add_filter("P", lambda: ArrayProducer(count, cells))
+    g.add_filter("C", consumer, copies=copies)
+    g.connect("P", "out", "C", policy="demand_driven")
+    return g
+
+
+class CrashingConsumer(Filter):
+    def process(self, stream, buffer, ctx):
+        pass
+
+
+class Doubler(Filter):
+    def process(self, stream, buffer, ctx):
+        a = buffer.payload * 2.0
+        ctx.send("out", a, size_bytes=a.nbytes, metadata=buffer.metadata)
+
+
+def expected_sums(count=12, cells=20_000):
+    return [float(i) * cells for i in range(count)]
+
+
+class TestRuntimeShm:
+    def test_accounting_splits_wire_and_shm(self):
+        res = MPRuntime(array_graph(), transport="shm").run(timeout=60)
+        assert sorted(sum(res.deposits("sums"), [])) == expected_sums()
+        assert res.shm_bytes["P:out"] == 12 * 20_000 * 8
+        assert res.wire_bytes["P:out"] < 12 * 4096
+        counters = res.metrics["counters"]
+        assert counters["shm_pool_hits"] == 12
+        assert counters["shm_pool_fallbacks"] == 0
+        assert res.metrics["gauges"]["shm_pool_in_use"]["value"] == 0
+        assert leaked_segments() == []
+
+    def test_pipe_transport_reports_no_shm_bytes(self):
+        res = MPRuntime(array_graph(), transport="pipe").run(timeout=60)
+        assert res.shm_bytes == {}
+        assert res.wire_bytes["P:out"] > 12 * 20_000 * 8
+
+    def test_retaining_consumer_sees_uncorrupted_data(self):
+        # More deliveries than slabs: recycling must wait for the
+        # consumer's references, or the retained arrays get overwritten.
+        res = MPRuntime(
+            array_graph(consumer=Retainer, copies=1, count=16),
+            transport="shm", shm_segments=4, shm_segment_bytes=1 << 20,
+            shm_threshold=1 << 10,
+        ).run(timeout=60)
+        assert sum(res.deposits("sums"), []) == expected_sums(16)
+        assert leaked_segments() == []
+
+    def test_tiny_pool_falls_back_and_completes(self):
+        res = MPRuntime(
+            array_graph(), transport="shm",
+            shm_segments=1, shm_segment_bytes=1 << 20, shm_threshold=1 << 10,
+        ).run(timeout=60)
+        assert sorted(sum(res.deposits("sums"), [])) == expected_sums()
+        assert leaked_segments() == []
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            MPRuntime(array_graph(), transport="carrier-pigeon")
+
+    def test_bad_poll_interval_rejected(self):
+        with pytest.raises(ValueError):
+            MPRuntime(array_graph(), poll_interval=-1.0)
+
+    def test_custom_poll_interval_runs(self):
+        res = MPRuntime(
+            array_graph(), transport="shm", poll_interval=0.005
+        ).run(timeout=60)
+        assert sorted(sum(res.deposits("sums"), [])) == expected_sums()
+
+
+class TestCrashCleanup:
+    def test_no_leak_after_hard_child_kill(self):
+        # The child dies via os._exit: only the parent's exitcode
+        # watcher notices, and the pool must still be torn down.
+        plan = FaultPlan().crash_copy("C", copy_index=0, after_buffers=0,
+                                      hard=True)
+        with pytest.raises(PipelineError) as exc:
+            MPRuntime(
+                array_graph(consumer=CrashingConsumer, copies=1),
+                transport="shm", faults=plan, retry=NO_RETRY,
+            ).run(timeout=60)
+        assert any(f.kind == "exitcode" for f in exc.value.failures)
+        assert leaked_segments() == []
+
+    def test_no_leak_after_abort(self):
+        plan = FaultPlan().crash_copy("C", copy_index=0, after_buffers=2)
+        with pytest.raises(PipelineError):
+            MPRuntime(
+                array_graph(consumer=CrashingConsumer, copies=1),
+                transport="shm", faults=plan, retry=NO_RETRY,
+            ).run(timeout=60)
+        assert leaked_segments() == []
+
+    def test_no_leak_after_recovered_crash(self):
+        # Crash a mid-pipeline copy: its in-flight slab-backed buffer is
+        # rerouted to a survivor and every chunk still arrives, doubled.
+        g = FilterGraph()
+        g.add_filter("P", ArrayProducer)
+        g.add_filter("D", Doubler, copies=3)
+        g.add_filter("C", SumCollector)
+        g.connect("P", "out", "D", policy="demand_driven")
+        g.connect("D", "out", "C")
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=2)
+        res = MPRuntime(g, transport="shm", faults=plan).run(timeout=60)
+        assert sum(res.deposits("sums"), []) == [
+            2.0 * s for s in expected_sums()
+        ]
+        (failure,) = res.failed_copies
+        assert failure.recovered
+        assert leaked_segments() == []

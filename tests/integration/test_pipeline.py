@@ -128,6 +128,47 @@ class TestSplitVariant:
         assert_matches(result.volumes, expected)
 
 
+class TestTransports:
+    def test_pipe_and_shm_outputs_bit_identical(self, dataset_root, expected):
+        import sys
+
+        if not sys.platform.startswith("linux"):
+            pytest.skip("fork start method required")
+        cfg = AnalysisConfig(
+            texture=texture_params(),
+            variant="hmp",
+            texture_chunk_shape=(8, 8, 6, 4),
+            num_texture_copies=2,
+        )
+        results = {
+            t: run_pipeline(
+                dataset_root, cfg, runtime="processes", transport=t,
+                # The toy dataset's chunks are tiny; lower the slab
+                # threshold so they take the shared-memory path.
+                **({"shm_threshold": 1024} if t == "shm" else {}),
+            )
+            for t in ("pipe", "shm")
+        }
+        for result in results.values():
+            assert_matches(result.volumes, expected)
+        for name in FEATURES:
+            np.testing.assert_array_equal(
+                results["pipe"].volumes[name],
+                results["shm"].volumes[name],
+                err_msg=name,
+            )
+        # The volumetric chunks crossed via slabs, not pipes.
+        shm_run = results["shm"].run
+        assert sum(shm_run.shm_bytes.values()) > 0
+        assert sum(shm_run.wire_bytes.values()) < sum(
+            results["pipe"].run.wire_bytes.values()
+        )
+
+    def test_transport_requires_processes_runtime(self, dataset_root):
+        with pytest.raises(ValueError, match="transport"):
+            run_pipeline(dataset_root, runtime="threads", transport="shm")
+
+
 class TestOutputModes:
     def test_uso_output(self, dataset_root, expected, tmp_path):
         cfg = AnalysisConfig(
