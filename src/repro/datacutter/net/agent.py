@@ -43,6 +43,13 @@ factories must then be importable module-level callables, and source
 filters that read the dataset need it on a shared filesystem).  Loopback
 agents are forked by the head and inherit the graph through process
 memory, so tests and CI need no real cluster and no picklable factories.
+
+Elastic membership is head-driven and needs almost nothing here: a
+*joining* agent runs exactly this code (the head registers its index
+first via ``DistRuntime.add_agent``), and a *draining* agent just honors
+two extra control frames — ``drain`` (informational; the head stops
+dispatching and closes the copies' inputs early) and ``detach`` (leave
+the dispatcher loop cleanly once every hosted copy has reported in).
 """
 
 from __future__ import annotations
@@ -423,6 +430,9 @@ class AgentRunner:
         self.retry = RetryPolicy()
         self.faults = None
         self.trace = False
+        #: Set when the head announced a drain; the copies keep running
+        #: until their inputs close, this only records the lifecycle.
+        self.draining = False
         self.abort = threading.Event()
         self.out_q: "queue.Queue" = queue.Queue()
         self.copies: Dict[Tuple[str, int], _CopyWorker] = {}
@@ -503,7 +513,8 @@ class AgentRunner:
         writer = threading.Thread(target=self._writer, daemon=True)
         writer.start()
         codec.send_message(
-            self.sock, ("hello", self.agent_index, self.token, os.getpid())
+            self.sock,
+            codec.make_hello(self.agent_index, self.token, os.getpid()),
         )
         try:
             setup = codec.recv_message(self.sock)
@@ -545,6 +556,17 @@ class AgentRunner:
                     worker = self.copies.get((name, idx))
                     if worker is not None:
                         worker.in_q.put(("close", stream))
+                elif kind == "drain":
+                    # Planned leave: nothing to do locally but note it —
+                    # the head stops dispatching, closes our copies'
+                    # input streams early so they finalize normally, and
+                    # sends "detach" once every copy reported in.
+                    self.draining = True
+                elif kind == "detach":
+                    # Clean release at the end of a drain: leave the
+                    # dispatcher loop the same way "stop" does, but as a
+                    # planned goodbye rather than a run-wide shutdown.
+                    break
                 elif kind == "stop":
                     break
                 else:  # pragma: no cover - protocol growth guard

@@ -41,6 +41,7 @@ import pickle
 import socket
 import struct
 import threading
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -49,6 +50,10 @@ __all__ = [
     "CodecError",
     "ConnectionClosed",
     "Frame",
+    "PROTOCOL_VERSION",
+    "Hello",
+    "make_hello",
+    "parse_hello",
     "encode",
     "decode",
     "dumps",
@@ -70,6 +75,14 @@ MAX_BUFFER_BYTES = 16 * 1024 * 1024 * 1024
 MAX_BUFFERS = 4096
 
 
+#: Version of the head/agent control protocol spoken over this codec.
+#: Version 2 added elastic membership: late-join hellos, and the
+#: ``drain`` / ``detach`` control frames of the planned-leave handshake.
+#: The head refuses agents announcing a different version — a stale
+#: agent build silently missing DRAIN would look exactly like a hang.
+PROTOCOL_VERSION = 2
+
+
 class CodecError(RuntimeError):
     """Malformed frame, or a forbidden in-band array serialization."""
 
@@ -84,6 +97,46 @@ class ConnectionClosed(ConnectionError):
     def __init__(self, message: str, clean: bool):
         super().__init__(message)
         self.clean = clean
+
+
+# ---------------------------------------------------------------------------
+# Handshake frames
+
+@dataclass(frozen=True)
+class Hello:
+    """A parsed agent handshake frame.
+
+    ``index`` is the agent's slot in the head's connection table — for
+    elastic late joins the head allocates the slot before the agent
+    connects, so the same handshake covers both startup and join.
+    """
+
+    index: int
+    token: str
+    pid: int
+    version: int
+
+
+def make_hello(index: int, token: str, pid: int) -> Tuple:
+    """The handshake frame an agent sends immediately after connecting."""
+    return ("hello", index, token, pid, PROTOCOL_VERSION)
+
+
+def parse_hello(msg: Any) -> Optional[Hello]:
+    """Parse a handshake frame; ``None`` if the frame is no hello at all.
+
+    Version-1 agents (pre-elastic builds) sent a 4-tuple without the
+    version field; they parse as ``version=1`` so the head can reject
+    them with an accurate reason instead of treating them as strangers.
+    """
+    if not (isinstance(msg, tuple) and len(msg) in (4, 5) and msg[0] == "hello"):
+        return None
+    if not (isinstance(msg[1], int) and isinstance(msg[2], str)):
+        return None
+    version = msg[4] if len(msg) == 5 else 1
+    if not isinstance(version, int):
+        return None
+    return Hello(index=msg[1], token=msg[2], pid=msg[3], version=version)
 
 
 # ---------------------------------------------------------------------------

@@ -122,6 +122,15 @@ EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
     # fault tolerance
     "fault.retry": (),
     "fault.reroute": ("stream",),
+    # elastic membership (distributed runtime): one agent joins the run,
+    # is asked to drain, or detaches cleanly after a completed drain
+    "agent.join": ("agent",),
+    "agent.drain": ("agent",),
+    "agent.detach": ("agent",),
+    # one pending buffer re-assigned by the scheduler after membership
+    # changed (a join added capacity, or a drain removed it) — distinct
+    # from fault.reroute, which recovers from a crash
+    "sched.rebalance": ("stream", "dest"),
 }
 
 #: Kinds whose ``dur`` is meaningful (rendered as complete spans).
@@ -129,7 +138,16 @@ SPAN_KINDS = frozenset(LIFECYCLE_KINDS) | {"queue.wait", "service"}
 
 #: Kinds that exist only at the head/router, outside any filter copy.
 _ROUTING_KINDS = frozenset(
-    {"sched.pick", "wire.frame", "shm.frame", "fault.reroute"}
+    {
+        "sched.pick",
+        "wire.frame",
+        "shm.frame",
+        "fault.reroute",
+        "agent.join",
+        "agent.drain",
+        "agent.detach",
+        "sched.rebalance",
+    }
 )
 
 

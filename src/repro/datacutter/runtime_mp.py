@@ -639,7 +639,12 @@ class MPRuntime:
         self.shm_segments = int(shm_segments)
         self.shm_segment_bytes = int(shm_segment_bytes)
         self.shm_threshold = int(shm_threshold)
-        self.poll_interval = float(poll_interval) if poll_interval else _POLL
+        # Only None means "use the default": an explicit 0 (or any other
+        # non-positive value) must reach the validation below, not be
+        # silently swallowed by truthiness.
+        self.poll_interval = (
+            _POLL if poll_interval is None else float(poll_interval)
+        )
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
 

@@ -84,6 +84,10 @@ def run_pipeline(
     shm_segments: Optional[int] = None,
     shm_segment_bytes: Optional[int] = None,
     shm_threshold: Optional[int] = None,
+    elastic: bool = False,
+    schedule: Optional[list] = None,
+    heartbeat_timeout: Optional[float] = None,
+    run_timeout: Optional[float] = None,
 ) -> PipelineResult:
     """Run the parallel pipeline over a disk-resident dataset.
 
@@ -131,6 +135,23 @@ def run_pipeline(
         ``transport="shm"`` pool geometry overrides (slab count, slab
         size, minimum payload size for the slab path); ``None`` keeps
         the :class:`MPRuntime` defaults.
+    elastic:
+        Distributed runtime only: keep the head's listener open so
+        agents can join the run live (``DistRuntime.add_agent`` / a
+        scheduled :class:`~repro.datacutter.faults.JoinAgent`).
+    schedule:
+        Distributed runtime only: a list of
+        :class:`~repro.datacutter.faults.JoinAgent` /
+        :class:`~repro.datacutter.faults.DrainAgent` membership actions
+        fired at their ``at`` offsets after dispatch starts.
+    heartbeat_timeout:
+        Distributed runtime only: seconds of agent silence before it is
+        declared dead.  ``None`` reads ``REPRO_DIST_HEARTBEAT_TIMEOUT``
+        and falls back to 5 seconds.
+    run_timeout:
+        Wall-clock bound on the run itself (any runtime); the run
+        aborts with :class:`~repro.datacutter.faults.PipelineError`
+        when exceeded.  ``None`` (default) means unbounded.
 
     Returns
     -------
@@ -140,21 +161,31 @@ def run_pipeline(
     mode = resolve_trace_mode(trace)
     if trace_out is not None and mode not in ("chrome", "jsonl"):
         raise ValueError("trace_out= requires trace='chrome' or 'jsonl'")
-    dataset = DiskDataset4D.open(dataset_root)
-    graph = build_graph(dataset, config)
-    retry = retry if retry is not None else config.retry
     if hosts is not None and runtime != "distributed":
         raise ValueError(f"hosts= only applies to runtime='distributed', "
                          f"not {runtime!r}")
     if transport != "pipe" and runtime != "processes":
         raise ValueError(f"transport={transport!r} only applies to "
                          f"runtime='processes', not {runtime!r}")
+    if runtime != "distributed":
+        if elastic:
+            raise ValueError("elastic= only applies to "
+                             "runtime='distributed'")
+        if schedule:
+            raise ValueError("schedule= only applies to "
+                             "runtime='distributed'")
+        if heartbeat_timeout is not None:
+            raise ValueError("heartbeat_timeout= only applies to "
+                             "runtime='distributed'")
+    dataset = DiskDataset4D.open(dataset_root)
+    graph = build_graph(dataset, config)
+    retry = retry if retry is not None else config.retry
     tracing = mode is not None
     if runtime == "threads":
         run = LocalRuntime(
             graph, max_queue=max_queue, retry=retry, faults=faults,
             trace=tracing,
-        ).run()
+        ).run(timeout=run_timeout)
     elif runtime == "processes":
         shm_kwargs = {
             k: v
@@ -168,7 +199,7 @@ def run_pipeline(
         run = MPRuntime(
             graph, max_queue=max_queue, retry=retry, faults=faults,
             trace=tracing, transport=transport, **shm_kwargs,
-        ).run()
+        ).run(timeout=run_timeout)
     elif runtime == "distributed":
         from ..datacutter.net import DistRuntime
 
@@ -179,7 +210,10 @@ def run_pipeline(
             retry=retry,
             faults=faults,
             trace=tracing,
-        ).run()
+            elastic=elastic,
+            schedule=schedule,
+            heartbeat_timeout=heartbeat_timeout,
+        ).run(timeout=run_timeout)
     else:
         raise ValueError(f"unknown runtime {runtime!r}")
 

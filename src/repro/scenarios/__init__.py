@@ -1,0 +1,30 @@
+"""Declarative chaos/elasticity scenario suite for the real runtimes.
+
+A *scenario* is a small declarative spec — JSON (always) or YAML (when
+PyYAML happens to be installed) — describing one distributed run under
+membership churn and injected faults: how many agents start, which join
+or drain at which offsets, which links are degraded, which agents crash,
+and what the run must still guarantee afterwards.  The runner executes
+the spec against the real :class:`~repro.datacutter.net.DistRuntime`
+over loopback agents, checks the feature volumes bit-identical against
+the in-process sequential baseline, evaluates the spec's expectations
+(joins/drains attributed, reroutes bounded, failures recovered), and
+emits a machine-readable JSON report for CI.
+
+Entry points: ``tools/run_scenarios.py`` on the command line, or
+:func:`run_scenario` / :func:`run_suite` from code.  Specs shipped with
+the repository live in ``scenarios/``.
+"""
+
+from .spec import ScenarioSpec, load_scenario, load_scenarios
+from .runner import ScenarioResult, run_scenario, run_suite, write_report
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioResult",
+    "load_scenario",
+    "load_scenarios",
+    "run_scenario",
+    "run_suite",
+    "write_report",
+]

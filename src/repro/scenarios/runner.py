@@ -1,0 +1,299 @@
+"""Execute scenario specs against the real distributed runtime.
+
+Each scenario gets a fresh working directory: a synthetic phantom is
+generated from the spec's seed and written as a disk-resident dataset,
+the sequential baseline (quantize + in-process Haralick transform) is
+computed from the same volume, and then the distributed pipeline runs
+over loopback agents with the spec's membership schedule and fault plan
+installed.  Afterwards the runner checks
+
+* **bit identity** — every feature volume equals the sequential
+  baseline exactly (``==``, not allclose): churn and recovered faults
+  must be invisible in the output;
+* **attribution** — planned drains appear in ``RunResult.drained_agents``
+  and contribute no reroutes, joins in ``joined_agents``, crashes in
+  ``failed_copies`` with ``recovered`` set;
+* the spec's explicit :class:`~repro.scenarios.spec.Expectation` bounds.
+
+Results aggregate into a JSON report (one object per scenario with its
+checks, counters and timings) that CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.analysis import HaralickConfig, haralick_transform
+from ..core.quantization import quantize_linear
+from ..data.synthetic import PhantomConfig, generate_phantom
+from ..filters.messages import TextureParams
+from ..pipeline.config import AnalysisConfig
+from ..pipeline.run import run_pipeline
+from ..storage.dataset import write_dataset
+from .spec import ScenarioSpec
+
+__all__ = ["ScenarioResult", "run_scenario", "run_suite", "write_report"]
+
+
+@dataclass
+class Check:
+    """One named pass/fail assertion inside a scenario."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    spec: ScenarioSpec
+    passed: bool
+    checks: List[Check] = field(default_factory=list)
+    counters: Dict[str, Any] = field(default_factory=dict)
+    elapsed: float = 0.0
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.spec.to_dict(),
+            "passed": self.passed,
+            "checks": [c.to_dict() for c in self.checks],
+            "counters": self.counters,
+            "elapsed": self.elapsed,
+            "error": self.error,
+        }
+
+
+def _config(spec: ScenarioSpec) -> AnalysisConfig:
+    params = TextureParams(
+        roi_shape=spec.roi,
+        levels=spec.levels,
+        features=spec.features,
+        intensity_range=(0.0, 65535.0),
+    )
+    return AnalysisConfig(
+        texture=params,
+        variant="hmp",
+        texture_chunk_shape=spec.chunk_shape,
+        num_texture_copies=spec.texture_copies,
+        num_iic_copies=spec.iic_copies,
+    )
+
+
+def _reference(vol, spec: ScenarioSpec) -> Dict[str, np.ndarray]:
+    q = quantize_linear(vol.data, spec.levels, lo=0.0, hi=65535.0)
+    return haralick_transform(
+        q,
+        HaralickConfig(
+            roi_shape=spec.roi, levels=spec.levels, features=spec.features
+        ),
+        quantized=True,
+    )
+
+
+def _evaluate(spec: ScenarioSpec, result, reference) -> List[Check]:
+    checks: List[Check] = []
+    run = result.run
+    expect = spec.expect
+
+    if expect.bit_identical:
+        for name in spec.features:
+            got, want = result.volumes[name], reference[name]
+            same = got.shape == want.shape and bool(np.all(got == want))
+            checks.append(
+                Check(
+                    f"bit_identical[{name}]",
+                    same,
+                    "" if same else (
+                        f"{int(np.sum(got != want))} of {want.size} voxels "
+                        f"differ"
+                    ),
+                )
+            )
+
+    if expect.joined is not None:
+        n = len(run.joined_agents)
+        checks.append(
+            Check(
+                "joined",
+                n == expect.joined,
+                f"joined_agents={run.joined_agents}",
+            )
+        )
+    if expect.drained is not None:
+        n = len(run.drained_agents)
+        checks.append(
+            Check(
+                "drained",
+                n == expect.drained,
+                f"drained_agents={run.drained_agents}",
+            )
+        )
+        # Attribution: a clean drain is membership churn, not a fault —
+        # a drained agent's name must never show up as a failed copy.
+        if run.drained_agents:
+            tainted = sorted(
+                {
+                    f"{f.filter_name}[{f.copy_index}]"
+                    for f in run.failed_copies
+                }
+            )
+            checks.append(
+                Check(
+                    "drain_not_a_failure",
+                    expect.failures != "none" or not run.failed_copies,
+                    f"failed_copies={tainted}" if tainted else "",
+                )
+            )
+
+    if expect.min_reroutes is not None:
+        checks.append(
+            Check(
+                "min_reroutes",
+                run.reroutes >= expect.min_reroutes,
+                f"reroutes={run.reroutes} < {expect.min_reroutes}",
+            )
+        )
+    if expect.max_reroutes is not None:
+        checks.append(
+            Check(
+                "max_reroutes",
+                run.reroutes <= expect.max_reroutes,
+                f"reroutes={run.reroutes} > {expect.max_reroutes}",
+            )
+        )
+    if expect.min_rebalances is not None:
+        checks.append(
+            Check(
+                "min_rebalances",
+                run.rebalances >= expect.min_rebalances,
+                f"rebalances={run.rebalances}",
+            )
+        )
+
+    if expect.failures == "none":
+        checks.append(
+            Check(
+                "no_failures",
+                not run.failed_copies,
+                f"failed_copies={run.failed_copies}",
+            )
+        )
+    elif expect.failures == "recovered":
+        ok = bool(run.failed_copies) and all(
+            f.recovered for f in run.failed_copies
+        )
+        checks.append(
+            Check(
+                "failures_recovered",
+                ok,
+                f"failed_copies={run.failed_copies}",
+            )
+        )
+    return checks
+
+
+def run_scenario(
+    spec: ScenarioSpec, workdir: Optional[str] = None
+) -> ScenarioResult:
+    """Run one scenario end to end; never raises for a failing run."""
+    own_dir = workdir is None
+    if own_dir:
+        workdir = tempfile.mkdtemp(prefix=f"scenario-{spec.name}-")
+    t0 = time.perf_counter()
+    try:
+        vol = generate_phantom(PhantomConfig(shape=spec.shape, seed=spec.seed))
+        root = os.path.join(workdir, "dataset")
+        write_dataset(vol, root, num_nodes=spec.storage_nodes)
+        reference = _reference(vol, spec)
+        result = run_pipeline(
+            root,
+            _config(spec),
+            runtime="distributed",
+            hosts=["127.0.0.1"] * spec.agents,
+            max_queue=spec.max_queue,
+            faults=spec.fault_plan(),
+            elastic=spec.elastic,
+            schedule=list(spec.schedule),
+            heartbeat_timeout=spec.heartbeat_timeout,
+        )
+        checks = _evaluate(spec, result, reference)
+        run = result.run
+        counters = {
+            "retries": run.retries,
+            "reroutes": run.reroutes,
+            "rebalances": run.rebalances,
+            "joined_agents": list(run.joined_agents),
+            "drained_agents": list(run.drained_agents),
+            "failed_copies": [
+                f"{f.filter_name}[{f.copy_index}]" for f in run.failed_copies
+            ],
+            "run_elapsed": run.elapsed,
+        }
+        return ScenarioResult(
+            spec=spec,
+            passed=all(c.ok for c in checks),
+            checks=checks,
+            counters=counters,
+            elapsed=time.perf_counter() - t0,
+        )
+    except Exception:  # noqa: BLE001 - a crashed scenario is a failed one
+        return ScenarioResult(
+            spec=spec,
+            passed=False,
+            elapsed=time.perf_counter() - t0,
+            error=traceback.format_exc().strip(),
+        )
+    finally:
+        if own_dir:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def run_suite(
+    specs: List[ScenarioSpec], verbose: bool = True
+) -> List[ScenarioResult]:
+    """Run scenarios in order (each gets a fresh working directory)."""
+    results = []
+    for spec in specs:
+        if verbose:
+            print(f"[scenario] {spec.name} ...", flush=True)
+        res = run_scenario(spec)
+        if verbose:
+            status = "PASS" if res.passed else "FAIL"
+            print(f"[scenario] {spec.name}: {status} ({res.elapsed:.1f}s)")
+            for c in res.checks:
+                if not c.ok:
+                    print(f"[scenario]   failed check {c.name}: {c.detail}")
+            if res.error:
+                print(f"[scenario]   error: {res.error.splitlines()[-1]}")
+        results.append(res)
+    return results
+
+
+def write_report(results: List[ScenarioResult], path: str) -> Dict[str, Any]:
+    """Write the aggregate JSON report; returns the report object."""
+    report = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "total": len(results),
+        "passed": sum(1 for r in results if r.passed),
+        "failed": sum(1 for r in results if not r.passed),
+        "scenarios": [r.to_dict() for r in results],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return report

@@ -1,0 +1,240 @@
+"""Scenario spec model and loaders.
+
+The on-disk format is deliberately plain: one JSON (or YAML) object per
+scenario, all fields optional except ``name``.  Everything the runner
+needs — dataset geometry, pipeline configuration, agent count,
+membership schedule, fault plan, expectations — is derived from the one
+spec, so a scenario file is a complete, reproducible description of a
+chaos experiment.
+
+::
+
+    {
+      "name": "drain_under_load",
+      "description": "one agent leaves mid-run; output stays identical",
+      "seed": 11,
+      "agents": 3,
+      "schedule": [{"action": "drain", "at": 0.3, "agent": 1}],
+      "faults": [{"kind": "delay_buffers", "filter": "HMP", "delay": 0.02}],
+      "expect": {"drained": 1, "max_reroutes": 0, "failures": "none"}
+    }
+
+JSON is always supported; ``.yaml``/``.yml`` files additionally work
+when PyYAML is importable (it is an optional dependency — the shipped
+suite is JSON so CI needs nothing extra).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..datacutter.faults import (
+    CrashAgent,
+    CrashCopy,
+    DelayBuffers,
+    DelayConnection,
+    DrainAgent,
+    DropBuffers,
+    DropDeliveries,
+    FailProcess,
+    FaultPlan,
+    JoinAgent,
+    MembershipAction,
+)
+
+__all__ = ["ScenarioSpec", "Expectation", "load_scenario", "load_scenarios"]
+
+
+@dataclass
+class Expectation:
+    """What a scenario run must satisfy to pass.
+
+    ``failures`` is ``"none"`` (default: no copy failures at all),
+    ``"recovered"`` (failures happened and every one was recovered) or
+    ``"any"`` (no constraint).  Count fields are exact when set.
+    """
+
+    bit_identical: bool = True
+    joined: Optional[int] = None
+    drained: Optional[int] = None
+    min_reroutes: Optional[int] = None
+    max_reroutes: Optional[int] = None
+    min_rebalances: Optional[int] = None
+    failures: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.failures not in ("none", "recovered", "any"):
+            raise ValueError(
+                f"expect.failures must be none|recovered|any, "
+                f"got {self.failures!r}"
+            )
+
+
+#: fault-spec "kind" -> (dataclass, {json key: constructor arg})
+_FAULT_KINDS = {
+    "crash_copy": (
+        CrashCopy,
+        {"filter": "filter_name", "copy": "copy_index"},
+    ),
+    "fail_process": (
+        FailProcess,
+        {"filter": "filter_name", "copy": "copy_index"},
+    ),
+    "delay_buffers": (
+        DelayBuffers,
+        {"filter": "filter_name", "copy": "copy_index"},
+    ),
+    "drop_buffers": (
+        DropBuffers,
+        {"filter": "filter_name", "copy": "copy_index"},
+    ),
+    "crash_agent": (CrashAgent, {}),
+    "delay_connection": (DelayConnection, {}),
+    "drop_deliveries": (DropDeliveries, {}),
+}
+
+
+def _parse_fault(d: Dict[str, Any]) -> Any:
+    d = dict(d)
+    kind = d.pop("kind", None)
+    if kind not in _FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r} "
+            f"(known: {sorted(_FAULT_KINDS)})"
+        )
+    cls, renames = _FAULT_KINDS[kind]
+    kwargs = {renames.get(k, k): v for k, v in d.items()}
+    return cls(**kwargs)
+
+
+def _parse_action(d: Dict[str, Any]) -> MembershipAction:
+    d = dict(d)
+    action = d.pop("action", None)
+    if action == "join":
+        return JoinAgent(**d)
+    if action == "drain":
+        return DrainAgent(**d)
+    raise ValueError(f"unknown schedule action {action!r} (join|drain)")
+
+
+@dataclass
+class ScenarioSpec:
+    """One declarative chaos scenario (see module docstring)."""
+
+    name: str
+    description: str = ""
+    seed: int = 0
+    # dataset geometry (synthetic phantom, written to disk per run)
+    shape: Tuple[int, int, int, int] = (14, 12, 6, 4)
+    storage_nodes: int = 2
+    # pipeline configuration
+    roi: Tuple[int, int, int, int] = (3, 3, 3, 2)
+    levels: int = 8
+    features: Tuple[str, ...] = ("asm", "contrast")
+    chunk_shape: Tuple[int, int, int, int] = (4, 4, 3, 2)
+    texture_copies: int = 4
+    iic_copies: int = 2
+    # runtime shape
+    agents: int = 3
+    elastic: bool = False
+    max_queue: int = 64
+    heartbeat_timeout: Optional[float] = None
+    timeout: float = 120.0
+    # churn + chaos
+    schedule: List[MembershipAction] = field(default_factory=list)
+    faults: List[Any] = field(default_factory=list)
+    expect: Expectation = field(default_factory=Expectation)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.agents < 1:
+            raise ValueError("agents must be >= 1")
+        if any(isinstance(a, JoinAgent) for a in self.schedule):
+            if not self.elastic:
+                raise ValueError(
+                    f"scenario {self.name!r} schedules a join but is not "
+                    f"elastic"
+                )
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        if not self.faults:
+            return None
+        plan = FaultPlan(seed=self.seed)
+        for f in self.faults:
+            plan.add(f)
+        return plan
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ScenarioSpec":
+        d = dict(d)
+        for key in ("shape", "roi", "chunk_shape"):
+            if key in d:
+                d[key] = tuple(d[key])
+        if "features" in d:
+            d["features"] = tuple(d["features"])
+        d["schedule"] = [_parse_action(a) for a in d.get("schedule", [])]
+        d["faults"] = [_parse_fault(f) for f in d.get("faults", [])]
+        d["expect"] = Expectation(**d.get("expect", {}))
+        unknown = set(d) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"scenario {d.get('name', '?')!r} has unknown fields "
+                f"{sorted(unknown)}"
+            )
+        return cls(**d)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Spec summary for the JSON report (not a loader round-trip)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "agents": self.agents,
+            "elastic": self.elastic,
+            "schedule": [
+                {
+                    "action": "join" if isinstance(a, JoinAgent) else "drain",
+                    "at": a.at,
+                }
+                for a in self.schedule
+            ],
+            "faults": [type(f).__name__ for f in self.faults],
+        }
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    """Load one scenario spec from a ``.json``/``.yaml``/``.yml`` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if path.endswith((".yaml", ".yml")):
+        try:
+            import yaml  # type: ignore
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise RuntimeError(
+                f"{path}: YAML scenarios need PyYAML installed; the "
+                f"shipped suite is JSON, which always works"
+            ) from exc
+        data = yaml.safe_load(text)
+    else:
+        data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected one scenario object")
+    try:
+        return ScenarioSpec.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+
+
+def load_scenarios(directory: str) -> List[ScenarioSpec]:
+    """Load every scenario file in a directory, sorted by file name."""
+    specs = []
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith((".json", ".yaml", ".yml")):
+            specs.append(load_scenario(os.path.join(directory, entry)))
+    if not specs:
+        raise ValueError(f"no scenario files in {directory}")
+    return specs

@@ -1,0 +1,365 @@
+"""Elastic membership: live join, graceful drain, and their edge cases.
+
+Integration tests run real loopback agents through the full TCP stack
+(linux only, fork start method); the unit tests at the bottom drive the
+head's internal state machine directly to pin down races that are hard
+to provoke through real sockets — an agent going silent *during* a
+drain, and a late heartbeat arriving after the agent was declared dead.
+"""
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.datacutter.faults import (
+    DrainAgent,
+    FaultPlan,
+    JoinAgent,
+    validate_schedule,
+)
+from repro.datacutter.filter import Filter
+from repro.datacutter.graph import FilterGraph
+from repro.datacutter.net import DistRuntime
+from repro.datacutter.net import codec
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="fork start method required"
+)
+
+COUNT = 40
+
+
+class Producer(Filter):
+    def __init__(self, count=COUNT, delay=0.008):
+        self.count = count
+        self.delay = delay
+
+    def generate(self, ctx):
+        for i in range(self.count):
+            ctx.send("out", i, size_bytes=8)
+            time.sleep(self.delay)
+
+
+class Doubler(Filter):
+    def process(self, stream, buffer, ctx):
+        time.sleep(0.004)
+        ctx.send("out", buffer.payload * 2, size_bytes=8)
+
+
+class Collector(Filter):
+    def __init__(self):
+        self.items = []
+
+    def process(self, stream, buffer, ctx):
+        self.items.append(buffer.payload)
+
+    def finalize(self, ctx):
+        ctx.deposit("collected", sorted(self.items))
+
+
+def pipeline(doubler_copies=3, count=COUNT):
+    g = FilterGraph()
+    g.add_filter("P", lambda: Producer(count))
+    g.add_filter("D", Doubler, copies=doubler_copies)
+    g.add_filter("C", Collector)
+    g.connect("P", "out", "D", policy="demand_driven")
+    g.connect("D", "out", "C")
+    return g
+
+
+EXPECTED = [sorted(2 * i for i in range(COUNT))]
+
+
+class TestJoin:
+    def test_scheduled_join_keeps_output_identical(self):
+        rt = DistRuntime(
+            pipeline(),
+            hosts=["127.0.0.1"] * 3,
+            elastic=True,
+            trace=True,
+            schedule=[JoinAgent(at=0.1)],
+        )
+        res = rt.run(timeout=120)
+        assert res.results["collected"] == EXPECTED
+        assert res.joined_agents == ["127.0.0.1#3"]
+        assert res.failed_copies == []
+        assert res.reroutes == 0
+        kinds = {ev.kind for ev in res.trace.events}
+        assert "agent.join" in kinds
+        # The joiner hosted a live copy: its agent shows up on copy
+        # lifecycle events batched home with the terminal messages.
+        joined = {
+            ev.attrs.get("agent")
+            for ev in res.trace.events
+            if ev.kind == "copy.start"
+        }
+        assert "127.0.0.1#3" in joined
+
+    def test_join_requires_elastic(self):
+        with pytest.raises(ValueError, match="elastic"):
+            DistRuntime(
+                pipeline(),
+                hosts=["127.0.0.1"] * 3,
+                schedule=[JoinAgent(at=0.1)],
+            )
+
+    def test_add_agent_outside_run_rejected(self):
+        rt = DistRuntime(pipeline(), hosts=["127.0.0.1"] * 3, elastic=True)
+        rt._reset()
+        with pytest.raises(RuntimeError, match="active run"):
+            rt.add_agent()
+
+    def test_runs_back_to_back_do_not_leak_membership(self):
+        rt = DistRuntime(
+            pipeline(),
+            hosts=["127.0.0.1"] * 3,
+            elastic=True,
+            schedule=[JoinAgent(at=0.1)],
+        )
+        first = rt.run(timeout=120)
+        second = rt.run(timeout=120)
+        assert first.results["collected"] == EXPECTED
+        assert second.results["collected"] == EXPECTED
+        # The join must not have grown the constructor-time host list.
+        assert rt.hosts == ["127.0.0.1"] * 3
+        assert second.joined_agents == ["127.0.0.1#3"]
+
+
+class TestDrain:
+    def test_scheduled_drain_is_churn_not_failure(self):
+        rt = DistRuntime(
+            pipeline(),
+            hosts=["127.0.0.1"] * 3,
+            trace=True,
+            schedule=[DrainAgent(at=0.15, agent=1, deadline=60.0)],
+        )
+        res = rt.run(timeout=120)
+        assert res.results["collected"] == EXPECTED
+        assert res.drained_agents == ["127.0.0.1#1"]
+        # The acceptance bar: a planned leave contributes nothing to
+        # the failure counters.
+        assert res.failed_copies == []
+        assert res.reroutes == 0
+        assert res.retries == 0
+        kinds = {ev.kind for ev in res.trace.events}
+        assert {"agent.drain", "agent.detach"} <= kinds
+
+    def test_drain_needs_no_elastic_flag(self):
+        # Only late *attach* needs elastic=True; leaving is always legal.
+        rt = DistRuntime(
+            pipeline(),
+            hosts=["127.0.0.1"] * 3,
+            schedule=[DrainAgent(at=0.15, agent=2)],
+        )
+        res = rt.run(timeout=120)
+        assert res.results["collected"] == EXPECTED
+        assert res.drained_agents == ["127.0.0.1#2"]
+
+    def test_drain_agent_api_mid_run(self):
+        rt = DistRuntime(pipeline(), hosts=["127.0.0.1"] * 3)
+        drained = {}
+
+        def drain_later():
+            time.sleep(0.15)
+            drained["event"] = rt.drain_agent(1, deadline=60.0)
+
+        t = threading.Timer(0.0, drain_later)
+        t.start()
+        res = rt.run(timeout=120)
+        t.join()
+        assert res.results["collected"] == EXPECTED
+        assert res.drained_agents == ["127.0.0.1#1"]
+        assert drained["event"].is_set()
+
+    def test_draining_the_head_node_is_rejected(self):
+        # Agent 0 hosts the source and the sink: undrainable.
+        rt = DistRuntime(pipeline(), hosts=["127.0.0.1"] * 3)
+        errors = []
+
+        def drain_head():
+            time.sleep(0.1)
+            try:
+                rt.drain_agent(0)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        t = threading.Timer(0.0, drain_head)
+        t.start()
+        res = rt.run(timeout=120)
+        t.join()
+        assert res.results["collected"] == EXPECTED
+        assert errors and "source" in errors[0]
+        assert res.drained_agents == []
+
+    def test_draining_last_live_copy_is_rejected(self):
+        # Two hosts: all D copies land on agent 1; draining it would
+        # leave the stream with no consumers.
+        rt = DistRuntime(pipeline(), hosts=["127.0.0.1"] * 2)
+        errors = []
+
+        def drain_only_worker():
+            time.sleep(0.1)
+            try:
+                rt.drain_agent(1)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        t = threading.Timer(0.0, drain_only_worker)
+        t.start()
+        res = rt.run(timeout=120)
+        t.join()
+        assert res.results["collected"] == EXPECTED
+        assert errors and "last live copy" in errors[0]
+
+    def test_drain_deadline_escalates_to_crash(self):
+        # A straggler copy holds its buffer far past the drain deadline:
+        # the planned leave must be reclassified as a crash — the agent
+        # lands in failed_copies (recovered via reroute), never in
+        # drained_agents.
+        plan = FaultPlan(seed=3).delay_buffers(
+            "D", delay=6.0, copy_index=0, max_delays=1
+        )
+        rt = DistRuntime(
+            pipeline(),
+            hosts=["127.0.0.1"] * 3,
+            faults=plan,
+            heartbeat_timeout=30.0,
+            schedule=[DrainAgent(at=0.1, agent=1, deadline=0.4)],
+        )
+        res = rt.run(timeout=120)
+        assert res.results["collected"] == EXPECTED
+        assert res.drained_agents == []
+        assert res.failed_copies != []
+        assert all(f.recovered for f in res.failed_copies)
+        assert any("drain deadline" in f.error for f in res.failed_copies)
+        assert res.reroutes >= 1
+
+
+class TestHeartbeatConfig:
+    def test_env_var_is_read_when_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIST_HEARTBEAT_TIMEOUT", "7.5")
+        rt = DistRuntime(pipeline(), hosts=["127.0.0.1"] * 2)
+        assert rt.heartbeat_timeout == 7.5
+
+    def test_explicit_value_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIST_HEARTBEAT_TIMEOUT", "7.5")
+        rt = DistRuntime(
+            pipeline(), hosts=["127.0.0.1"] * 2, heartbeat_timeout=2.0
+        )
+        assert rt.heartbeat_timeout == 2.0
+
+    def test_default_is_five_seconds(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DIST_HEARTBEAT_TIMEOUT", raising=False)
+        rt = DistRuntime(pipeline(), hosts=["127.0.0.1"] * 2)
+        assert rt.heartbeat_timeout == 5.0
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            DistRuntime(
+                pipeline(), hosts=["127.0.0.1"] * 2, heartbeat_timeout=0
+            )
+
+    def test_pipeline_kwargs_are_distributed_only(self, tmp_path):
+        from repro.data.synthetic import PhantomConfig, generate_phantom
+        from repro.pipeline.run import run_pipeline
+        from repro.storage.dataset import write_dataset
+
+        vol = generate_phantom(PhantomConfig(shape=(8, 8, 4, 3), seed=0))
+        root = str(tmp_path / "ds")
+        write_dataset(vol, root, num_nodes=1)
+        with pytest.raises(ValueError, match="elastic"):
+            run_pipeline(root, runtime="threads", elastic=True)
+        with pytest.raises(ValueError, match="schedule"):
+            run_pipeline(
+                root, runtime="threads",
+                schedule=[DrainAgent(at=0.1, agent=1)],
+            )
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            run_pipeline(root, runtime="threads", heartbeat_timeout=2.0)
+
+
+class TestScheduleValidation:
+    def test_unknown_drain_target_needs_elastic(self):
+        with pytest.raises(ValueError):
+            validate_schedule(
+                [DrainAgent(at=0.1, agent=7)], ["a", "b"], elastic=False
+            )
+        validate_schedule(
+            [DrainAgent(at=0.1, agent=7)], ["a", "b"], elastic=True
+        )
+
+    def test_hello_protocol_versioning(self):
+        hello = codec.parse_hello(codec.make_hello(2, "tok", 123))
+        assert hello.index == 2
+        assert hello.token == "tok"
+        assert hello.pid == 123
+        assert hello.version == codec.PROTOCOL_VERSION
+        legacy = codec.parse_hello(("hello", 1, "tok", 99))
+        assert legacy.version == 1  # pre-elastic agents identify as v1
+        assert codec.parse_hello(("nonsense",)) is None
+
+
+# ----------------------------------------------------------------------
+# Head-state unit tests: drive the internal machine without sockets.
+
+
+def _head(doubler_copies=3):
+    rt = DistRuntime(pipeline(doubler_copies), hosts=["127.0.0.1"] * 3)
+    rt._reset()
+    rt._running = True
+    return rt
+
+
+class TestHeadStateMachine:
+    def test_silence_during_drain_reclassified_as_crash(self):
+        rt = _head()
+        conn = rt._conns[1]
+        conn.sock = object()  # attached enough for drain bookkeeping
+        victims = [
+            key for key, a in rt._agent_of.items() if a == 1
+        ]
+        assert victims, "placement should put copies on agent 1"
+        conn.draining = True
+        conn.drain_state = "draining"
+        for key in victims:
+            rt._status[key] = "draining"
+        rt._on_agent_gone(conn, "went silent mid-drain")
+        assert conn.drain_state == "failed"
+        assert conn.drained.is_set()
+        assert rt._drained_agents == []
+        for key in victims:
+            assert rt._status[key] == "failed"
+        assert rt._failures and all(f.recovered for f in rt._failures)
+
+    def test_late_heartbeat_does_not_resurrect_dead_agent(self):
+        rt = _head()
+        conn = rt._conns[1]
+        rt._on_agent_gone(conn, "heartbeat timeout")
+        assert conn.dead
+        conn.last_seen = 0.0
+        rt._on_frame(conn, ("hb",))
+        # The frame was dropped wholesale: liveness not refreshed, so
+        # the agent stays dead instead of flapping back to life.
+        assert conn.last_seen == 0.0
+
+    def test_frames_from_dead_connection_are_ignored(self):
+        rt = _head()
+        conn = rt._conns[1]
+        rt._on_agent_gone(conn, "heartbeat timeout")
+        before = dict(rt._results)
+        rt._on_frame(conn, ("deposit", "collected", [1, 2, 3]))
+        assert rt._results == before
+
+    def test_detached_agent_socket_close_is_not_a_crash(self):
+        rt = _head()
+        conn = rt._conns[1]
+        conn.detached = True
+        failures_before = len(rt._failures)
+        rt._on_agent_gone(conn, "connection lost (EOF)")
+        assert conn.dead
+        assert len(rt._failures) == failures_before
+        for key, a in rt._agent_of.items():
+            if a == 1:
+                assert rt._status[key] == "running"

@@ -151,3 +151,26 @@ class TestMPPipelineEndToEnd:
         write_dataset(vol, root, num_nodes=1)
         with pytest.raises(ValueError):
             run_pipeline(root, runtime="carrier_pigeon")
+
+
+class TestPollInterval:
+    """``poll_interval`` validation: an explicit 0 must raise, not be
+    silently replaced by the default through truthiness."""
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError, match="poll_interval"):
+            MPRuntime(pipeline(), poll_interval=0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="poll_interval"):
+            MPRuntime(pipeline(), poll_interval=-0.5)
+
+    def test_none_uses_default(self):
+        from repro.datacutter.runtime_mp import _POLL
+
+        rt = MPRuntime(pipeline(), poll_interval=None)
+        assert rt.poll_interval == _POLL
+
+    def test_explicit_value_is_kept(self):
+        rt = MPRuntime(pipeline(), poll_interval=0.01)
+        assert rt.poll_interval == 0.01

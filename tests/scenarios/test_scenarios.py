@@ -1,0 +1,190 @@
+"""Scenario harness: spec loading, expectation checking, reporting.
+
+The heavy end-to-end scenarios run in CI's ``scenarios`` job via
+``tools/run_scenarios.py``; here we cover the harness machinery itself
+plus one real (small) scenario per churn kind so a plain ``pytest`` run
+still exercises join, drain and crash paths end to end.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.datacutter.faults import (
+    CrashAgent,
+    DelayBuffers,
+    DrainAgent,
+    JoinAgent,
+)
+from repro.scenarios import (
+    ScenarioSpec,
+    load_scenario,
+    load_scenarios,
+    run_scenario,
+    run_suite,
+    write_report,
+)
+from repro.scenarios.spec import Expectation
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+SCENARIO_DIR = os.path.join(REPO_ROOT, "scenarios")
+
+needs_linux = pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="fork start method required"
+)
+
+#: Small geometry shared by the live tests: a few dozen chunks, enough
+#: for churn at ~0.2s offsets without making the suite slow.
+SMALL = dict(
+    shape=(10, 8, 6, 4),
+    chunk_shape=(4, 4, 3, 2),
+    texture_copies=3,
+    levels=8,
+    roi=(3, 3, 3, 2),
+)
+
+
+class TestSpecLoading:
+    def test_shipped_suite_loads(self):
+        specs = load_scenarios(SCENARIO_DIR)
+        names = {s.name for s in specs}
+        assert {
+            "join_mid_run",
+            "drain_under_load",
+            "drain_then_crash",
+            "join_degraded_link",
+            "agent_crash",
+            "heterogeneous",
+        } <= names
+        for s in specs:
+            assert s.expect.bit_identical
+
+    def test_shipped_suite_is_self_consistent(self):
+        for spec in load_scenarios(SCENARIO_DIR):
+            plan = spec.fault_plan()
+            if plan is not None:
+                # The same validation the runtime applies at startup.
+                plan.validate(
+                    {"HMP": spec.texture_copies, "IIC": spec.iic_copies},
+                    agents=[f"a{i}" for i in range(spec.agents)],
+                    elastic=spec.elastic,
+                )
+
+    def test_schedule_and_fault_parsing(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "parse_me",
+                    "elastic": True,
+                    "schedule": [
+                        {"action": "join", "at": 0.5},
+                        {"action": "drain", "at": 1.0, "agent": 2,
+                         "deadline": 9.0},
+                    ],
+                    "faults": [
+                        {"kind": "crash_agent", "agent": 1,
+                         "after_buffers": 3},
+                    ],
+                }
+            )
+        )
+        spec = load_scenario(str(path))
+        join, drain = spec.schedule
+        assert isinstance(join, JoinAgent) and join.at == 0.5
+        assert isinstance(drain, DrainAgent) and drain.deadline == 9.0
+        (fault,) = spec.faults
+        assert isinstance(fault, CrashAgent) and fault.after_buffers == 3
+
+    def test_unknown_fault_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {"name": "x", "faults": [{"kind": "meteor_strike"}]}
+            )
+        )
+        with pytest.raises(ValueError, match="meteor_strike"):
+            load_scenario(str(path))
+
+    def test_unknown_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "agnets": 3}))
+        with pytest.raises(ValueError, match="agnets"):
+            load_scenario(str(path))
+
+    def test_join_without_elastic_rejected(self):
+        with pytest.raises(ValueError, match="elastic"):
+            ScenarioSpec(
+                name="x", schedule=[JoinAgent(at=0.1)], elastic=False
+            )
+
+    def test_bad_expectation_mode_rejected(self):
+        with pytest.raises(ValueError, match="failures"):
+            Expectation(failures="shrug")
+
+
+@needs_linux
+class TestScenarioExecution:
+    def test_crash_scenario_passes(self):
+        spec = ScenarioSpec(
+            name="crash_small",
+            seed=5,
+            agents=3,
+            faults=[CrashAgent(agent=1, after_buffers=1)],
+            expect=Expectation(min_reroutes=1, failures="recovered"),
+            **SMALL,
+        )
+        res = run_scenario(spec)
+        assert res.error is None
+        assert res.passed, [c.to_dict() for c in res.checks]
+        assert res.counters["reroutes"] >= 1
+
+    def test_drain_scenario_attributes_churn(self):
+        spec = ScenarioSpec(
+            name="drain_small",
+            seed=11,
+            agents=3,
+            schedule=[DrainAgent(at=0.2, agent=1, deadline=60.0)],
+            faults=[
+                # Stretch the run so the 0.2s drain lands mid-flight.
+                DelayBuffers(filter_name="HMP", delay=0.03)
+            ],
+            expect=Expectation(
+                drained=1, max_reroutes=0, failures="none"
+            ),
+            **SMALL,
+        )
+        res = run_scenario(spec)
+        assert res.error is None
+        assert res.passed, [c.to_dict() for c in res.checks]
+        assert res.counters["drained_agents"] == ["127.0.0.1#1"]
+
+    def test_failed_expectation_fails_the_scenario(self):
+        # Expect a drain that never happens: the run itself is clean but
+        # the scenario must be reported as failed.
+        spec = ScenarioSpec(
+            name="expect_mismatch",
+            seed=3,
+            agents=3,
+            expect=Expectation(drained=1),
+            **SMALL,
+        )
+        res = run_scenario(spec)
+        assert res.error is None
+        assert not res.passed
+        failing = [c.name for c in res.checks if not c.ok]
+        assert failing == ["drained"]
+
+    def test_report_round_trip(self, tmp_path):
+        spec = ScenarioSpec(name="tiny", seed=1, agents=2, **SMALL)
+        results = run_suite([spec], verbose=False)
+        path = str(tmp_path / "report.json")
+        report = write_report(results, path)
+        assert report["total"] == 1
+        on_disk = json.loads(open(path).read())
+        assert on_disk["passed"] + on_disk["failed"] == 1
+        (entry,) = on_disk["scenarios"]
+        assert entry["scenario"]["name"] == "tiny"
+        assert "counters" in entry and "checks" in entry

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Run the declarative chaos-scenario suite against the real runtimes.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_scenarios.py               # whole suite
+    PYTHONPATH=src python tools/run_scenarios.py scenarios/agent_crash.json
+    PYTHONPATH=src python tools/run_scenarios.py --only join   # name filter
+    PYTHONPATH=src python tools/run_scenarios.py --report report.json
+
+Each scenario builds its own seeded synthetic dataset, runs the
+distributed pipeline over loopback agents with the scenario's membership
+schedule and fault plan, and checks the output bit-identical against the
+sequential baseline plus the scenario's expectations.  Exit status is 0
+only if every selected scenario passed.  ``--report`` writes the
+machine-readable JSON report CI archives as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.scenarios import (  # noqa: E402
+    load_scenario,
+    load_scenarios,
+    run_suite,
+    write_report,
+)
+
+DEFAULT_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "scenarios"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run declarative chaos scenarios for the distributed "
+        "runtime"
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="scenario files to run (default: every file in scenarios/)",
+    )
+    parser.add_argument(
+        "--dir", default=DEFAULT_DIR,
+        help="scenario directory when no files are given",
+    )
+    parser.add_argument(
+        "--only", metavar="SUBSTR",
+        help="run only scenarios whose name contains SUBSTR",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.paths:
+        specs = [load_scenario(p) for p in args.paths]
+    else:
+        specs = load_scenarios(args.dir)
+    if args.only:
+        specs = [s for s in specs if args.only in s.name]
+        if not specs:
+            print(f"no scenario name contains {args.only!r}", file=sys.stderr)
+            return 2
+    if args.list:
+        for s in specs:
+            print(f"{s.name:<24} {s.description}")
+        return 0
+
+    results = run_suite(specs)
+    if args.report:
+        write_report(results, args.report)
+        print(f"report written to {args.report}")
+    failed = [r for r in results if not r.passed]
+    print(
+        f"{len(results) - len(failed)}/{len(results)} scenarios passed"
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
