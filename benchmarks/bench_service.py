@@ -1,0 +1,180 @@
+"""Analysis-service benchmark: warm pools + result cache vs cold runs.
+
+The acceptance workload of ISSUE 7: 50 jobs from 2 tenants over a mix
+of duplicate and distinct configurations, submitted twice —
+
+* **cold** — caching and batching disabled, so every job pays a full
+  pipeline pass (the one-shot ``run_pipeline`` cost, amortizing only
+  the warm runtime pool);
+* **warm** — the service as shipped: content-addressed cache, request
+  batching, warm pools.
+
+Records jobs/sec for both phases, the cache hit rate, and the pool
+build count in ``BENCH_service.json`` at the repo root, and asserts the
+acceptance criteria: >= 50% cache hits on the duplicate-heavy workload,
+the runtime built once per distinct configuration, weighted fairness
+under saturation, and every returned volume bit-identical to a one-shot
+``run_pipeline`` call.
+
+Needs only numpy and the stdlib, so CI runs the smoke variant::
+
+    pytest benchmarks/bench_service.py -k smoke
+"""
+
+import os
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from harness import record_repo_json
+
+from repro.data.synthetic import PhantomConfig, generate_phantom
+from repro.filters.messages import TextureParams
+from repro.pipeline.config import AnalysisConfig
+from repro.pipeline.run import run_pipeline
+from repro.service import AnalysisRequest, AnalysisService, ServiceConfig
+from repro.storage.dataset import write_dataset
+
+SHAPE = (16, 14, 6, 4)
+ROI = (3, 3, 3, 2)
+FEATURES = ("asm", "idm")
+#: 6 distinct configurations (levels x distance); 50 jobs cycle over
+#: them, so the workload is duplicate-heavy on purpose.
+CONFIG_GRID = [(levels, distance)
+               for levels in (6, 8, 10) for distance in (1, 2)]
+NUM_JOBS = 50
+TENANTS = ("clinical", "batch")
+WEIGHTS = {"clinical": 2.0, "batch": 1.0}
+
+
+def make_dataset(tmpdir):
+    root = os.path.join(str(tmpdir), "ds")
+    write_dataset(generate_phantom(PhantomConfig(shape=SHAPE, seed=3)),
+                  root, num_nodes=2)
+    return root
+
+
+def config_for(levels, distance):
+    return AnalysisConfig(
+        texture=TextureParams(
+            roi_shape=ROI, levels=levels, features=FEATURES,
+            distance=distance, intensity_range=(0.0, 65535.0),
+        ),
+        texture_chunk_shape=(8, 8, 4, 3),
+    )
+
+
+def workload(dataset_root, cacheable):
+    """The 50-job mix: tenants alternate, configs cycle over the grid.
+
+    Submitted as two waves — one job per distinct configuration, then
+    the duplicate-heavy remainder — so the second wave models tenants
+    re-requesting analyses the service has already produced.
+    """
+    reqs = []
+    for i in range(NUM_JOBS):
+        levels, distance = CONFIG_GRID[i % len(CONFIG_GRID)]
+        reqs.append(AnalysisRequest(
+            dataset_root,
+            config_for(levels, distance),
+            tenant=TENANTS[i % len(TENANTS)],
+            use_cache=cacheable,
+            batchable=cacheable,
+        ))
+    return reqs[:len(CONFIG_GRID)], reqs[len(CONFIG_GRID):]
+
+
+def run_phase(dataset_root, cacheable):
+    svc = AnalysisService(ServiceConfig(
+        workers=1, max_queued=NUM_JOBS + 8, tenant_weights=WEIGHTS,
+        batching=cacheable, cache_bytes=(256 << 20) if cacheable else 0,
+        pool_entries=len(CONFIG_GRID) + 2,
+    ))
+    seed_wave, dup_wave = workload(dataset_root, cacheable)
+    t0 = time.perf_counter()
+    with svc:
+        jobs = [svc.submit(req) for req in seed_wave]
+        results = [job.result(timeout=600) for job in jobs]
+        jobs += [svc.submit(req) for req in dup_wave]
+        results += [job.result(timeout=600) for job in jobs[len(results):]]
+        wall = time.perf_counter() - t0
+        waits = {
+            tenant: [r.queue_wait for j, r in zip(jobs, results)
+                     if j.tenant == tenant]
+            for tenant in TENANTS
+        }
+        counters = svc.metrics.snapshot()["counters"]
+        stats = {
+            "seconds": round(wall, 4),
+            "jobs_per_sec": round(NUM_JOBS / wall, 2),
+            "pool_builds": int(svc.pool.stats()["builds"]),
+            "pool_reuses": int(svc.pool.stats()["reuses"]),
+            "pipeline_runs": int(counters.get("service_runs", 0)),
+            "batched_jobs": int(counters.get("service_batched_jobs", 0)),
+            "cache_hit_rate": round(svc.cache.stats()["hit_rate"], 4),
+            "mean_wait": {t: round(float(np.mean(w)), 4)
+                          for t, w in waits.items()},
+        }
+    return jobs, results, stats
+
+
+def test_service_warm_vs_cold_smoke(tmp_path):
+    dataset_root = make_dataset(tmp_path)
+    baselines = {
+        (levels, distance): run_pipeline(
+            dataset_root, config_for(levels, distance)
+        ).volumes
+        for levels, distance in CONFIG_GRID
+    }
+
+    cold_jobs, cold_results, cold = run_phase(dataset_root, cacheable=False)
+    warm_jobs, warm_results, warm = run_phase(dataset_root, cacheable=True)
+
+    # Acceptance: every result bit-identical to one-shot run_pipeline.
+    for jobs, results in ((cold_jobs, cold_results),
+                          (warm_jobs, warm_results)):
+        for job, result in zip(jobs, results):
+            texture = job.request.config.texture
+            want = baselines[(texture.levels, texture.distance)]
+            for name in FEATURES:
+                np.testing.assert_array_equal(
+                    result.volumes[name], want[name],
+                    err_msg=f"{job.id}/{name} diverged from run_pipeline",
+                )
+
+    # Acceptance: the runtime was built once per distinct configuration.
+    assert warm["pool_builds"] == len(CONFIG_GRID)
+    # Acceptance: >= 50% cache hits on the duplicate-heavy workload.
+    assert warm["cache_hit_rate"] >= 0.5, warm
+    # Caching + batching must beat paying a pass per job.
+    assert warm["pipeline_runs"] < NUM_JOBS
+    assert warm["jobs_per_sec"] > cold["jobs_per_sec"]
+    # Acceptance: weighted fairness under saturation — the weight-2
+    # tenant waits no longer than the weight-1 tenant (cold phase: no
+    # batching, so the queue order is pure weighted fair queuing).
+    assert (cold["mean_wait"]["clinical"]
+            <= cold["mean_wait"]["batch"] * 1.05), cold["mean_wait"]
+
+    payload = {
+        "workload": {
+            "jobs": NUM_JOBS,
+            "tenants": list(TENANTS),
+            "tenant_weights": WEIGHTS,
+            "distinct_configs": len(CONFIG_GRID),
+            "dataset_shape": list(SHAPE),
+            "features": list(FEATURES),
+        },
+        "cold": cold,
+        "warm": warm,
+        "speedup": round(warm["jobs_per_sec"] / cold["jobs_per_sec"], 2),
+    }
+    path = record_repo_json("BENCH_service.json", payload)
+    print(f"\ncold: {cold['jobs_per_sec']} jobs/s   "
+          f"warm: {warm['jobs_per_sec']} jobs/s   "
+          f"hit rate: {warm['cache_hit_rate']:.0%}   -> {path}")
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

@@ -6,11 +6,14 @@ Subcommands::
     repro info     DATASET_DIR
     repro analyze  DATASET_DIR [--variant hmp|split] [--copies N] ...
     repro simulate [--figure 7a|7b|8|9|10|11] [--scale S]
+    repro serve    [--port P] [--workers N] [--weights tenant=W ...] ...
+    repro submit   DATASET_DIR [--connect HOST:PORT] [--features ...] ...
 
 ``phantom`` generates a synthetic DCE-MRI study and writes it as a
 disk-resident dataset; ``analyze`` runs the parallel pipeline over a
 dataset on this machine; ``simulate`` regenerates a paper figure's series
-on the simulated 2004 testbeds.
+on the simulated 2004 testbeds; ``serve`` hosts the always-on analysis
+service (:mod:`repro.service`) and ``submit`` sends it jobs.
 """
 
 from __future__ import annotations
@@ -102,6 +105,44 @@ def build_parser() -> argparse.ArgumentParser:
                    default="8")
     p.add_argument("--scale", type=float, default=1.0,
                    help="workload scale (1.0 = paper's dataset)")
+
+    p = sub.add_parser("serve", help="host the always-on analysis service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7461)
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent pipeline passes")
+    p.add_argument("--max-queued", type=int, default=64,
+                   help="admission bound: queued jobs beyond this are "
+                        "rejected with a reason")
+    p.add_argument("--weights", nargs="+", metavar="TENANT=W", default=[],
+                   help="per-tenant fair-share weights, e.g. clinical=3 "
+                        "batch=1 (unlisted tenants get 1)")
+    p.add_argument("--cache-mb", type=int, default=256,
+                   help="result cache budget in MB (0 disables)")
+    p.add_argument("--pool-entries", type=int, default=4,
+                   help="warm runtime entries kept across jobs")
+    p.add_argument("--no-batching", action="store_true",
+                   help="disable packing co-batchable jobs into one pass")
+
+    p = sub.add_parser("submit", help="submit a job to a running service")
+    p.add_argument("dataset", help="dataset directory (as seen by the server)")
+    p.add_argument("--connect", default="127.0.0.1:7461", metavar="HOST:PORT")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--features", nargs="+",
+                   default=["asm", "correlation", "sum_of_squares", "idm"])
+    p.add_argument("--levels", type=int, default=32)
+    p.add_argument("--roi", nargs=4, type=int, default=[5, 5, 5, 3],
+                   metavar=("RX", "RY", "RZ", "RT"))
+    p.add_argument("--intensity-max", type=float, default=4095.0)
+    p.add_argument("--runtime", choices=("threads", "processes", "distributed"),
+                   default="threads")
+    p.add_argument("--transport", choices=("pipe", "shm"), default="pipe")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed result cache")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and return instead of waiting")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for the result")
 
     return parser
 
@@ -255,6 +296,79 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from .service import AnalysisService, ServiceConfig, ServiceServer
+
+    weights = {}
+    for spec in args.weights:
+        tenant, _, w = spec.partition("=")
+        if not tenant or not w:
+            print(f"bad --weights entry {spec!r} (want TENANT=WEIGHT)",
+                  file=sys.stderr)
+            return 2
+        weights[tenant] = float(w)
+    config = ServiceConfig(
+        workers=args.workers,
+        max_queued=args.max_queued,
+        tenant_weights=weights,
+        batching=not args.no_batching,
+        cache_bytes=args.cache_mb << 20,
+        pool_entries=args.pool_entries,
+    )
+    with AnalysisService(config) as service:
+        with ServiceServer(service, host=args.host, port=args.port) as server:
+            print(f"repro service listening on {server.host}:{server.port} "
+                  f"({args.workers} workers, cache {args.cache_mb} MB)")
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                print("shutting down")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceClient, ServiceClientError
+
+    host, _, port = args.connect.rpartition(":")
+    try:
+        with ServiceClient(host or "127.0.0.1", int(port)) as client:
+            try:
+                job_id = client.submit(
+                    dataset=args.dataset,
+                    tenant=args.tenant,
+                    features=list(args.features),
+                    levels=args.levels,
+                    roi=list(args.roi),
+                    intensity_range=[0.0, args.intensity_max],
+                    runtime=args.runtime,
+                    transport=args.transport,
+                    use_cache=not args.no_cache,
+                )
+            except ServiceClientError as exc:
+                print(f"rejected ({exc.kind}): {exc}", file=sys.stderr)
+                return 1
+            if args.no_wait:
+                print(job_id)
+                return 0
+            resp = client.result(job_id, timeout=args.timeout)
+            src = (f"cache+run" if resp["cached"] and resp["computed"]
+                   else "cache" if resp["cached"] else "run")
+            print(f"{job_id}: done in {resp['elapsed']:.2f}s "
+                  f"(waited {resp['queue_wait']:.2f}s, source={src}, "
+                  f"batch={resp['batch_size']})")
+            for name, vol in resp["volumes"].items():
+                print(f"{name:<16} shape={tuple(vol['shape'])} "
+                      f"min={vol['min']:.4f} max={vol['max']:.4f}")
+            return 0
+    except ConnectionError as exc:
+        print(f"cannot reach service at {args.connect}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -262,6 +376,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _cmd_info,
         "analyze": _cmd_analyze,
         "simulate": _cmd_simulate,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
 

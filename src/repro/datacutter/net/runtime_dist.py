@@ -302,6 +302,40 @@ class DistRuntime:
         self.bind_host = bind_host
         self.connect_timeout = connect_timeout
         self.trace = bool(trace)
+        self._run_mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def close(self) -> None:
+        """Abort any in-flight run and release its sockets and agents.
+
+        Idempotent, and safe to call from another thread while ``run()``
+        is blocked: the run's done event fires, the monitor loop exits,
+        and ``run()``'s own teardown closes the listener, the agent
+        connections, and any loopback agent processes.  After a finished
+        run this is a no-op — ``run()`` already tore everything down.
+        """
+        done = getattr(self, "_done_event", None)
+        if done is not None and not done.is_set():
+            with self._lock:
+                self._fatal = True
+                self._failures.append(
+                    CopyFailure(
+                        filter_name="<runtime>",
+                        copy_index=-1,
+                        error="runtime closed while running",
+                        kind="exception",
+                    )
+                )
+            done.set()
+
+    def __enter__(self) -> "DistRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # Per-run state (one run at a time, like the single-host runtimes)
@@ -1202,6 +1236,28 @@ class DistRuntime:
     # Execution
 
     def run(self, timeout: Optional[float] = None) -> RunResult:
+        # One run at a time per instance: all per-run state lives on
+        # ``self`` (``_reset``), so a concurrent ``run()`` would splice
+        # two jobs' routing, results, and trace events together.  Raise
+        # instead; concurrent jobs use separate runtime instances.
+        if not self._run_mutex.acquire(blocking=False):
+            raise RuntimeError(
+                "DistRuntime.run() is already executing; concurrent runs "
+                "need separate runtime instances"
+            )
+        try:
+            return self._run_body(timeout)
+        except BaseException:
+            # Any exception past this point must not leak agent
+            # processes, sockets, or reader/writer threads.  _teardown
+            # is idempotent, so the normal-path call below is safe too.
+            if hasattr(self, "_conns"):
+                self._teardown()
+            raise
+        finally:
+            self._run_mutex.release()
+
+    def _run_body(self, timeout: Optional[float] = None) -> RunResult:
         self._reset()
         token = binascii.hexlify(os.urandom(16)).decode()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)

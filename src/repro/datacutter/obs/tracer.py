@@ -31,16 +31,24 @@ TRACE_MODES = ("events", "chrome", "jsonl", "live")
 
 
 class Tracer:
-    """Collects events for one run (or one filter copy of one run)."""
+    """Collects events for one run (or one filter copy of one run).
 
-    __slots__ = ("_events", "_lock", "t0")
+    ``scope`` labels every event this tracer emits with fixed attrs
+    (e.g. ``{"job": "j-000017"}``).  Each run — and in the analysis
+    service, each job — gets its *own* tracer, so two concurrent runs in
+    one process can never interleave events into one trace; the scope
+    keeps that attribution even after traces are merged or exported.
+    """
+
+    __slots__ = ("_events", "_lock", "t0", "scope")
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, scope: Optional[Dict[str, Any]] = None) -> None:
         self._events: List[TraceEvent] = []
         self._lock = threading.Lock()
         self.t0 = time.time()
+        self.scope = dict(scope) if scope else None
 
     def emit(
         self,
@@ -51,6 +59,8 @@ class Tracer:
         chunk: Optional[Tuple[int, ...]] = None,
         **attrs: Any,
     ) -> None:
+        if self.scope:
+            attrs = {**self.scope, **attrs}
         ev = TraceEvent(
             ts=time.time(),
             kind=kind,

@@ -326,7 +326,8 @@ class _EdgeRouter:
 class _LocalContext(FilterContext):
     def __init__(
         self,
-        runtime: "LocalRuntime",
+        results: Dict[str, List[Any]],
+        results_lock: threading.Lock,
         filter_name: str,
         copy_index: int,
         num_copies: int,
@@ -334,7 +335,8 @@ class _LocalContext(FilterContext):
         tracer: Optional[Tracer] = None,
     ):
         super().__init__(filter_name, copy_index, num_copies)
-        self._runtime = runtime
+        self._results = results
+        self._results_lock = results_lock
         self._out = out_routers
         self._tracer = tracer
         self.tracing = tracer is not None
@@ -363,8 +365,8 @@ class _LocalContext(FilterContext):
         router.route(buf, dest_copy)
 
     def deposit(self, key, value):
-        with self._runtime._results_lock:
-            self._runtime._results.setdefault(key, []).append(value)
+        with self._results_lock:
+            self._results.setdefault(key, []).append(value)
 
 
 class LocalRuntime:
@@ -405,8 +407,29 @@ class LocalRuntime:
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
         self.trace = bool(trace)
-        self._results: Dict[str, List[Any]] = {}
-        self._results_lock = threading.Lock()
+        self._run_lock = threading.Lock()
+        self._active_state: Optional[_RunState] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Abort any in-flight run.  Idempotent.
+
+        The threaded runtime holds no resources between runs (worker
+        threads end with each ``run()``), so closing only matters for a
+        run that is still executing: its shared abort flag is raised and
+        ``run()`` will unwind with a :class:`PipelineError`.
+        """
+        state = self._active_state
+        if state is not None:
+            state.trigger_abort()
+
+    def __enter__(self) -> "LocalRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     @staticmethod
     def _check_stream_names(graph: FilterGraph) -> None:
@@ -457,13 +480,34 @@ class LocalRuntime:
     # -- execution ---------------------------------------------------------
 
     def run(self, timeout: Optional[float] = None) -> RunResult:
-        self._results = {}  # fresh result store per execution
+        # One run at a time per instance: concurrent jobs must use
+        # separate runtime instances (the service's warm pool leases
+        # guarantee this).  Raising beats silently interleaving two
+        # jobs' deposits and trace events into one result.
+        if not self._run_lock.acquire(blocking=False):
+            raise RuntimeError(
+                "LocalRuntime.run() is already executing; concurrent runs "
+                "need separate runtime instances"
+            )
+        try:
+            return self._run(timeout)
+        finally:
+            self._active_state = None
+            self._run_lock.release()
+
+    def _run(self, timeout: Optional[float] = None) -> RunResult:
+        # Per-run state: nothing below survives on the instance, so a
+        # finished run leaves no mutable state for the next one (or a
+        # concurrent one on another instance) to trip over.
+        results: Dict[str, List[Any]] = {}
+        results_lock = threading.Lock()
         graph = self.graph
         if self.faults is not None:
             self.faults.validate(
                 {name: spec.copies for name, spec in graph.filters.items()}
             )
         state = _RunState()
+        self._active_state = state
         tracer = Tracer() if self.trace else None
         # Input queues per (filter, copy).
         queues: Dict[Tuple[str, int], queue.Queue] = {}
@@ -507,7 +551,8 @@ class LocalRuntime:
             try:
                 filt = spec.factory()
                 ctx = _LocalContext(
-                    self, spec_name, copy_index, spec.copies, out_routers, tracer
+                    results, results_lock, spec_name, copy_index, spec.copies,
+                    out_routers, tracer,
                 )
                 if tracer is not None:
                     tracer.emit("copy.start", filter=spec_name, copy=copy_index)
@@ -696,7 +741,7 @@ class LocalRuntime:
         }
         events = tracer.drain() if tracer is not None else None
         return RunResult(
-            results=self._results,
+            results=results,
             elapsed=elapsed,
             busy_time=busy,
             buffers_sent=buffers_sent,

@@ -60,6 +60,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import threading
 import time
 import traceback
 from typing import Any, Dict, List, Optional, Tuple
@@ -601,6 +602,13 @@ class MPRuntime:
     shm_segments / shm_segment_bytes / shm_threshold:
         Pool geometry for ``transport="shm"`` — slab count, slab size,
         and the payload size below which frames stay in-band.
+    shm_pool:
+        An externally owned :class:`~repro.datacutter.net.shm.ShmPool`
+        to use instead of creating (and destroying) one per run.  The
+        caller keeps ownership: the pool survives ``run()`` so warm
+        reuse across jobs skips the slab allocation, and the caller must
+        eventually destroy it (``close()`` on this runtime does *not*).
+        Only valid with ``transport="shm"``.
     poll_interval:
         Seconds between parent/child busy-wait ticks; defaults to the
         ``REPRO_MP_POLL_INTERVAL`` environment variable (0.02s).
@@ -617,6 +625,7 @@ class MPRuntime:
         shm_segments: int = 32,
         shm_segment_bytes: int = 32 << 20,
         shm_threshold: int = 64 << 10,
+        shm_pool: Optional[shm.ShmPool] = None,
         poll_interval: Optional[float] = None,
     ):
         graph.validate()
@@ -630,6 +639,8 @@ class MPRuntime:
             raise ValueError(
                 f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
             )
+        if shm_pool is not None and transport != "shm":
+            raise ValueError("shm_pool= requires transport='shm'")
         self.graph = graph
         self.max_queue = max_queue
         self.retry = retry if retry is not None else RetryPolicy()
@@ -647,16 +658,62 @@ class MPRuntime:
         )
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        self.shm_pool = shm_pool
+        self._run_lock = threading.Lock()
+        self._procs: List[Tuple[mp.Process, str, int]] = []
+        self._abort = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Abort any in-flight run and reap its child processes.
+
+        Idempotent, and safe to call from another thread while ``run()``
+        is blocked: the abort flag unwedges every child, leftovers are
+        terminated, and ``run()`` raises a structured
+        :class:`PipelineError`.  An externally supplied ``shm_pool``
+        stays alive (its owner destroys it); a per-run pool is already
+        destroyed by ``run()``'s own unwind.
+        """
+        abort = self._abort
+        if abort is not None:
+            abort.value = 1
+        for p, _, _ in list(self._procs):
+            p.join(timeout=5)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5)
+
+    def __enter__(self) -> "MPRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def run(self, timeout: Optional[float] = None) -> RunResult:
+        if not self._run_lock.acquire(blocking=False):
+            raise RuntimeError(
+                "MPRuntime.run() is already executing; concurrent runs "
+                "need separate runtime instances"
+            )
+        try:
+            return self._run_guarded(timeout)
+        finally:
+            self._abort = None
+            self._procs = []
+            self._run_lock.release()
+
+    def _run_guarded(self, timeout: Optional[float]) -> RunResult:
         graph = self.graph
         if self.faults is not None:
             self.faults.validate(
                 {name: spec.copies for name, spec in graph.filters.items()}
             )
         ctx = mp.get_context("fork")
-        pool: Optional[shm.ShmPool] = None
-        if self.transport == "shm":
+        pool: Optional[shm.ShmPool] = self.shm_pool
+        owned = pool is None and self.transport == "shm"
+        if owned:
             pool = shm.ShmPool(
                 ctx,
                 segments=self.shm_segments,
@@ -665,11 +722,20 @@ class MPRuntime:
             )
         try:
             return self._run(ctx, pool, timeout)
+        except BaseException:
+            # Anything that escapes the run — PipelineError, but also a
+            # KeyboardInterrupt or an unexpected parent-side failure —
+            # must not strand children: raise the shared abort and reap
+            # whatever is still alive before propagating.
+            self.close()
+            raise
         finally:
             # Unconditional: normal completion, PipelineError aborts, and
             # the exitcode-watcher path for silently dead children all
-            # land here, so /dev/shm never accumulates segments.
-            if pool is not None:
+            # land here, so /dev/shm never accumulates segments.  A pool
+            # handed in by the caller (warm reuse across jobs) is the
+            # caller's to destroy.
+            if owned and pool is not None:
                 pool.destroy()
 
     def _run(
@@ -681,6 +747,7 @@ class MPRuntime:
         graph = self.graph
         results_q = ctx.Queue()
         abort = ctx.Value("i", 0)
+        self._abort = abort
 
         edges: Dict[Tuple[str, str], _SharedEdge] = {}
         for edge in graph.edges:
@@ -714,6 +781,7 @@ class MPRuntime:
                 )
                 p.start()
                 procs.append((p, spec.name, i))
+        self._procs = procs
 
         results: Dict[str, List[Any]] = {}
         busy: Dict[Tuple[str, int], float] = {}

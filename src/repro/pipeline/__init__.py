@@ -3,7 +3,14 @@
 from .builder import build_graph, plan_chunks
 from .config import AnalysisConfig, clip_chunk_shape
 from .report import filter_breakdown, format_breakdown, format_metrics
-from .run import PipelineResult, run_pipeline
+from .run import (
+    PipelineResult,
+    PreparedPipeline,
+    build_runtime,
+    execute_pipeline,
+    prepare_pipeline,
+    run_pipeline,
+)
 from .sequential import iter_chunk_features, transform_disk_dataset
 
 __all__ = [
@@ -15,6 +22,10 @@ __all__ = [
     "format_breakdown",
     "format_metrics",
     "PipelineResult",
+    "PreparedPipeline",
+    "build_runtime",
+    "execute_pipeline",
+    "prepare_pipeline",
     "run_pipeline",
     "iter_chunk_features",
     "transform_disk_dataset",

@@ -5,6 +5,21 @@ runtime against a disk-resident dataset and returns the stitched output
 volumes plus execution statistics.  It is the parallel counterpart of
 :func:`repro.core.analysis.haralick_transform` and produces numerically
 identical feature volumes.
+
+The driver is factored into three phases so long-lived callers — most
+importantly the warm runtime pools of :mod:`repro.service` — can hold on
+to the expensive middle state instead of rebuilding it per request:
+
+* **build** — :func:`prepare_pipeline` opens the dataset and wires the
+  validated filter graph; :func:`build_runtime` constructs (and
+  validates the arguments of) the execution backend for that graph.
+* **execute** — :func:`execute_pipeline` runs a built runtime once and
+  stitches the output volumes.  A runtime may be executed many times;
+  each ``run()`` is fully self-contained.
+* **teardown** — every runtime is a context manager; ``close()``
+  aborts anything in flight and releases child processes, sockets and
+  shared-memory segments.  ``run_pipeline`` drives its runtime inside a
+  ``with`` block, so no exception path can leak them.
 """
 
 from __future__ import annotations
@@ -18,6 +33,7 @@ import numpy as np
 
 from ..core.roi import valid_positions_shape
 from ..datacutter.faults import FaultPlan, RetryPolicy
+from ..datacutter.graph import FilterGraph
 from ..datacutter.obs import Trace, format_summary, resolve_trace_mode
 from ..datacutter.runtime_local import LocalRuntime, RunResult
 from ..datacutter.runtime_mp import MPRuntime
@@ -26,7 +42,16 @@ from ..storage.dataset import DiskDataset4D
 from .builder import build_graph
 from .config import AnalysisConfig
 
-__all__ = ["PipelineResult", "run_pipeline"]
+__all__ = [
+    "PipelineResult",
+    "PreparedPipeline",
+    "prepare_pipeline",
+    "build_runtime",
+    "execute_pipeline",
+    "run_pipeline",
+]
+
+RUNTIMES = ("threads", "processes", "distributed")
 
 
 @dataclass
@@ -52,6 +77,122 @@ class PipelineResult:
         return self.run.metrics
 
 
+@dataclass
+class PreparedPipeline:
+    """The build-phase product: an opened dataset plus its wired graph.
+
+    Immutable across executions — the same prepared pipeline can back
+    any number of runs (the graph's filter factories construct fresh
+    filter instances per run).
+    """
+
+    dataset: DiskDataset4D
+    graph: FilterGraph
+    config: AnalysisConfig
+
+
+def prepare_pipeline(
+    dataset_root: str, config: Optional[AnalysisConfig] = None
+) -> PreparedPipeline:
+    """Build phase: open the dataset and wire the validated filter graph."""
+    config = config or AnalysisConfig()
+    dataset = DiskDataset4D.open(dataset_root)
+    graph = build_graph(dataset, config)
+    return PreparedPipeline(dataset=dataset, graph=graph, config=config)
+
+
+def _validate_backend_kwargs(
+    runtime, transport, hosts, elastic, schedule, heartbeat_timeout
+) -> None:
+    """Cross-argument rules shared by build_runtime and run_pipeline.
+
+    run_pipeline applies them *before* preparing the dataset, so a bad
+    argument combination is reported even when the dataset or config
+    would also fail to validate.
+    """
+    if hosts is not None and runtime != "distributed":
+        raise ValueError(f"hosts= only applies to runtime='distributed', "
+                         f"not {runtime!r}")
+    if transport != "pipe" and runtime != "processes":
+        raise ValueError(f"transport={transport!r} only applies to "
+                         f"runtime='processes', not {runtime!r}")
+    if runtime != "distributed":
+        if elastic:
+            raise ValueError("elastic= only applies to "
+                             "runtime='distributed'")
+        if schedule:
+            raise ValueError("schedule= only applies to "
+                             "runtime='distributed'")
+        if heartbeat_timeout is not None:
+            raise ValueError("heartbeat_timeout= only applies to "
+                             "runtime='distributed'")
+
+
+def build_runtime(
+    graph: FilterGraph,
+    runtime: str = "threads",
+    max_queue: int = 64,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    trace: bool = False,
+    transport: str = "pipe",
+    shm_segments: Optional[int] = None,
+    shm_segment_bytes: Optional[int] = None,
+    shm_threshold: Optional[int] = None,
+    shm_pool=None,
+    hosts: Optional[List[str]] = None,
+    elastic: bool = False,
+    schedule: Optional[list] = None,
+    heartbeat_timeout: Optional[float] = None,
+):
+    """Build phase: construct the execution backend for a wired graph.
+
+    Validates the cross-argument rules (``transport=`` only for the
+    processes runtime, ``hosts=``/``elastic=``/... only for the
+    distributed one) and returns a runtime object ready to ``run()``.
+    The returned runtime is a context manager; callers that do not hold
+    it in a pool should drive it inside a ``with`` block.
+    """
+    _validate_backend_kwargs(
+        runtime, transport, hosts, elastic, schedule, heartbeat_timeout
+    )
+    if runtime == "threads":
+        return LocalRuntime(
+            graph, max_queue=max_queue, retry=retry, faults=faults,
+            trace=trace,
+        )
+    if runtime == "processes":
+        shm_kwargs = {
+            k: v
+            for k, v in (
+                ("shm_segments", shm_segments),
+                ("shm_segment_bytes", shm_segment_bytes),
+                ("shm_threshold", shm_threshold),
+                ("shm_pool", shm_pool),
+            )
+            if v is not None
+        }
+        return MPRuntime(
+            graph, max_queue=max_queue, retry=retry, faults=faults,
+            trace=trace, transport=transport, **shm_kwargs,
+        )
+    if runtime == "distributed":
+        from ..datacutter.net import DistRuntime
+
+        return DistRuntime(
+            graph,
+            hosts=hosts if hosts is not None else ["127.0.0.1"] * 3,
+            max_queue=max_queue,
+            retry=retry,
+            faults=faults,
+            trace=trace,
+            elastic=elastic,
+            schedule=schedule,
+            heartbeat_timeout=heartbeat_timeout,
+        )
+    raise ValueError(f"unknown runtime {runtime!r}")
+
+
 def _volumes_from_uso(
     dataset: DiskDataset4D, config: AnalysisConfig
 ) -> Dict[str, np.ndarray]:
@@ -68,6 +209,47 @@ def _volumes_from_uso(
             raise FileNotFoundError(f"no USO output files for feature {name!r}")
         volumes[name] = combine_uso_outputs(paths, out_shape)
     return volumes
+
+
+def collect_volumes(
+    prepared: PreparedPipeline, run: RunResult
+) -> Dict[str, np.ndarray]:
+    """Stitch one run's output volumes according to the config's mode."""
+    if prepared.config.output == "uso":
+        return _volumes_from_uso(prepared.dataset, prepared.config)
+    deposits = run.deposits("volumes")
+    if len(deposits) != 1:
+        raise RuntimeError(
+            f"expected exactly one stitched volume set, got {len(deposits)}"
+        )
+    return deposits[0]
+
+
+def execute_pipeline(
+    prepared: PreparedPipeline,
+    rt,
+    run_timeout: Optional[float] = None,
+    trace: Union[bool, str, None] = None,
+    trace_out: Optional[str] = None,
+) -> PipelineResult:
+    """Execute phase: run a built runtime once and stitch its outputs.
+
+    ``trace`` here only selects the *exporter* for the events the
+    runtime collected (the runtime itself must have been built with
+    ``trace=True`` for any events to exist); ``None`` leaves the trace
+    attached to the result without exporting.
+    """
+    mode = resolve_trace_mode(trace)
+    run = rt.run(timeout=run_timeout)
+    if run.trace is not None:
+        if mode == "chrome":
+            run.trace.to_chrome(trace_out or "trace.json")
+        elif mode == "jsonl":
+            run.trace.to_jsonl(trace_out or "trace.jsonl")
+        elif mode == "live":
+            print(format_summary(run.trace.events))
+    volumes = collect_volumes(prepared, run)
+    return PipelineResult(volumes=volumes, run=run, config=prepared.config)
 
 
 def run_pipeline(
@@ -90,6 +272,13 @@ def run_pipeline(
     run_timeout: Optional[float] = None,
 ) -> PipelineResult:
     """Run the parallel pipeline over a disk-resident dataset.
+
+    One-shot composition of the three phases: prepare the dataset and
+    graph, build the runtime, execute it once inside a ``with`` block
+    (so the runtime is torn down on every exception path), and stitch
+    the outputs.  Long-lived callers that want to reuse the build
+    products across many executions use the phase functions directly —
+    see :class:`repro.service.AnalysisService`.
 
     Parameters
     ----------
@@ -157,81 +346,32 @@ def run_pipeline(
     -------
     :class:`PipelineResult` with one stitched volume per feature.
     """
-    config = config or AnalysisConfig()
     mode = resolve_trace_mode(trace)
     if trace_out is not None and mode not in ("chrome", "jsonl"):
         raise ValueError("trace_out= requires trace='chrome' or 'jsonl'")
-    if hosts is not None and runtime != "distributed":
-        raise ValueError(f"hosts= only applies to runtime='distributed', "
-                         f"not {runtime!r}")
-    if transport != "pipe" and runtime != "processes":
-        raise ValueError(f"transport={transport!r} only applies to "
-                         f"runtime='processes', not {runtime!r}")
-    if runtime != "distributed":
-        if elastic:
-            raise ValueError("elastic= only applies to "
-                             "runtime='distributed'")
-        if schedule:
-            raise ValueError("schedule= only applies to "
-                             "runtime='distributed'")
-        if heartbeat_timeout is not None:
-            raise ValueError("heartbeat_timeout= only applies to "
-                             "runtime='distributed'")
-    dataset = DiskDataset4D.open(dataset_root)
-    graph = build_graph(dataset, config)
-    retry = retry if retry is not None else config.retry
-    tracing = mode is not None
-    if runtime == "threads":
-        run = LocalRuntime(
-            graph, max_queue=max_queue, retry=retry, faults=faults,
-            trace=tracing,
-        ).run(timeout=run_timeout)
-    elif runtime == "processes":
-        shm_kwargs = {
-            k: v
-            for k, v in (
-                ("shm_segments", shm_segments),
-                ("shm_segment_bytes", shm_segment_bytes),
-                ("shm_threshold", shm_threshold),
-            )
-            if v is not None
-        }
-        run = MPRuntime(
-            graph, max_queue=max_queue, retry=retry, faults=faults,
-            trace=tracing, transport=transport, **shm_kwargs,
-        ).run(timeout=run_timeout)
-    elif runtime == "distributed":
-        from ..datacutter.net import DistRuntime
-
-        run = DistRuntime(
-            graph,
-            hosts=hosts if hosts is not None else ["127.0.0.1"] * 3,
-            max_queue=max_queue,
-            retry=retry,
-            faults=faults,
-            trace=tracing,
-            elastic=elastic,
-            schedule=schedule,
-            heartbeat_timeout=heartbeat_timeout,
-        ).run(timeout=run_timeout)
-    else:
-        raise ValueError(f"unknown runtime {runtime!r}")
-
-    if run.trace is not None:
-        if mode == "chrome":
-            run.trace.to_chrome(trace_out or "trace.json")
-        elif mode == "jsonl":
-            run.trace.to_jsonl(trace_out or "trace.jsonl")
-        elif mode == "live":
-            print(format_summary(run.trace.events))
-
-    if config.output == "uso":
-        volumes = _volumes_from_uso(dataset, config)
-    else:
-        deposits = run.deposits("volumes")
-        if len(deposits) != 1:
-            raise RuntimeError(
-                f"expected exactly one stitched volume set, got {len(deposits)}"
-            )
-        volumes = deposits[0]
-    return PipelineResult(volumes=volumes, run=run, config=config)
+    _validate_backend_kwargs(
+        runtime, transport, hosts, elastic, schedule, heartbeat_timeout
+    )
+    prepared = prepare_pipeline(dataset_root, config)
+    retry = retry if retry is not None else prepared.config.retry
+    rt = build_runtime(
+        prepared.graph,
+        runtime=runtime,
+        max_queue=max_queue,
+        retry=retry,
+        faults=faults,
+        trace=mode is not None,
+        transport=transport,
+        shm_segments=shm_segments,
+        shm_segment_bytes=shm_segment_bytes,
+        shm_threshold=shm_threshold,
+        hosts=hosts,
+        elastic=elastic,
+        schedule=schedule,
+        heartbeat_timeout=heartbeat_timeout,
+    )
+    with rt:
+        return execute_pipeline(
+            prepared, rt, run_timeout=run_timeout, trace=trace,
+            trace_out=trace_out,
+        )

@@ -1,0 +1,111 @@
+"""Client for the JSON-lines service protocol (``repro serve``).
+
+Thin and dependency-free: one persistent TCP connection, one JSON
+object per line in each direction.  ``repro submit`` is a CLI wrapper
+around this class; tests drive it in-process against a
+:class:`~repro.service.server.ServiceServer`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = ["ServiceClient", "ServiceClientError", "decode_volume"]
+
+
+class ServiceClientError(RuntimeError):
+    """A request the server answered with ``ok: false``."""
+
+    def __init__(self, response: Dict[str, Any]):
+        super().__init__(response.get("error", "request failed"))
+        self.kind = response.get("kind", "unknown")
+        self.response = response
+
+
+def decode_volume(entry: Dict[str, Any]) -> np.ndarray:
+    """Rebuild a feature volume from its wire form (needs ``data``)."""
+    if "data" not in entry:
+        raise ValueError("volume entry carries no data (request arrays=True)")
+    raw = base64.b64decode(entry["data"])
+    vol = np.frombuffer(raw, dtype=np.dtype(entry["dtype"]))
+    return vol.reshape(tuple(entry["shape"]))
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7461,
+                 timeout: Optional[float] = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._sock.makefile("rwb")
+
+    def _rpc(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        self._stream.write(json.dumps(msg).encode() + b"\n")
+        self._stream.flush()
+        line = self._stream.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        resp = json.loads(line)
+        if not resp.get("ok"):
+            raise ServiceClientError(resp)
+        return resp
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._rpc({"op": "ping"}).get("pong"))
+
+    def submit(self, **payload: Any) -> str:
+        """Submit a job (payload fields per ``request_from_payload``)."""
+        return self._rpc({"op": "submit", "request": payload})["job"]
+
+    def status(self, job_id: str) -> str:
+        return self._rpc({"op": "status", "job": job_id})["status"]
+
+    def result(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        arrays: bool = False,
+    ) -> Dict[str, Any]:
+        """Wait for and fetch one job's result (raises on failure).
+
+        With ``arrays=True`` the ``volumes`` entries are decoded to
+        ndarrays; otherwise they stay summaries.
+        """
+        resp = self._rpc(
+            {"op": "result", "job": job_id, "timeout": timeout,
+             "arrays": arrays}
+        )
+        if arrays:
+            resp["volumes"] = {
+                name: decode_volume(entry)
+                for name, entry in resp["volumes"].items()
+            }
+        return resp
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._rpc({"op": "cancel", "job": job_id})["cancelled"])
+
+    def stats(self) -> Dict[str, Any]:
+        return self._rpc({"op": "stats"})["stats"]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

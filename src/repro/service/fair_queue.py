@@ -1,0 +1,202 @@
+"""Admission control and weighted fair scheduling for the job queue.
+
+The queue implements classic weighted fair queuing (start-time fair
+queuing over a virtual clock): each tenant holds a FIFO of its own
+jobs, and every job is stamped at admission with a virtual finish time
+
+    vft = max(global_vclock, tenant_last_vft) + cost / weight
+
+(``cost`` is 1 per job).  Workers always pop the job with the smallest
+finish tag among the tenant queue heads, and the global clock advances
+to that tag.  A weight-2 tenant therefore drains twice as fast as a
+weight-1 tenant under saturation, an idle tenant's first job is never
+penalized for its idle period (the ``max`` with the global clock), and
+within one tenant order is strictly FIFO.
+
+Admission control is a hard bound on queued jobs: :meth:`FairQueue.push`
+raises :class:`AdmissionError` — with a human-readable reason — instead
+of growing without bound or silently blocking the submitter.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from .jobs import JobHandle
+
+__all__ = ["AdmissionError", "FairQueue"]
+
+
+class AdmissionError(RuntimeError):
+    """A job was rejected at submission; ``reason`` says why."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _TenantQueue:
+    __slots__ = ("weight", "jobs", "last_vft")
+
+    def __init__(self, weight: float):
+        self.weight = weight
+        self.jobs: "deque[JobHandle]" = deque()
+        self.last_vft = 0.0
+
+
+class FairQueue:
+    """Bounded multi-tenant job queue with weighted fair ordering."""
+
+    def __init__(
+        self,
+        max_queued: int = 64,
+        weights: Optional[Mapping[str, float]] = None,
+        default_weight: float = 1.0,
+    ):
+        if max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+        if default_weight <= 0:
+            raise ValueError("default_weight must be > 0")
+        for tenant, w in (weights or {}).items():
+            if w <= 0:
+                raise ValueError(f"weight for tenant {tenant!r} must be > 0")
+        self.max_queued = max_queued
+        self.default_weight = default_weight
+        self._weights = dict(weights or {})
+        self._cond = threading.Condition()
+        self._tenants: Dict[str, _TenantQueue] = {}
+        self._vclock = 0.0
+        self._depth = 0
+        self._closed = False
+
+    # -- admission ---------------------------------------------------------
+
+    def push(self, job: JobHandle) -> None:
+        """Admit a job or raise :class:`AdmissionError` with a reason."""
+        with self._cond:
+            if self._closed:
+                raise AdmissionError("service is shut down")
+            if self._depth >= self.max_queued:
+                raise AdmissionError(
+                    f"queue saturated ({self._depth}/{self.max_queued} "
+                    f"jobs queued); retry later or raise max_queued"
+                )
+            tq = self._tenants.get(job.tenant)
+            if tq is None:
+                weight = self._weights.get(job.tenant, self.default_weight)
+                tq = self._tenants[job.tenant] = _TenantQueue(weight)
+            start = max(self._vclock, tq.last_vft)
+            job._vft = start + 1.0 / tq.weight
+            tq.last_vft = job._vft
+            tq.jobs.append(job)
+            self._depth += 1
+            job._dequeue = self._remove_by_id
+            self._cond.notify()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[JobHandle]:
+        """Pop the fair-schedule head; None on timeout or close."""
+        with self._cond:
+            while True:
+                job = self._pop_locked()
+                if job is not None:
+                    return job
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def _pop_locked(self) -> Optional[JobHandle]:
+        best: Optional[_TenantQueue] = None
+        for tq in self._tenants.values():
+            if tq.jobs and (best is None or tq.jobs[0]._vft < best.jobs[0]._vft):
+                best = tq
+        if best is None:
+            return None
+        job = best.jobs.popleft()
+        self._depth -= 1
+        if job._vft > self._vclock:
+            self._vclock = job._vft
+        return job
+
+    def take_matching(
+        self, match: Callable[[JobHandle], bool], limit: int
+    ) -> List[JobHandle]:
+        """Remove up to ``limit`` queued jobs for which ``match`` is true.
+
+        Used for request batching: a worker that popped a job pulls its
+        co-batchable siblings (same dataset/parameters, any tenant) out
+        of the queue in fair (finish-tag) order, so one pipeline pass
+        serves all of them.  Finish tags were fixed at admission, so the
+        remaining jobs' relative order is untouched.
+        """
+        out: List[JobHandle] = []
+        if limit <= 0:
+            return out
+        with self._cond:
+            candidates: List[JobHandle] = []
+            for tq in self._tenants.values():
+                candidates.extend(j for j in tq.jobs if match(j))
+            candidates.sort(key=lambda j: j._vft)
+            for job in candidates[:limit]:
+                self._tenants[job.tenant].jobs.remove(job)
+                self._depth -= 1
+                out.append(job)
+        return out
+
+    def _remove_by_id(self, job_id: str) -> bool:
+        """Pull a still-queued job out (cancellation); False if gone."""
+        with self._cond:
+            for tq in self._tenants.values():
+                for job in tq.jobs:
+                    if job.id == job_id:
+                        tq.jobs.remove(job)
+                        self._depth -= 1
+                        return True
+        return False
+
+    # -- introspection / lifecycle -----------------------------------------
+
+    def depth(self) -> int:
+        with self._cond:
+            return self._depth
+
+    def depths(self) -> Dict[str, int]:
+        with self._cond:
+            return {t: len(tq.jobs) for t, tq in self._tenants.items()}
+
+    def weight_of(self, tenant: str) -> float:
+        with self._cond:
+            tq = self._tenants.get(tenant)
+            if tq is not None:
+                return tq.weight
+            return self._weights.get(tenant, self.default_weight)
+
+    def drain(self) -> List[JobHandle]:
+        """Remove and return everything still queued (shutdown path)."""
+        with self._cond:
+            out: List[JobHandle] = []
+            for tq in self._tenants.values():
+                out.extend(tq.jobs)
+                tq.jobs.clear()
+            self._depth = 0
+            return out
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._cond:
+            return {
+                "depth": self._depth,
+                "max_queued": self.max_queued,
+                "per_tenant": {
+                    t: {"queued": len(tq.jobs), "weight": tq.weight}
+                    for t, tq in self._tenants.items()
+                },
+            }
