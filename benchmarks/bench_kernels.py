@@ -24,13 +24,21 @@ from repro.core.backends import KERNELS, get_kernel, incremental_scan
 from repro.core.cooccurrence import cooccurrence_matrix, cooccurrence_scan
 from repro.core.features import HARALICK_FEATURES, PAPER_FEATURES, haralick_features
 from repro.core.features_sparse import features_from_sparse
+from repro.core.gpu import probe_gpu
 from repro.core.quantization import quantize_linear
-from repro.core.roi import ROISpec
+from repro.core.roi import ROISpec, valid_positions_shape
 from repro.core.sparse import batch_sparse_from_dense, sparse_from_dense
 from repro.core.workspace import WORKSPACE_BYTES
 
 LEVELS = 32
 ROI = ROISpec((5, 5, 5, 3))
+
+#: Kernels the comparison times.  "gpu" joins only when a device is
+#: present — on CPU-only machines it is megabatch behind a fallback
+#: warning, which would just double-count one column.
+BENCH_KERNELS = tuple(k for k in KERNELS if k != "gpu") + (
+    ("gpu",) if probe_gpu().available else ()
+)
 
 
 @pytest.fixture(scope="module")
@@ -93,53 +101,71 @@ def test_quantization(benchmark):
 # --------------------------------------------------------------------------
 
 
-def _smoke_volume(shape=(20, 20, 12, 7), seed=0):
+def _smoke_volume(levels=LEVELS, shape=(20, 20, 12, 7), seed=0):
     """Quantized paper-config volume without the scipy dependency."""
     rng = np.random.default_rng(seed)
-    return rng.integers(0, LEVELS, size=shape, dtype=np.int32)
+    return rng.integers(0, levels, size=shape, dtype=np.int32)
 
 
-def _collect(scan, volume, batch=2048):
+def _collect(scan, volume, levels=LEVELS, batch=2048):
     out = []
-    for _start, mats in scan(volume, ROI, LEVELS, batch=batch):
-        out.append(mats)
+    for _start, mats in scan(volume, ROI, levels, batch=batch):
+        out.append(np.array(mats))
     return np.concatenate(out)
 
 
-def _time_scan(scan, volume, repeats, batch=2048):
-    """Best-of-N wall time for one full scan of ``volume``."""
-    best = float("inf")
-    rois = 0
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        rois = sum(m.shape[0] for _s, m in scan(volume, ROI, LEVELS, batch=batch))
-        best = min(best, time.perf_counter() - t0)
-    return rois, best
+def _time_matrix(kernels, volume, levels, repeats):
+    """Interleaved best-of-N wall times, one entry per kernel.
+
+    One round times every kernel back to back before the next round
+    starts, so slow drift on a shared machine hits all kernels equally
+    instead of biasing whichever ran last.
+    """
+    best = {k: float("inf") for k in kernels}
+    rois = {k: 0 for k in kernels}
+    for r in range(repeats):
+        for k in kernels:
+            if r > 0 and k == "reference":
+                continue  # one round is plenty for the slow baseline
+            scan = get_kernel(k)
+            t0 = time.perf_counter()
+            rois[k] = sum(
+                m.shape[0] for _s, m in scan(volume, ROI, levels, batch=2048)
+            )
+            best[k] = min(best[k], time.perf_counter() - t0)
+    return {
+        k: {
+            "rois": rois[k],
+            "seconds": round(best[k], 6),
+            "rois_per_sec": round(rois[k] / best[k], 1),
+        }
+        for k in kernels
+    }
 
 
 def test_kernel_backend_comparison():
-    """All backends bit-identical; incremental at least as fast as batched.
+    """All backends bit-identical; megabatch the fastest CPU kernel.
 
     Paper configuration: 5x5x5x3 ROI, 32 levels, all 40 unique 4D
-    directions, distance 1.  Writes rois/sec per backend to
-    ``BENCH_kernels.json`` at the repo root.
+    directions, distance 1, plus a grey-level sweep over 16/32/64.
+    Writes the full kernel x levels throughput matrix to
+    ``BENCH_kernels.json`` at the repo root ("backends" holds the
+    paper-config 32-level column).
     """
     volume = _smoke_volume()
-    mats = {k: _collect(get_kernel(k), volume) for k in KERNELS}
-    for k in KERNELS:
+    mats = {k: _collect(get_kernel(k), volume) for k in BENCH_KERNELS}
+    for k in BENCH_KERNELS:
         assert np.array_equal(mats[k], mats["reference"]), (
             f"{k} backend not bit-identical to reference"
         )
+    del mats
 
-    results = {}
-    for kernel, repeats in (("batched", 3), ("incremental", 3), ("reference", 1)):
-        rois, secs = _time_scan(get_kernel(kernel), volume, repeats)
-        results[kernel] = {
-            "rois": rois,
-            "seconds": round(secs, 6),
-            "rois_per_sec": round(rois / secs, 1),
-        }
+    sweep = {}
+    for levels in (16, 32, 64):
+        vol = volume if levels == LEVELS else _smoke_volume(levels=levels)
+        sweep[levels] = _time_matrix(BENCH_KERNELS, vol, levels, repeats=3)
 
+    results = sweep[LEVELS]
     payload = {
         "config": {
             "volume_shape": list(volume.shape),
@@ -150,21 +176,37 @@ def test_kernel_backend_comparison():
             "batch": 2048,
         },
         "backends": results,
+        "levels_sweep": {
+            str(levels): {k: r["rois_per_sec"] for k, r in row.items()}
+            for levels, row in sweep.items()
+        },
         "speedup_incremental_vs_batched": round(
             results["incremental"]["rois_per_sec"]
             / results["batched"]["rois_per_sec"],
             2,
         ),
+        "speedup_megabatch_vs_incremental": round(
+            results["megabatch"]["rois_per_sec"]
+            / results["incremental"]["rois_per_sec"],
+            2,
+        ),
     }
     path = record_repo_json("BENCH_kernels.json", payload)
     print(f"\nwrote {path}")
-    for k, r in results.items():
-        print(f"  {k:>11}: {r['rois_per_sec']:>10.1f} rois/sec")
+    for levels, row in sweep.items():
+        for k, r in row.items():
+            print(f"  G={levels:<3} {k:>11}: {r['rois_per_sec']:>10.1f} rois/sec")
 
-    # CI gate: the rolling kernel must not regress below the batched one.
+    # CI gates on the paper config: the rolling kernel must not regress
+    # below the batched one, and the chunk-at-once kernel must beat the
+    # rolling one (its whole reason to exist).
     assert (
         results["incremental"]["rois_per_sec"]
         >= results["batched"]["rois_per_sec"]
+    ), payload
+    assert (
+        results["megabatch"]["rois_per_sec"]
+        >= results["incremental"]["rois_per_sec"]
     ), payload
 
 
@@ -180,23 +222,30 @@ def _scan_peak_bytes(scan, volume, batch):
         _current, peak = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
-    mats_bytes = batch * LEVELS * LEVELS * 8
-    return peak, mats_bytes
+    return peak
 
 
-@pytest.mark.parametrize("kernel", ["batched", "incremental"])
+@pytest.mark.parametrize("kernel", ["batched", "incremental", "megabatch"])
 def test_scan_peak_memory(kernel):
     """Kernel temporaries stay within the workspace budget.
 
-    The unavoidable output batch (``batch`` G x G int64 matrices) is
-    excluded; everything else — pair-code gathers, bincount inputs and
+    The unavoidable output allocation is excluded — for the streaming
+    kernels that is one ``batch`` of G x G int64 matrices, for megabatch
+    the whole-chunk ``(n_windows, G, G)`` accumulator it yields views
+    of.  Everything else — pair-code gathers, bincount inputs and
     outputs, symmetrization scratch — must fit in a small multiple of
     ``WORKSPACE_BYTES``.  Guards the removal of the transpose copy and
-    the ``block + shift`` mega-temporary from the batched scan.
+    the ``block + shift`` mega-temporary from the batched scan, and the
+    lazy GPU gather tables staying out of the CPU path.
     """
     volume = _smoke_volume(shape=(16, 16, 10, 6), seed=1)
     batch = 4096
-    peak, mats_bytes = _scan_peak_bytes(get_kernel(kernel), volume, batch)
+    if kernel == "megabatch":
+        npos = int(np.prod(valid_positions_shape(volume.shape, ROI)))
+        mats_bytes = npos * LEVELS * LEVELS * 8
+    else:
+        mats_bytes = batch * LEVELS * LEVELS * 8
+    peak = _scan_peak_bytes(get_kernel(kernel), volume, batch)
     budget = mats_bytes + 3 * WORKSPACE_BYTES
     assert peak < budget, (
         f"{kernel} scan peak {peak / 2**20:.1f} MiB exceeds "

@@ -5,6 +5,7 @@ Subcommands::
     repro phantom  --out DIR [--shape X Y Z T] [--nodes N] [--format raw|dicom]
     repro info     DATASET_DIR
     repro analyze  DATASET_DIR [--variant hmp|split] [--copies N] ...
+    repro kernels  [--refresh]
     repro simulate [--figure 7a|7b|8|9|10|11] [--scale S]
     repro serve    [--port P] [--workers N] [--weights tenant=W ...] ...
     repro submit   DATASET_DIR [--connect HOST:PORT] [--features ...] ...
@@ -99,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="print the run's metrics snapshot "
                         "(counters/gauges/histograms)")
+
+    p = sub.add_parser(
+        "kernels", help="list scan kernels and probe the GPU backend"
+    )
+    p.add_argument("--refresh", action="store_true",
+                   help="re-run the device probe instead of using the "
+                        "cached result")
 
     p = sub.add_parser("simulate", help="regenerate a paper figure series")
     p.add_argument("--figure", choices=("7a", "7b", "8", "9", "10", "11"),
@@ -253,6 +261,26 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_kernels(args) -> int:
+    from .core.backends import DEFAULT_KERNEL, KERNEL_INFO, KERNELS
+    from .core.gpu import probe_gpu
+
+    width = max(len(k) for k in KERNELS)
+    for k in KERNELS:
+        mark = "*" if k == DEFAULT_KERNEL else " "
+        print(f" {mark} {k:<{width}}  {KERNEL_INFO[k]}")
+    print(f"   (* = default kernel)")
+    probe = probe_gpu(refresh=args.refresh)
+    if probe.available:
+        print(f"gpu: available via {probe.provider} ({probe.device})")
+    else:
+        print("gpu: unavailable — --kernel gpu falls back to megabatch")
+    if probe.detail:
+        for line in probe.detail.splitlines():
+            print(f"     {line}")
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     from .sim import SimRuntime, paper_workload
     from .sim import layouts
@@ -375,6 +403,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "phantom": _cmd_phantom,
         "info": _cmd_info,
         "analyze": _cmd_analyze,
+        "kernels": _cmd_kernels,
         "simulate": _cmd_simulate,
         "serve": _cmd_serve,
         "submit": _cmd_submit,

@@ -12,11 +12,14 @@ cooccurrence
     Dense co-occurrence matrices: per-window reference kernel and the
     vectorized batched scan.
 backends
-    Pluggable GLCM scan kernels (batched / incremental / reference) and
-    the dispatch registry.
+    Pluggable GLCM scan kernels (batched / incremental / megabatch /
+    gpu / reference) and the dispatch registry.
+gpu
+    Import-guarded CUDA backend (CuPy or Numba) with device probing
+    and a clean megabatch fallback.
 workspace
     Shared cached scan workspaces (pair-shift arrays, symmetrization
-    index tables).
+    index tables, mega-batch gather offset tables).
 sparse
     Sparse (upper-triangle triplet) co-occurrence representation.
 features
@@ -35,12 +38,16 @@ from .masking import mask_statistics, mask_to_positions, masked_feature_samples
 from .multidistance import multi_distance_transform, stack_distance_features
 from .backends import (
     DEFAULT_KERNEL,
+    KERNEL_INFO,
     KERNELS,
     get_kernel,
     incremental_scan,
+    megabatch_scan,
     reference_scan,
+    resolve_scan_kernel,
 )
 from .cooccurrence import check_levels, cooccurrence_matrix, cooccurrence_scan
+from .gpu import GpuProbe, GpuUnavailableWarning, gpu_scan, probe_gpu
 from .directions import all_directions, direction_count, unique_directions
 from .features import (
     HARALICK_FEATURES,
@@ -66,10 +73,17 @@ __all__ = [
     "multi_distance_transform",
     "stack_distance_features",
     "DEFAULT_KERNEL",
+    "KERNEL_INFO",
     "KERNELS",
     "get_kernel",
+    "resolve_scan_kernel",
     "incremental_scan",
+    "megabatch_scan",
     "reference_scan",
+    "GpuProbe",
+    "GpuUnavailableWarning",
+    "gpu_scan",
+    "probe_gpu",
     "check_levels",
     "cooccurrence_matrix",
     "cooccurrence_scan",

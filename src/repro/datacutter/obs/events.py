@@ -119,6 +119,9 @@ EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
     # payload bytes handed over via a shared-memory pool slab (the pipe
     # carried only the descriptor frame, counted by its wire.frame)
     "shm.frame": ("stream", "bytes"),
+    # a texture filter substituted a scan kernel for the requested one
+    # (today: --kernel gpu on a machine without a usable CUDA device)
+    "kernel.fallback": ("requested", "used"),
     # fault tolerance
     "fault.retry": (),
     "fault.reroute": ("stream",),

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 
-from ..core.backends import get_kernel
+from ..core.backends import resolve_scan_kernel
 from ..core.cooccurrence import check_levels
 from ..core.sparse import batch_sparse_from_dense
 from ..datacutter.buffers import DataBuffer
@@ -41,9 +41,14 @@ class HaralickCoMatrixCalculator(Filter):
         p = self.params
         q = p.quantize(tc.data)
         check_levels(q, p.levels)  # once per chunk, not per kernel call
-        scan = get_kernel(p.kernel)
+        # The whole quantized chunk goes to the scan kernel in one call;
+        # chunk-at-once backends (megabatch, gpu) see every ROI at once
+        # and packetization only slices their accumulator into views.
+        scan, fallback = resolve_scan_kernel(p.kernel)
         batch = p.packet_rois(tc.chunk)
         tracing = ctx.tracing
+        if fallback and tracing:
+            ctx.event("kernel.fallback", chunk=tc.chunk.index, **fallback)
         t_cooc = 0.0
         t_mark = time.perf_counter() if tracing else 0.0
         for start, mats in scan(

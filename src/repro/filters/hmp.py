@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 
-from ..core.backends import get_kernel
+from ..core.backends import resolve_scan_kernel
 from ..core.cooccurrence import check_levels
 from ..core.features import haralick_features
 from ..core.features_sparse import batch_features_from_sparse
@@ -47,12 +47,17 @@ class HaralickMatrixProducer(Filter):
         p = self.params
         q = p.quantize(tc.data)
         check_levels(q, p.levels)  # once per chunk, not per kernel call
-        scan = get_kernel(p.kernel)
+        # The whole quantized chunk goes to the scan kernel in one call;
+        # chunk-at-once backends (megabatch, gpu) see every ROI at once
+        # and packetization only slices their accumulator into views.
+        scan, fallback = resolve_scan_kernel(p.kernel)
         batch = p.packet_rois(tc.chunk)
         # When tracing, split the chunk's busy time into co-occurrence
         # scan time (the generator) and parameter time, summed over
         # packets and emitted as one span each per chunk.
         tracing = ctx.tracing
+        if fallback and tracing:
+            ctx.event("kernel.fallback", chunk=tc.chunk.index, **fallback)
         t_cooc = t_feat = 0.0
         t_mark = time.perf_counter() if tracing else 0.0
         for start, mats in scan(

@@ -7,9 +7,11 @@ from repro.cli import build_parser
 from repro.core.analysis import HaralickConfig, haralick_transform
 from repro.core.backends import (
     DEFAULT_KERNEL,
+    KERNEL_INFO,
     KERNELS,
     get_kernel,
     incremental_scan,
+    megabatch_scan,
     reference_scan,
 )
 from repro.core.cooccurrence import check_levels, cooccurrence_scan
@@ -17,6 +19,13 @@ from repro.core.raster import raster_scan, raster_scan_reference
 from repro.core.roi import ROISpec
 from repro.core.workspace import pair_shift, symmetric_index, symmetrize_inplace
 from repro.filters.messages import TextureParams
+
+# The "gpu" entry participates in the generic registry loops below; on a
+# machine without a CUDA device it falls back to megabatch with a warning
+# (the warning itself is covered in tests/core/test_gpu_backend.py).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.core.gpu.GpuUnavailableWarning"
+)
 
 
 @pytest.fixture(scope="module")
@@ -27,17 +36,31 @@ def small_volume():
 
 class TestRegistry:
     def test_kernels_contents(self):
-        assert KERNELS == ("batched", "incremental", "reference")
+        assert KERNELS == (
+            "batched", "gpu", "incremental", "megabatch", "reference"
+        )
         assert DEFAULT_KERNEL in KERNELS
+        assert set(KERNEL_INFO) == set(KERNELS)
 
     def test_get_kernel_resolves(self):
         assert get_kernel("batched") is cooccurrence_scan
         assert get_kernel("incremental") is incremental_scan
+        assert get_kernel("megabatch") is megabatch_scan
         assert get_kernel("reference") is reference_scan
 
     def test_get_kernel_unknown(self):
         with pytest.raises(ValueError, match="unknown scan kernel"):
             get_kernel("turbo")
+
+    def test_get_kernel_suggests_close_match(self):
+        with pytest.raises(ValueError, match="did you mean 'incremental'"):
+            get_kernel("incrmental")
+        with pytest.raises(ValueError, match="did you mean 'megabatch'"):
+            get_kernel("megabatched")
+        # Nothing close: no suggestion, but the valid list is shown.
+        with pytest.raises(ValueError, match=r"valid kernels") as exc:
+            get_kernel("turbo")
+        assert "did you mean" not in str(exc.value)
 
     def test_config_validates_kernel(self):
         with pytest.raises(ValueError, match="unknown scan kernel"):

@@ -1,21 +1,41 @@
 """Property-based tests: every scan backend is bit-identical to the
 reference Fig. 2 kernel.
 
-The batched and incremental backends are pure performance
+The batched, incremental and megabatch backends are pure performance
 reimplementations of ``reference_scan`` — integer count arithmetic only,
 so equality must be exact (``array_equal``), not approximate, across
 random dimensionalities, ROI shapes (including degenerate extent-1
 windows and directions that do not fit the window), direction subsets,
 distances >= 1, grey-level counts, batch sizes and the symmetric flag.
+
+The ``gpu`` kernel is excluded from the generic loops: without a CUDA
+device it is megabatch behind a fallback warning (covered in
+``tests/core/test_gpu_backend.py``); with one, the ``@pytest.mark.gpu``
+property test at the bottom runs the same bit-identity law on device.
 """
+
+import tracemalloc
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.backends import KERNELS, get_kernel, reference_scan
+from repro.core.backends import (
+    KERNELS,
+    get_kernel,
+    megabatch_scan,
+    reference_scan,
+)
 from repro.core.directions import unique_directions
+from repro.core.gpu import gpu_scan, probe_gpu
+from repro.core.masking import mask_to_positions, masked_feature_samples
+from repro.core.raster import raster_scan
 from repro.core.roi import ROISpec, valid_positions_shape
+from repro.core.workspace import WORKSPACE_BYTES
+
+# Kernels exercised by the generic hypothesis loops (everything but the
+# device-dependent gpu entry).
+CPU_KERNELS = tuple(k for k in KERNELS if k not in ("reference", "gpu"))
 
 
 def _collect(scan, data, roi, levels, directions, distance, batch, symmetric):
@@ -60,7 +80,7 @@ def scan_cases(draw):
 
 
 class TestBackendBitIdentity:
-    @pytest.mark.parametrize("kernel", [k for k in KERNELS if k != "reference"])
+    @pytest.mark.parametrize("kernel", CPU_KERNELS)
     @given(case=scan_cases())
     @settings(max_examples=60, deadline=None)
     def test_bit_identical_to_reference(self, kernel, case):
@@ -81,3 +101,114 @@ class TestBackendBitIdentity:
         b = _collect(get_kernel("incremental"), data, roi, levels, directions,
                      distance, batch, symmetric)
         assert np.array_equal(a, b)
+
+
+def _identical(a_scan, b_scan, data, roi, levels, **kw):
+    a = [(s, np.array(m)) for s, m in a_scan(data, roi, levels, **kw)]
+    b = [(s, np.array(m)) for s, m in b_scan(data, roi, levels, **kw)]
+    assert len(a) == len(b)
+    for (s0, m0), (s1, m1) in zip(a, b):
+        assert s0 == s1
+        assert np.array_equal(m0, m1)
+
+
+class TestMegabatchEdgeCases:
+    """Deterministic corner cases the whole-chunk accumulator must get
+    right: they stress the row/plane bookkeeping (degenerate windows, no
+    fitting direction), the non-cubic stride math, and the all-equal
+    histogram degenerate case."""
+
+    def test_degenerate_extent_one_window(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 8, size=(6, 5, 4), dtype=np.int32)
+        for roi in [(1, 1, 1), (1, 3, 2), (3, 1, 1), (2, 2, 1)]:
+            _identical(megabatch_scan, reference_scan, data, ROISpec(roi), 8)
+
+    def test_no_fitting_direction_yields_zeros(self):
+        # A (1, 1) window admits no distance-1 pair at all: every matrix
+        # must come back exactly zero, not garbage from an uninitialized
+        # accumulator.
+        data = np.arange(12, dtype=np.int32).reshape(4, 3) % 8
+        out = np.concatenate(
+            [np.asarray(m) for _s, m in megabatch_scan(data, ROISpec((1, 1)), 8)]
+        )
+        assert out.shape == (12, 8, 8)
+        assert not out.any()
+
+    def test_non_cubic_chunks(self):
+        rng = np.random.default_rng(1)
+        for shape, roi in [
+            ((13, 4, 3), (3, 2, 2)),
+            ((3, 17, 2), (2, 4, 1)),
+            ((5, 5, 5, 9), (2, 2, 2, 4)),
+            ((2, 2, 2, 2), (2, 2, 2, 2)),
+        ]:
+            data = rng.integers(0, 16, size=shape, dtype=np.int32)
+            _identical(megabatch_scan, reference_scan, data, ROISpec(roi), 16)
+
+    def test_all_levels_equal_volume(self):
+        # A constant volume concentrates every count on one diagonal bin.
+        data = np.full((6, 5, 4), 3, dtype=np.int32)
+        roi = ROISpec((3, 3, 2))
+        _identical(megabatch_scan, reference_scan, data, roi, 8)
+        for _s, m in megabatch_scan(data, roi, 8):
+            mats = np.asarray(m)
+            assert not mats[:, :3, :3].any() or mats[:, 3, 3].all()
+            hot = mats.reshape(mats.shape[0], -1)
+            assert (hot.sum(axis=1) == mats[:, 3, 3]).all()
+
+    def test_masked_analysis_matches_reference(self):
+        # Megabatch through the full analysis path, restricted by a
+        # voxel mask: masked feature samples must match the reference
+        # kernel's sample-for-sample.
+        rng = np.random.default_rng(2)
+        shape = (8, 7, 6, 4)
+        data = rng.integers(0, 8, size=shape, dtype=np.int32)
+        roi = ROISpec((3, 3, 3, 2))
+        mask = np.zeros(shape[:3], dtype=bool)
+        mask[2:6, 1:5, 2:4] = True
+        positions = mask_to_positions(mask, shape, roi)
+        assert positions.any() and not positions.all()
+        out = {
+            k: masked_feature_samples(
+                raster_scan(data, roi, 8, kernel=k), positions
+            )
+            for k in ("reference", "megabatch")
+        }
+        for name, want in out["reference"].items():
+            assert np.array_equal(out["megabatch"][name], want), name
+
+    def test_peak_memory_within_budget(self):
+        # The whole-chunk accumulator is the design's one big allocation;
+        # everything else must stay inside a few workspace quanta.
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 32, size=(24, 24, 16, 7), dtype=np.int32)
+        roi = ROISpec((5, 5, 5, 3))
+        grid = valid_positions_shape(data.shape, roi)
+        npos = int(np.prod(grid))
+        mats_bytes = npos * 32 * 32 * 8
+        tracemalloc.start()
+        try:
+            for _ in megabatch_scan(data, roi, 32, batch=2048):
+                pass
+            _cur, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak <= mats_bytes + 3 * WORKSPACE_BYTES, (
+            f"peak {peak / 2**20:.1f} MiB exceeds budget "
+            f"{(mats_bytes + 3 * WORKSPACE_BYTES) / 2**20:.1f} MiB"
+        )
+
+
+@pytest.mark.gpu
+@pytest.mark.skipif(not probe_gpu().available, reason="no CUDA device")
+class TestGpuBitIdentity:
+    @given(case=scan_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_gpu_bit_identical_to_reference(self, case):
+        data, roi, levels, directions, distance, batch, symmetric = case
+        ref = _collect(reference_scan, data, roi, levels, directions,
+                       distance, batch, symmetric)
+        got = _collect(gpu_scan, data, roi, levels, directions,
+                       distance, batch, symmetric)
+        assert np.array_equal(got, ref)
