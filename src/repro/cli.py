@@ -90,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "before it is declared dead (default: the "
                         "REPRO_DIST_HEARTBEAT_TIMEOUT environment "
                         "variable, else 5)")
+    p.add_argument("--staging", metavar="SPEC",
+                   help="region-staging policy: comma-separated key=value "
+                        "pairs, e.g. ram=64M,shm=32M,disk=1G,dir=/tmp/x,"
+                        "evict=lru,promote=on.  Assembled chunks stage "
+                        "through the RAM>shm>disk hierarchy and overlap "
+                        "regions are served from it (see docs/data-layer.md)")
     p.add_argument("--trace", choices=("chrome", "jsonl", "live"),
                    help="collect per-chunk trace events: chrome "
                         "(Perfetto/chrome://tracing JSON), jsonl (flat "
@@ -127,6 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "batch=1 (unlisted tenants get 1)")
     p.add_argument("--cache-mb", type=int, default=256,
                    help="result cache budget in MB (0 disables)")
+    p.add_argument("--cache-spill-mb", type=int, metavar="MB",
+                   help="spill result-cache entries evicted from RAM to "
+                        "disk, up to MB megabytes (omit to disable spill)")
+    p.add_argument("--cache-spill-dir", metavar="DIR",
+                   help="spill directory (default $TMPDIR/repro-regions); "
+                        "setting only this enables unbounded spill")
+    p.add_argument("--staging", metavar="SPEC",
+                   help="default region-staging policy applied to jobs "
+                        "(same SPEC syntax as `repro analyze --staging`); "
+                        "warm pool entries then cache chunks across jobs")
     p.add_argument("--pool-entries", type=int, default=4,
                    help="warm runtime entries kept across jobs")
     p.add_argument("--no-batching", action="store_true",
@@ -219,6 +235,14 @@ def _cmd_analyze(args) -> int:
     if args.images_out:
         kwargs["output"] = "images"
         kwargs["output_dir"] = args.images_out
+    if args.staging:
+        from .regions import parse_staging
+
+        try:
+            kwargs["staging"] = parse_staging(args.staging)
+        except ValueError as exc:
+            print(f"bad --staging spec: {exc}", file=sys.stderr)
+            return 2
     config = AnalysisConfig(**kwargs)
     if args.transport != "pipe" and args.runtime != "processes":
         print("--transport shm requires --runtime processes", file=sys.stderr)
@@ -337,12 +361,26 @@ def _cmd_serve(args) -> int:
                   file=sys.stderr)
             return 2
         weights[tenant] = float(w)
+    staging = None
+    if args.staging:
+        from .regions import parse_staging
+
+        try:
+            staging = parse_staging(args.staging)
+        except ValueError as exc:
+            print(f"bad --staging spec: {exc}", file=sys.stderr)
+            return 2
     config = ServiceConfig(
         workers=args.workers,
         max_queued=args.max_queued,
         tenant_weights=weights,
         batching=not args.no_batching,
         cache_bytes=args.cache_mb << 20,
+        cache_spill_bytes=(
+            args.cache_spill_mb << 20 if args.cache_spill_mb is not None else None
+        ),
+        cache_spill_dir=args.cache_spill_dir,
+        staging=staging,
         pool_entries=args.pool_entries,
     )
     with AnalysisService(config) as service:

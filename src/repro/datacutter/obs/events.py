@@ -122,6 +122,13 @@ EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
     # a texture filter substituted a scan kernel for the requested one
     # (today: --kernel gpu on a machine without a usable CUDA device)
     "kernel.fallback": ("requested", "used"),
+    # region-template data layer (repro.regions): one region staged into
+    # a storage tier, served from a tier (ghost/overlap reuse), or
+    # displaced between tiers by the eviction cascade (dst == "dropped"
+    # when it fell off the last tier)
+    "region.stage": ("tier", "bytes"),
+    "region.hit": ("tier", "bytes"),
+    "region.evict": ("src", "dst"),
     # fault tolerance
     "fault.retry": (),
     "fault.reroute": ("stream",),

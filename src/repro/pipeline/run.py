@@ -38,6 +38,7 @@ from ..datacutter.obs import Trace, format_summary, resolve_trace_mode
 from ..datacutter.runtime_local import LocalRuntime, RunResult
 from ..datacutter.runtime_mp import MPRuntime
 from ..filters.uso import combine_uso_outputs
+from ..regions import RegionStore
 from ..storage.dataset import DiskDataset4D
 from .builder import build_graph
 from .config import AnalysisConfig
@@ -83,22 +84,42 @@ class PreparedPipeline:
 
     Immutable across executions — the same prepared pipeline can back
     any number of runs (the graph's filter factories construct fresh
-    filter instances per run).
+    filter instances per run).  The one piece of mutable state is the
+    optional ``region_store``: filter factories capture it, so chunks
+    staged by one execution are resolvable by the next — that is what
+    makes warm-pool reruns region hits.  Call :meth:`close` (or close
+    the store) when the pipeline is retired.
     """
 
     dataset: DiskDataset4D
     graph: FilterGraph
     config: AnalysisConfig
+    region_store: Optional["RegionStore"] = None
+
+    def close(self) -> None:
+        if self.region_store is not None:
+            self.region_store.close()
 
 
 def prepare_pipeline(
-    dataset_root: str, config: Optional[AnalysisConfig] = None
+    dataset_root: str,
+    config: Optional[AnalysisConfig] = None,
+    region_store: Optional["RegionStore"] = None,
 ) -> PreparedPipeline:
-    """Build phase: open the dataset and wire the validated filter graph."""
+    """Build phase: open the dataset and wire the validated filter graph.
+
+    When ``config.staging`` is set and no explicit ``region_store`` is
+    given, a store is created from that policy and owned by the returned
+    pipeline (closed by :meth:`PreparedPipeline.close`).
+    """
     config = config or AnalysisConfig()
     dataset = DiskDataset4D.open(dataset_root)
-    graph = build_graph(dataset, config)
-    return PreparedPipeline(dataset=dataset, graph=graph, config=config)
+    if region_store is None and config.staging is not None:
+        region_store = RegionStore.from_policy(config.staging)
+    graph = build_graph(dataset, config, region_store=region_store)
+    return PreparedPipeline(
+        dataset=dataset, graph=graph, config=config, region_store=region_store
+    )
 
 
 def _validate_backend_kwargs(
@@ -370,8 +391,13 @@ def run_pipeline(
         schedule=schedule,
         heartbeat_timeout=heartbeat_timeout,
     )
-    with rt:
-        return execute_pipeline(
-            prepared, rt, run_timeout=run_timeout, trace=trace,
-            trace_out=trace_out,
-        )
+    try:
+        with rt:
+            return execute_pipeline(
+                prepared, rt, run_timeout=run_timeout, trace=trace,
+                trace_out=trace_out,
+            )
+    finally:
+        # One-shot runs own their region store (if config.staging asked
+        # for one); long-lived callers manage PreparedPipeline.close().
+        prepared.close()

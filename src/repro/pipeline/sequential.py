@@ -24,6 +24,7 @@ from ..chunks.chunking import ChunkSpec
 from ..chunks.stitch import OutputStitcher
 from ..core.raster import raster_scan
 from ..datacutter.obs import Tracer
+from ..regions import RegionStore, read_chunk_staged
 from ..storage.dataset import DiskDataset4D
 from .builder import plan_chunks
 from .config import AnalysisConfig
@@ -47,6 +48,7 @@ def iter_chunk_features(
     dataset: DiskDataset4D,
     config: AnalysisConfig,
     tracer: Optional[Tracer] = None,
+    region_store: Optional[RegionStore] = None,
 ) -> Iterator[Tuple[ChunkSpec, Dict[str, np.ndarray]]]:
     """Yield ``(chunk, local feature volumes)`` one chunk at a time.
 
@@ -54,6 +56,13 @@ def iter_chunk_features(
     overlap positions); use :meth:`ChunkSpec.local_own_slices` to select
     the owned region.  Memory high-water mark is one chunk's input plus
     its outputs.
+
+    With a ``region_store``, chunk input is read through
+    :func:`repro.regions.read_chunk_staged`: ghost voxels shared with
+    already-staged neighbour chunks are served from the store's tier
+    hierarchy and only the uncovered remainder touches disk — in
+    raster order every chunk after the first resolves its overlap, so
+    disk bytes drop below a plain chunk-by-chunk sweep.
     """
     params = config.texture
 
@@ -66,7 +75,22 @@ def iter_chunk_features(
 
     for chunk in plan_chunks(dataset.shape, config):
         t0 = time.perf_counter()
-        data = _read_chunk(dataset, chunk)
+        if region_store is not None:
+            data, staged = read_chunk_staged(dataset, chunk, region_store)
+            if tracer is not None:
+                for tier, nbytes in staged.hit_bytes_by_tier.items():
+                    tracer.emit(
+                        "region.hit", filter=SEQ_FILTER, copy=0,
+                        chunk=chunk.index, tier=tier, bytes=int(nbytes),
+                    )
+                tracer.emit(
+                    "region.stage", filter=SEQ_FILTER, copy=0,
+                    chunk=chunk.index, tier=staged.staged_tier or "dropped",
+                    bytes=int(data.nbytes),
+                    tier_bytes=region_store.occupancy(),
+                )
+        else:
+            data = _read_chunk(dataset, chunk)
         emit("chunk.read", chunk, time.perf_counter() - t0,
              bytes=int(data.nbytes))
         # Quantization stands in for the parallel IIC's assembly step:
@@ -97,14 +121,38 @@ def transform_disk_dataset(
     dataset_root: str,
     config: Optional[AnalysisConfig] = None,
     tracer: Optional[Tracer] = None,
+    region_store: Optional[RegionStore] = None,
 ) -> Dict[str, np.ndarray]:
-    """Full sequential out-of-core run; returns stitched feature volumes."""
+    """Full sequential out-of-core run; returns stitched feature volumes.
+
+    ``config.staging`` (or an explicit ``region_store``) routes chunk
+    reads through the region data layer; a store created here from the
+    config is closed before returning.
+    """
     config = config or AnalysisConfig()
     dataset = DiskDataset4D.open(dataset_root)
+    owned_store = None
+    if region_store is None and config.staging is not None:
+        region_store = owned_store = RegionStore.from_policy(config.staging)
+    try:
+        return _transform(dataset, config, tracer, region_store)
+    finally:
+        if owned_store is not None:
+            owned_store.close()
+
+
+def _transform(
+    dataset: DiskDataset4D,
+    config: AnalysisConfig,
+    tracer: Optional[Tracer],
+    region_store: Optional[RegionStore],
+) -> Dict[str, np.ndarray]:
     stitcher = OutputStitcher(
         dataset.shape, config.texture.roi, config.texture.features
     )
-    for chunk, local in iter_chunk_features(dataset, config, tracer=tracer):
+    for chunk, local in iter_chunk_features(
+        dataset, config, tracer=tracer, region_store=region_store
+    ):
         t0 = time.perf_counter()
         stitcher.place(chunk, local)
         if tracer is not None:

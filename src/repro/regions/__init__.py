@@ -1,0 +1,73 @@
+"""Region-template data layer: named 4-D regions over a storage hierarchy.
+
+The package follows the Region Templates design (Teodoro et al., same
+Saltz/Kurc lineage as the source paper): callers address data by
+*(template name, extent)* instead of by buffer, and an explicit storage
+hierarchy — RAM → shared-memory slabs → disk spill → remote stub —
+decides where the bytes live under pluggable staging/eviction policies.
+See ``docs/data-layer.md`` for the guided tour.
+"""
+
+from .hierarchy import (
+    DROPPED,
+    Eviction,
+    StageReport,
+    StagingPolicy,
+    StorageHierarchy,
+    format_staging,
+    parse_staging,
+)
+from .staging import (
+    CHUNK_TEMPLATE,
+    StagedRead,
+    chunk_extent,
+    ensure_chunk_template,
+    read_chunk_staged,
+)
+from .store import RegionStore, ResolveHit, StoreStats
+from .template import RegionExtent, RegionTemplate, region_key
+from .tiers import (
+    TIER_DISK,
+    TIER_RAM,
+    TIER_REMOTE,
+    TIER_SHM,
+    DiskTier,
+    InMemoryRemoteClient,
+    RamTier,
+    RemoteStorageClient,
+    RemoteTier,
+    ShmTier,
+    StorageTier,
+)
+
+__all__ = [
+    "RegionExtent",
+    "RegionTemplate",
+    "region_key",
+    "StorageTier",
+    "RamTier",
+    "ShmTier",
+    "DiskTier",
+    "RemoteTier",
+    "RemoteStorageClient",
+    "InMemoryRemoteClient",
+    "TIER_RAM",
+    "TIER_SHM",
+    "TIER_DISK",
+    "TIER_REMOTE",
+    "StagingPolicy",
+    "parse_staging",
+    "format_staging",
+    "StorageHierarchy",
+    "StageReport",
+    "Eviction",
+    "DROPPED",
+    "RegionStore",
+    "ResolveHit",
+    "StoreStats",
+    "StagedRead",
+    "chunk_extent",
+    "ensure_chunk_template",
+    "read_chunk_staged",
+    "CHUNK_TEMPLATE",
+]

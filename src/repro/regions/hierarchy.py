@@ -1,0 +1,352 @@
+"""The multi-level storage hierarchy and its staging/eviction policy.
+
+A :class:`StorageHierarchy` stacks tiers fastest-first (RAM → shm →
+disk → remote) and moves payloads between them under an explicit
+policy:
+
+* **stage** — a region is placed in the highest tier that takes it; a
+  full tier makes room by evicting its least-recently-used region and
+  *demoting* it one level down (spill), cascading until a tier has room
+  or the last tier drops the victim.
+* **fetch** — tiers are probed top-down; a hit below the top can be
+  *promoted* back up (``promote_on_hit``), paying one copy now to make
+  the next fetch a RAM hit.
+* **evict** — explicit removal, used when a caller knows a region is
+  dead.
+
+The policy is a small frozen dataclass (:class:`StagingPolicy`) so it
+can ride inside :class:`repro.pipeline.AnalysisConfig` and hash into
+the service's pool keys; :func:`parse_staging` turns the CLI's
+``--staging ram=64M,disk=1G`` spec into one.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .tiers import (
+    DiskTier,
+    RamTier,
+    RemoteStorageClient,
+    RemoteTier,
+    ShmTier,
+    StorageTier,
+)
+
+__all__ = [
+    "StagingPolicy",
+    "parse_staging",
+    "format_staging",
+    "StorageHierarchy",
+    "StageReport",
+    "Eviction",
+    "DROPPED",
+]
+
+#: Destination label of an eviction that fell off the last tier.
+DROPPED = "dropped"
+
+_UNITS = {"": 1, "k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def _parse_bytes(text: str) -> int:
+    m = re.fullmatch(r"(\d+(?:\.\d+)?)\s*([kKmMgGtT]?)[bB]?", text.strip())
+    if not m:
+        raise ValueError(f"cannot parse byte size {text!r}")
+    return int(float(m.group(1)) * _UNITS[m.group(2).lower()])
+
+
+@dataclass(frozen=True)
+class StagingPolicy:
+    """Tier budgets and movement rules of one hierarchy.
+
+    ``ram_bytes`` is the top-tier budget (the out-of-core knob: cap it
+    below the dataset size and staging spills instead of growing).
+    ``shm_bytes``/``disk_bytes`` of 0 disable that tier; ``disk_bytes``
+    ``None`` means unbounded spill.  ``spill_dir`` overrides the disk
+    tier's root directory.  ``promote_on_hit`` copies lower-tier hits
+    back into RAM; ``eviction`` picks the victim order (``lru`` or
+    ``fifo``).
+    """
+
+    ram_bytes: int = 256 << 20
+    shm_bytes: int = 0
+    disk_bytes: Optional[int] = None
+    spill_dir: Optional[str] = None
+    shm_segment_bytes: int = 32 << 20
+    promote_on_hit: bool = True
+    eviction: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.ram_bytes < 0 or self.shm_bytes < 0:
+            raise ValueError("tier budgets must be >= 0")
+        if self.disk_bytes is not None and self.disk_bytes < 0:
+            raise ValueError("disk_bytes must be >= 0 or None")
+        if self.eviction not in ("lru", "fifo"):
+            raise ValueError(f"unknown eviction policy {self.eviction!r}")
+
+
+def parse_staging(spec: str) -> StagingPolicy:
+    """Parse a CLI staging spec: ``ram=64M,shm=off,disk=1G,dir=/x,...``.
+
+    Keys: ``ram``/``shm``/``disk`` (byte sizes; ``off``/``0`` disables,
+    ``disk=unbounded`` removes the disk cap), ``dir`` (spill directory),
+    ``evict`` (``lru``/``fifo``), ``promote`` (``on``/``off``).
+    """
+    kwargs: Dict[str, Any] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"bad --staging entry {part!r} (want key=value)")
+        key, value = key.strip().lower(), value.strip()
+        if key == "ram":
+            kwargs["ram_bytes"] = _parse_bytes(value)
+        elif key == "shm":
+            kwargs["shm_bytes"] = 0 if value.lower() == "off" else _parse_bytes(value)
+        elif key == "disk":
+            if value.lower() in ("off",):
+                kwargs["disk_bytes"] = 0
+            elif value.lower() in ("unbounded", "auto"):
+                kwargs["disk_bytes"] = None
+            else:
+                kwargs["disk_bytes"] = _parse_bytes(value)
+        elif key == "dir":
+            kwargs["spill_dir"] = value
+        elif key == "evict":
+            kwargs["eviction"] = value.lower()
+        elif key == "promote":
+            kwargs["promote_on_hit"] = value.lower() not in ("off", "false", "0")
+        else:
+            raise ValueError(f"unknown --staging key {key!r}")
+    return StagingPolicy(**kwargs)
+
+
+def format_staging(policy: StagingPolicy) -> str:
+    """Inverse of :func:`parse_staging` (canonical, not round-trip exact)."""
+    parts = [f"ram={policy.ram_bytes}"]
+    parts.append(f"shm={policy.shm_bytes if policy.shm_bytes else 'off'}")
+    if policy.disk_bytes is None:
+        parts.append("disk=unbounded")
+    else:
+        parts.append(f"disk={policy.disk_bytes if policy.disk_bytes else 'off'}")
+    if policy.spill_dir:
+        parts.append(f"dir={policy.spill_dir}")
+    if policy.eviction != "lru":
+        parts.append(f"evict={policy.eviction}")
+    if not policy.promote_on_hit:
+        parts.append("promote=off")
+    return ",".join(parts)
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """One region displaced during a stage: demoted or dropped."""
+
+    key: str
+    src: str
+    dst: str  # a tier name, or DROPPED
+    nbytes: int
+
+
+@dataclass
+class StageReport:
+    """Where a stage landed and what it displaced."""
+
+    key: str
+    tier: Optional[str]  # None: nothing could take it (dropped)
+    nbytes: int
+    evictions: List[Eviction]
+    #: Occupancy after the stage, tier name -> bytes used.
+    tier_bytes: Dict[str, int]
+
+
+class StorageHierarchy:
+    """Ordered tiers plus the demotion/promotion machinery.
+
+    Thread-safe; one lock guards placement and the per-tier recency
+    index.  Build from a :class:`StagingPolicy` (:meth:`from_policy`) or
+    pass explicit tiers for tests.
+    """
+
+    def __init__(
+        self,
+        tiers: List[StorageTier],
+        promote_on_hit: bool = True,
+        eviction: str = "lru",
+    ):
+        if not tiers:
+            raise ValueError("hierarchy needs at least one tier")
+        names = [t.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        self.tiers = list(tiers)
+        self.promote_on_hit = promote_on_hit
+        if eviction not in ("lru", "fifo"):
+            raise ValueError(f"unknown eviction policy {eviction!r}")
+        self.eviction = eviction
+        self._lock = threading.RLock()
+        # Per-tier placement index in recency order (oldest first);
+        # key -> nbytes.  FIFO simply never refreshes recency.
+        self._index: List["OrderedDict[str, int]"] = [OrderedDict() for _ in tiers]
+        self._closed = False
+
+    @classmethod
+    def from_policy(
+        cls,
+        policy: StagingPolicy,
+        remote: Optional[RemoteStorageClient] = None,
+    ) -> "StorageHierarchy":
+        tiers: List[StorageTier] = [RamTier(policy.ram_bytes)]
+        if policy.shm_bytes:
+            tiers.append(
+                ShmTier(
+                    policy.shm_bytes,
+                    segment_bytes=min(policy.shm_segment_bytes, policy.shm_bytes),
+                )
+            )
+        if policy.disk_bytes is None or policy.disk_bytes:
+            tiers.append(DiskTier(policy.disk_bytes, root=policy.spill_dir))
+        if remote is not None:
+            tiers.append(RemoteTier(remote))
+        return cls(
+            tiers,
+            promote_on_hit=policy.promote_on_hit,
+            eviction=policy.eviction,
+        )
+
+    # -- placement ---------------------------------------------------------
+
+    def _victim(self, level: int) -> Optional[str]:
+        index = self._index[level]
+        return next(iter(index)) if index else None
+
+    def _place(
+        self, key: str, arr: np.ndarray, level: int, evictions: List[Eviction]
+    ) -> Optional[str]:
+        """Place into ``level`` or below, evicting/demoting as needed."""
+        if level >= len(self.tiers):
+            return None
+        tier = self.tiers[level]
+        while not tier.put(key, arr):
+            victim = self._victim(level)
+            if victim is None:
+                # Empty and still refusing: the payload exceeds the
+                # tier's whole budget — try one level down directly.
+                return self._place(key, arr, level + 1, evictions)
+            self._demote(victim, level, evictions)
+        self._index[level][key] = arr.nbytes
+        return tier.name
+
+    def _demote(self, key: str, level: int, evictions: List[Eviction]) -> None:
+        tier = self.tiers[level]
+        nbytes = self._index[level].pop(key)
+        data = tier.get(key)
+        tier.remove(key)
+        dst = None
+        if data is not None:
+            dst = self._place(key, data, level + 1, evictions)
+        evictions.append(
+            Eviction(key=key, src=tier.name, dst=dst or DROPPED, nbytes=nbytes)
+        )
+
+    def put(self, key: str, arr: np.ndarray) -> StageReport:
+        """Stage one region into the highest tier that takes it."""
+        arr = np.ascontiguousarray(arr)
+        with self._lock:
+            self.remove(key)
+            evictions: List[Eviction] = []
+            tier = self._place(key, arr, 0, evictions)
+            return StageReport(
+                key=key,
+                tier=tier,
+                nbytes=arr.nbytes,
+                evictions=evictions,
+                tier_bytes=self.occupancy(),
+            )
+
+    def get(self, key: str) -> Tuple[Optional[np.ndarray], Optional[str]]:
+        """Fetch one region: ``(array, tier name)`` or ``(None, None)``."""
+        with self._lock:
+            for level, tier in enumerate(self.tiers):
+                if key not in self._index[level]:
+                    continue
+                data = tier.get(key)
+                if data is None:  # pragma: no cover - index out of sync
+                    del self._index[level][key]
+                    continue
+                if self.eviction == "lru":
+                    self._index[level].move_to_end(key)
+                if level > 0 and self.promote_on_hit:
+                    del self._index[level][key]
+                    tier.remove(key)
+                    promoted = self._place(key, data, 0, [])
+                    return data, promoted or tier.name
+                return data, tier.name
+            return None, None
+
+    def remove(self, key: str) -> bool:
+        with self._lock:
+            for level, tier in enumerate(self.tiers):
+                if key in self._index[level]:
+                    del self._index[level][key]
+                    tier.remove(key)
+                    return True
+            return False
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return any(key in idx for idx in self._index)
+
+    # -- introspection / lifecycle -----------------------------------------
+
+    def occupancy(self) -> Dict[str, int]:
+        """Tier name -> payload bytes currently staged."""
+        return {t.name: t.bytes_used for t in self.tiers}
+
+    def entries(self) -> Dict[str, int]:
+        """Tier name -> number of staged regions."""
+        with self._lock:
+            return {
+                t.name: len(idx) for t, idx in zip(self.tiers, self._index)
+            }
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "tiers": [
+                    {
+                        "name": t.name,
+                        "capacity_bytes": t.capacity_bytes,
+                        "bytes_used": t.bytes_used,
+                        "entries": len(idx),
+                    }
+                    for t, idx in zip(self.tiers, self._index)
+                ],
+                "promote_on_hit": self.promote_on_hit,
+                "eviction": self.eviction,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for tier in self.tiers:
+                tier.close()
+            for idx in self._index:
+                idx.clear()
+
+    def __enter__(self) -> "StorageHierarchy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

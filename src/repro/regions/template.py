@@ -1,0 +1,125 @@
+"""Region templates: named, typed containers addressing N-D extents.
+
+Following the Region Templates abstraction (Teodoro et al., same
+Saltz/Kurc lineage as the source paper), a *region template* is a named
+container for data regions of one kind — e.g. the assembled
+IIC-to-TEXTURE chunks of one dataset — whose instances are addressed by
+an explicit N-D extent (``[lo_d, hi_d)`` per dimension) rather than by
+an opaque key.  Addressing by extent is what lets the data layer answer
+*geometric* queries: "which staged regions overlap this chunk?" is the
+question behind ghost/overlap reuse (:meth:`repro.regions.RegionStore.
+resolve`), and no flat key-value cache can answer it.
+
+This module holds only the addressing vocabulary; where region payloads
+physically live is the storage hierarchy's business
+(:mod:`repro.regions.hierarchy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["RegionExtent", "RegionTemplate", "region_key"]
+
+
+@dataclass(frozen=True)
+class RegionExtent:
+    """A half-open N-D box ``[lo_d, hi_d)`` in global dataset coordinates."""
+
+    lo: Tuple[int, ...]
+    hi: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError(f"lo/hi dimensionality mismatch: {self.lo} vs {self.hi}")
+        if not self.lo:
+            raise ValueError("extent must have at least one dimension")
+        for l, h in zip(self.lo, self.hi):
+            if h <= l:
+                raise ValueError(f"empty or inverted extent: {self.lo}..{self.hi}")
+        object.__setattr__(self, "lo", tuple(int(v) for v in self.lo))
+        object.__setattr__(self, "hi", tuple(int(v) for v in self.hi))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def num_voxels(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def intersect(self, other: "RegionExtent") -> Optional["RegionExtent"]:
+        """The overlapping box, or ``None`` when the extents are disjoint."""
+        if other.ndim != self.ndim:
+            raise ValueError(f"dimensionality mismatch: {self.ndim} vs {other.ndim}")
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(h <= l for l, h in zip(lo, hi)):
+            return None
+        return RegionExtent(lo, hi)
+
+    def contains(self, other: "RegionExtent") -> bool:
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def slices_in(self, outer: "RegionExtent") -> Tuple[slice, ...]:
+        """Slicing tuple selecting this extent inside ``outer``'s array.
+
+        ``outer`` must contain ``self``; the result indexes an array of
+        shape ``outer.shape``.
+        """
+        if not outer.contains(self):
+            raise ValueError(f"{self} not contained in {outer}")
+        return tuple(
+            slice(l - ol, h - ol) for l, h, ol in zip(self.lo, self.hi, outer.lo)
+        )
+
+    def key(self) -> str:
+        """Canonical string form, stable across processes and runs."""
+        return ",".join(f"{l}:{h}" for l, h in zip(self.lo, self.hi))
+
+    def __str__(self) -> str:  # compact for events/logs
+        return self.key()
+
+
+@dataclass(frozen=True)
+class RegionTemplate:
+    """Descriptor of one named family of regions.
+
+    ``name`` scopes keys (two templates never collide in the hierarchy);
+    ``ndim`` pins the dimensionality of every extent staged under the
+    template; ``dtype`` (a numpy dtype string, optional) pins the element
+    type so a store can reject mixed-type stages early.
+    """
+
+    name: str
+    ndim: int = 4
+    dtype: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name or "|" in self.name:
+            raise ValueError(f"invalid template name {self.name!r}")
+        if self.ndim < 1:
+            raise ValueError("ndim must be >= 1")
+
+    def validate(self, extent: RegionExtent) -> None:
+        if extent.ndim != self.ndim:
+            raise ValueError(
+                f"template {self.name!r} is {self.ndim}-D, extent {extent} "
+                f"is {extent.ndim}-D"
+            )
+
+
+def region_key(template_name: str, extent: RegionExtent) -> str:
+    """Flat storage key of one region instance: ``name|lo:hi,...``."""
+    return f"{template_name}|{extent.key()}"

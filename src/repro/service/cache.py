@@ -108,35 +108,102 @@ def result_key(volume_hash: str, params: TextureParams, feature: str) -> str:
 
 
 class ResultCache:
-    """Byte-bounded LRU cache of feature volumes.
+    """Byte-bounded LRU cache of feature volumes, with optional spill.
 
     Stored arrays are marked read-only and handed back without copying —
     every consumer of a pipeline result treats volumes as immutable, and
     the read-only flag turns an accidental in-place edit into an error
     instead of silent cross-tenant corruption.
+
+    With spill enabled (``spill_bytes`` and/or ``spill_dir``), entries
+    displaced from the in-RAM bound are demoted to a
+    :class:`~repro.regions.DiskTier` instead of dropped, and a RAM miss
+    that finds the entry on disk promotes it back (counted in both
+    ``hits`` and ``disk_hits``).  Entries larger than ``max_bytes`` —
+    refused outright without spill — go straight to disk.  The disk tier
+    inherits the region layer's crash-safe cleanup (per-session spill
+    directory, stale-session sweep, ``atexit`` hook).
     """
 
-    def __init__(self, max_bytes: int = 256 << 20):
+    def __init__(
+        self,
+        max_bytes: int = 256 << 20,
+        spill_dir: Optional[str] = None,
+        spill_bytes: Optional[int] = None,
+    ):
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
+        if spill_bytes is not None and spill_bytes < 0:
+            raise ValueError("spill_bytes must be >= 0 or None")
         self.max_bytes = max_bytes
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._bytes = 0
+        self._disk = None
+        self._disk_keys: "OrderedDict[str, int]" = OrderedDict()
+        if spill_dir is not None or (spill_bytes is not None and spill_bytes > 0):
+            from ..regions.tiers import DiskTier
+
+            self._disk = DiskTier(spill_bytes, root=spill_dir)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.puts = 0
+        self.spills = 0
+        self.disk_hits = 0
 
     def get(self, key: str) -> Optional[np.ndarray]:
         with self._lock:
             vol = self._entries.get(key)
-            if vol is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return vol
+            if vol is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return vol
+            if self._disk is not None and key in self._disk_keys:
+                vol = self._disk.get(key)
+                if vol is not None:
+                    self.hits += 1
+                    self.disk_hits += 1
+                    # Promote: hot again, so buy it a RAM slot (which may
+                    # in turn spill the coldest RAM entry back down).
+                    self._disk.remove(key)
+                    self._disk_keys.pop(key, None)
+                    self._admit(key, vol)
+                    return vol
+                self._disk_keys.pop(key, None)
+            self.misses += 1
+            return None
+
+    def _spill(self, key: str, vol: np.ndarray) -> None:
+        """Demote one entry to the disk tier, making room if bounded."""
+        assert self._disk is not None
+        self._disk_keys.pop(key, None)
+        while not self._disk.put(key, vol):
+            if not self._disk_keys:
+                return  # larger than the whole spill budget: drop
+            victim, _ = self._disk_keys.popitem(last=False)
+            self._disk.remove(victim)
+        self._disk_keys[key] = vol.nbytes
+        self.spills += 1
+
+    def _admit(self, key: str, vol: np.ndarray) -> None:
+        """Insert into RAM, displacing LRU entries to disk (or dropping)."""
+        if vol.nbytes > self.max_bytes:
+            # Larger than the whole RAM bound: not worth thrashing.
+            # Without spill this refuses the entry (legacy semantics).
+            if self._disk is not None:
+                self._spill(key, vol)
+                self.puts += 1
+            return
+        self._entries[key] = vol
+        self._bytes += vol.nbytes
+        self.puts += 1
+        while self._bytes > self.max_bytes and self._entries:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.evictions += 1
+            if self._disk is not None:
+                self._spill(evicted_key, evicted)
 
     def put(self, key: str, volume: np.ndarray) -> None:
         vol = np.ascontiguousarray(volume)
@@ -145,33 +212,46 @@ class ResultCache:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._bytes -= old.nbytes
-            if vol.nbytes > self.max_bytes:
-                return  # larger than the whole cache: not worth thrashing
-            self._entries[key] = vol
-            self._bytes += vol.nbytes
-            self.puts += 1
-            while self._bytes > self.max_bytes and self._entries:
-                _, evicted = self._entries.popitem(last=False)
-                self._bytes -= evicted.nbytes
-                self.evictions += 1
+            if self._disk is not None and key in self._disk_keys:
+                self._disk.remove(key)
+                self._disk_keys.pop(key, None)
+            self._admit(key, vol)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._entries
+            return key in self._entries or key in self._disk_keys
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._entries)
+            return len(self._entries) + len(self._disk_keys)
 
     @property
     def bytes_used(self) -> int:
+        """In-RAM payload bytes (spilled entries are not RAM)."""
         with self._lock:
             return self._bytes
+
+    @property
+    def disk_bytes_used(self) -> int:
+        with self._lock:
+            return self._disk.bytes_used if self._disk is not None else 0
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            if self._disk is not None:
+                for key in list(self._disk_keys):
+                    self._disk.remove(key)
+                self._disk_keys.clear()
+
+    def close(self) -> None:
+        """Release the spill directory (idempotent; RAM entries survive)."""
+        with self._lock:
+            if self._disk is not None:
+                self._disk.close()
+                self._disk = None
+                self._disk_keys.clear()
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
@@ -185,4 +265,11 @@ class ResultCache:
                 "hit_rate": (self.hits / total) if total else 0.0,
                 "puts": self.puts,
                 "evictions": self.evictions,
+                "spill_enabled": self._disk is not None,
+                "spills": self.spills,
+                "disk_hits": self.disk_hits,
+                "disk_entries": len(self._disk_keys),
+                "disk_bytes": (
+                    self._disk.bytes_used if self._disk is not None else 0
+                ),
             }

@@ -10,6 +10,13 @@ single most expensive piece of multiprocess-runtime setup.  Jobs lease
 an entry, run it, and hand it back; the build work is paid once per
 distinct configuration instead of once per job.
 
+When the entry's config enables region staging (``config.staging``),
+the prepared pipeline also carries a
+:class:`~repro.regions.RegionStore` shared across every run on the
+entry — chunk-granular caching: the second job on a warm entry finds
+all of its IIC-to-TEXTURE chunks already staged and assembles them as
+pure region hits instead of re-reading the dataset.
+
 Leases serialize: one runtime executes one run at a time (the runtimes
 themselves enforce this with their run guards), so a lease blocks until
 the entry is free.  Distinct entries run concurrently.
@@ -94,6 +101,9 @@ class _PoolEntry:
         try:
             self.runtime.close()
         finally:
+            # Releases the entry's region store (staged chunks, spill
+            # files, shm slabs) along with the warm transport pool.
+            self.prepared.close()
             if self.shm_pool is not None:
                 self.shm_pool.destroy()
                 self.shm_pool = None

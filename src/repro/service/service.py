@@ -42,6 +42,7 @@ import numpy as np
 from ..datacutter.obs import MetricsRegistry
 from ..pipeline.config import AnalysisConfig
 from ..pipeline.run import execute_pipeline
+from ..regions import StagingPolicy
 from .cache import ResultCache, result_key, volume_fingerprint
 from .fair_queue import AdmissionError, FairQueue
 from .jobs import AnalysisRequest, JobHandle, JobResult, JobStatus
@@ -66,6 +67,18 @@ class ServiceConfig:
     batch_max: int = 8
     #: Result cache budget in payload bytes; 0 disables caching.
     cache_bytes: int = 256 << 20
+    #: Disk budget for result-cache spill; entries displaced from the
+    #: in-RAM bound demote to disk instead of dropping.  ``None`` with
+    #: no spill dir disables spill (legacy behaviour); 0 disables too.
+    cache_spill_bytes: Optional[int] = None
+    #: Spill directory override (default: $TMPDIR/repro-regions).
+    #: Setting only this enables unbounded spill.
+    cache_spill_dir: Optional[str] = None
+    #: Default region-staging policy applied to jobs whose config does
+    #: not set one: warm pool entries then share a chunk-granular
+    #: :class:`~repro.regions.RegionStore` across jobs.  ``None`` leaves
+    #: request configs untouched.
+    staging: Optional[StagingPolicy] = None
     #: Warm runtime entries kept alive across jobs.
     pool_entries: int = 4
     #: Worker poll interval while the queue is empty, seconds.
@@ -84,7 +97,11 @@ class AnalysisService:
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
         self.metrics = MetricsRegistry()
-        self.cache = ResultCache(max_bytes=self.config.cache_bytes)
+        self.cache = ResultCache(
+            max_bytes=self.config.cache_bytes,
+            spill_dir=self.config.cache_spill_dir,
+            spill_bytes=self.config.cache_spill_bytes,
+        )
         self.pool = RuntimePool(max_entries=self.config.pool_entries)
         self.queue = FairQueue(
             max_queued=self.config.max_queued,
@@ -271,6 +288,12 @@ class AnalysisService:
         exec_config = replace(
             req.config, texture=replace(req.config.texture, features=tuple(union))
         )
+        if exec_config.staging is None and self.config.staging is not None:
+            # Service-wide default: pool entries built from this config
+            # share a chunk-granular region store across jobs.  Staging
+            # never changes the numbers, so the result-cache key is
+            # untouched.
+            exec_config = replace(exec_config, staging=self.config.staging)
         started = time.time()
         try:
             with self.pool.lease(
@@ -393,6 +416,7 @@ class AnalysisService:
                 left = None if deadline is None else max(0.0, deadline - time.time())
                 t.join(left)
         self.pool.close()
+        self.cache.close()
 
     def __enter__(self) -> "AnalysisService":
         return self

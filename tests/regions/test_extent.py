@@ -1,0 +1,125 @@
+"""Property tests for the region addressing vocabulary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regions import RegionExtent, RegionTemplate, region_key
+
+
+@st.composite
+def extents(draw, ndim=None):
+    n = ndim if ndim is not None else draw(st.integers(1, 4))
+    lo = [draw(st.integers(0, 40)) for _ in range(n)]
+    hi = [l + draw(st.integers(1, 20)) for l in lo]
+    return RegionExtent(tuple(lo), tuple(hi))
+
+
+@st.composite
+def extent_pairs(draw):
+    n = draw(st.integers(1, 4))
+    return draw(extents(ndim=n)), draw(extents(ndim=n))
+
+
+class TestRegionExtent:
+    def test_rejects_empty_and_inverted(self):
+        with pytest.raises(ValueError):
+            RegionExtent((0,), (0,))
+        with pytest.raises(ValueError):
+            RegionExtent((5, 0), (3, 4))
+        with pytest.raises(ValueError):
+            RegionExtent((), ())
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            RegionExtent((0, 0), (4,))
+        with pytest.raises(ValueError):
+            RegionExtent((0, 0), (4, 4)).intersect(RegionExtent((0,), (4,)))
+
+    @given(extents())
+    @settings(max_examples=100, deadline=None)
+    def test_shape_and_voxels(self, e):
+        assert e.shape == tuple(h - l for l, h in zip(e.lo, e.hi))
+        assert e.num_voxels == int(np.prod(e.shape))
+        assert e.ndim == len(e.lo)
+
+    @given(extent_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_intersect_symmetric_and_contained(self, pair):
+        a, b = pair
+        ab, ba = a.intersect(b), b.intersect(a)
+        assert ab == ba
+        if ab is not None:
+            assert a.contains(ab) and b.contains(ab)
+            # The intersection is maximal: growing any face by one voxel
+            # escapes at least one operand.
+            assert ab.num_voxels <= min(a.num_voxels, b.num_voxels)
+
+    @given(extent_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_intersect_matches_pointwise_overlap(self, pair):
+        a, b = pair
+        # Disjointness along any axis <=> no intersection.
+        disjoint = any(
+            ah <= bl or bh <= al
+            for al, ah, bl, bh in zip(a.lo, a.hi, b.lo, b.hi)
+        )
+        assert (a.intersect(b) is None) == disjoint
+
+    @given(extent_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_slices_select_exact_coordinates(self, pair):
+        a, b = pair
+        ov = a.intersect(b)
+        if ov is None:
+            return
+        # Fill an array over `a` with global coordinates of one axis and
+        # check the slices select exactly the overlap's coordinate range.
+        axis = 0
+        arr = np.empty(a.shape, dtype=np.int64)
+        coords = np.arange(a.lo[axis], a.hi[axis])
+        arr[:] = coords.reshape((-1,) + (1,) * (a.ndim - 1))
+        sel = arr[ov.slices_in(a)]
+        assert sel.shape == ov.shape
+        assert sel.min() == ov.lo[axis] and sel.max() == ov.hi[axis] - 1
+
+    def test_slices_in_requires_containment(self):
+        outer = RegionExtent((0, 0), (4, 4))
+        inner = RegionExtent((2, 2), (6, 6))
+        with pytest.raises(ValueError):
+            inner.slices_in(outer)
+
+    @given(extents())
+    @settings(max_examples=100, deadline=None)
+    def test_key_is_canonical(self, e):
+        # Same box -> same key; the key parses back to the same extent.
+        assert e.key() == RegionExtent(e.lo, e.hi).key()
+        parsed = [tuple(int(v) for v in part.split(":"))
+                  for part in e.key().split(",")]
+        assert tuple(p[0] for p in parsed) == e.lo
+        assert tuple(p[1] for p in parsed) == e.hi
+
+    @given(extent_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_key_injective(self, pair):
+        a, b = pair
+        assert (a.key() == b.key()) == (a == b)
+
+
+class TestRegionTemplate:
+    def test_name_validation(self):
+        for bad in ("", "a|b", "a/b"):
+            with pytest.raises(ValueError):
+                RegionTemplate(bad)
+
+    def test_extent_dim_validation(self):
+        tmpl = RegionTemplate("t", ndim=4)
+        tmpl.validate(RegionExtent((0, 0, 0, 0), (1, 1, 1, 1)))
+        with pytest.raises(ValueError):
+            tmpl.validate(RegionExtent((0,), (1,)))
+
+    def test_region_key_scopes_by_template(self):
+        e = RegionExtent((0, 0), (4, 4))
+        assert region_key("a", e) != region_key("b", e)
+        assert region_key("a", e) == f"a|{e.key()}"

@@ -1,0 +1,231 @@
+"""Spill/evict/promote behaviour of the storage hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regions import (
+    DROPPED,
+    InMemoryRemoteClient,
+    RamTier,
+    RemoteTier,
+    StagingPolicy,
+    StorageHierarchy,
+    format_staging,
+    parse_staging,
+)
+
+
+def _arr(nbytes, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=nbytes).astype(np.uint8)
+
+
+def _two_level(ram_bytes, promote=True, eviction="lru"):
+    """RAM over an unbounded 'remote' tier (pure in-memory, fast)."""
+    return StorageHierarchy(
+        [RamTier(ram_bytes), RemoteTier(InMemoryRemoteClient())],
+        promote_on_hit=promote,
+        eviction=eviction,
+    )
+
+
+class TestSpillAndPromote:
+    def test_stage_lands_in_top_tier(self):
+        h = _two_level(1 << 12)
+        report = h.put("a", _arr(256))
+        assert report.tier == "ram" and not report.evictions
+        assert h.occupancy()["ram"] == 256
+
+    def test_lru_victim_demotes_one_level(self):
+        h = _two_level(512, promote=False)
+        h.put("a", _arr(256, seed=1))
+        h.put("b", _arr(256, seed=2))
+        report = h.put("c", _arr(256, seed=3))
+        assert report.tier == "ram"
+        assert [(e.key, e.src, e.dst) for e in report.evictions] == [
+            ("a", "ram", "remote")
+        ]
+        # The demoted payload survives bit-identical below.
+        data, tier = h.get("a")
+        assert tier == "remote"
+        np.testing.assert_array_equal(data, _arr(256, seed=1))
+
+    def test_promote_on_hit_restores_ram(self):
+        h = _two_level(512, promote=True)
+        h.put("a", _arr(256, seed=1))
+        h.put("b", _arr(256, seed=2))
+        h.put("c", _arr(256, seed=3))  # a -> remote
+        data, tier = h.get("a")
+        assert tier == "ram"  # promoted on the way out
+        np.testing.assert_array_equal(data, _arr(256, seed=1))
+        # Promotion made room by demoting the coldest RAM entry.
+        assert h.entries()["ram"] == 2 and h.entries()["remote"] == 1
+
+    def test_promote_off_leaves_entry_down(self):
+        h = _two_level(512, promote=False)
+        h.put("a", _arr(256, seed=1))
+        h.put("b", _arr(256, seed=2))
+        h.put("c", _arr(256, seed=3))
+        _, tier = h.get("a")
+        assert tier == "remote"
+        _, tier = h.get("a")
+        assert tier == "remote"  # still there, still down
+
+    def test_lru_get_refreshes_recency(self):
+        h = _two_level(512, eviction="lru", promote=False)
+        h.put("a", _arr(256, seed=1))
+        h.put("b", _arr(256, seed=2))
+        h.get("a")  # a is now hotter than b
+        report = h.put("c", _arr(256, seed=3))
+        assert report.evictions[0].key == "b"
+
+    def test_fifo_ignores_recency(self):
+        h = _two_level(512, eviction="fifo", promote=False)
+        h.put("a", _arr(256, seed=1))
+        h.put("b", _arr(256, seed=2))
+        h.get("a")
+        report = h.put("c", _arr(256, seed=3))
+        assert report.evictions[0].key == "a"  # insertion order wins
+
+    def test_drop_off_last_tier(self):
+        h = StorageHierarchy([RamTier(512)])
+        h.put("a", _arr(256, seed=1))
+        h.put("b", _arr(256, seed=2))
+        report = h.put("c", _arr(256, seed=3))
+        assert report.evictions == [
+            type(report.evictions[0])(key="a", src="ram", dst=DROPPED, nbytes=256)
+        ]
+        assert h.get("a") == (None, None)
+
+    def test_oversize_payload_skips_to_lower_tier(self):
+        h = _two_level(128)
+        report = h.put("big", _arr(4096))
+        assert report.tier == "remote" and not report.evictions
+        assert h.entries()["ram"] == 0
+
+    def test_cascade_through_three_levels(self):
+        mid, low = RamTier(256), RamTier(256)
+        mid.name, low.name = "mid", "low"  # hierarchy wants distinct names
+        h = StorageHierarchy([RamTier(256), mid, low], promote_on_hit=False)
+        for i, key in enumerate("abcd"):
+            report = h.put(key, _arr(256, seed=i))
+        # d pushed c to mid, which pushed b to low, which dropped a.
+        moves = [(e.key, e.src, e.dst) for e in report.evictions]
+        assert ("c", "ram", "mid") in moves
+        assert ("b", "mid", "low") in moves
+        assert ("a", "low", DROPPED) in moves
+
+    def test_remove_and_contains(self):
+        h = _two_level(256, promote=False)
+        h.put("a", _arr(256, seed=1))
+        h.put("b", _arr(256, seed=2))  # a demoted
+        assert "a" in h and "b" in h
+        assert h.remove("a")
+        assert "a" not in h and not h.remove("a")
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(16, 64)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_integrity_under_random_churn(self, ops):
+        # Model check: whatever sequence of puts lands, every key the
+        # hierarchy still claims to hold returns its latest payload
+        # bit-identical, from whatever tier it spilled to.
+        h = _two_level(128, promote=False)
+        model = {}
+        for seed, (slot, nbytes) in enumerate(ops):
+            key = f"k{slot}"
+            data = _arr(nbytes, seed=seed)
+            h.put(key, data)
+            model[key] = data
+        for key, want in model.items():
+            if key in h:
+                got, tier = h.get(key)
+                assert tier in ("ram", "remote")
+                np.testing.assert_array_equal(got, want)
+
+    def test_close_releases_everything(self):
+        h = _two_level(512)
+        h.put("a", _arr(256))
+        h.close()
+        assert h.get("a") == (None, None)
+        h.close()  # idempotent
+
+
+class TestFromPolicy:
+    def test_default_policy_tiers(self):
+        with StorageHierarchy.from_policy(StagingPolicy()) as h:
+            assert [t.name for t in h.tiers] == ["ram", "disk"]
+            assert h.tiers[1].capacity_bytes is None  # unbounded spill
+
+    def test_disk_off(self):
+        with StorageHierarchy.from_policy(StagingPolicy(disk_bytes=0)) as h:
+            assert [t.name for t in h.tiers] == ["ram"]
+
+    def test_shm_tier_included(self):
+        policy = StagingPolicy(shm_bytes=1 << 20, shm_segment_bytes=1 << 18,
+                               disk_bytes=0)
+        with StorageHierarchy.from_policy(policy) as h:
+            assert [t.name for t in h.tiers] == ["ram", "shm"]
+
+    def test_remote_tier_appended(self):
+        policy = StagingPolicy(disk_bytes=0)
+        client = InMemoryRemoteClient()
+        with StorageHierarchy.from_policy(policy, remote=client) as h:
+            assert [t.name for t in h.tiers] == ["ram", "remote"]
+
+    def test_spill_roundtrip_through_real_disk(self, tmp_path):
+        policy = StagingPolicy(ram_bytes=512, spill_dir=str(tmp_path))
+        with StorageHierarchy.from_policy(policy) as h:
+            h.put("a", _arr(256, seed=1))
+            h.put("b", _arr(256, seed=2))
+            h.put("c", _arr(256, seed=3))  # a -> disk
+            data, tier = h.get("a")
+            assert tier in ("ram", "disk")  # promoted by default
+            np.testing.assert_array_equal(data, _arr(256, seed=1))
+
+
+class TestStagingPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StagingPolicy(ram_bytes=-1)
+        with pytest.raises(ValueError):
+            StagingPolicy(eviction="random")
+
+    def test_hashable_for_pool_keys(self):
+        assert hash(StagingPolicy()) == hash(StagingPolicy())
+        assert StagingPolicy() != StagingPolicy(ram_bytes=1)
+
+    @pytest.mark.parametrize("spec,want", [
+        ("ram=64M", StagingPolicy(ram_bytes=64 << 20)),
+        ("ram=1g,disk=512k", StagingPolicy(ram_bytes=1 << 30,
+                                           disk_bytes=512 << 10)),
+        ("disk=off", StagingPolicy(disk_bytes=0)),
+        ("disk=unbounded", StagingPolicy(disk_bytes=None)),
+        ("shm=2M,evict=fifo,promote=off",
+         StagingPolicy(shm_bytes=2 << 20, eviction="fifo",
+                       promote_on_hit=False)),
+        ("dir=/x/y", StagingPolicy(spill_dir="/x/y")),
+    ])
+    def test_parse(self, spec, want):
+        assert parse_staging(spec) == want
+
+    @pytest.mark.parametrize("spec", [
+        "ram", "ram=abc", "bogus=1", "evict=random",
+    ])
+    def test_parse_rejects(self, spec):
+        with pytest.raises(ValueError):
+            parse_staging(spec)
+
+    @pytest.mark.parametrize("policy", [
+        StagingPolicy(),
+        StagingPolicy(ram_bytes=1 << 20, disk_bytes=0),
+        StagingPolicy(shm_bytes=1 << 20, eviction="fifo",
+                      promote_on_hit=False, spill_dir="/tmp/x"),
+        StagingPolicy(disk_bytes=123456),
+    ])
+    def test_format_parse_roundtrip(self, policy):
+        # shm_segment_bytes is not part of the spec language; everything
+        # else must survive format -> parse unchanged.
+        assert parse_staging(format_staging(policy)) == policy

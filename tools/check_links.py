@@ -31,11 +31,15 @@ DEFAULT_FILES = (
     "DESIGN.md",
     "ROADMAP.md",
     "EXPERIMENTS.md",
+    "docs/architecture.md",
     "docs/userguide.md",
     "docs/middleware.md",
+    "docs/data-layer.md",
     "docs/kernels.md",
     "docs/simulator.md",
     "docs/observability.md",
+    "docs/scenarios.md",
+    "docs/service.md",
 )
 
 #: Inline links/images: [text](target) — target ends at the first
