@@ -1,0 +1,213 @@
+"""Self-tuning benchmarks: wakeup latency delta and tuner vs defaults.
+
+Two headline numbers, recorded in ``BENCH_tuning.json`` at the repo
+root:
+
+* **Wakeup latency.**  The runtimes used to poll every blocking wait at
+  a fixed 0.02s tick, so a buffer crossing an idle edge paid up to one
+  tick per hop before its consumer even looked at the queue.  The
+  event-driven path wakes consumers on the queue transition itself.  A
+  3-hop chain pipeline fed one paced buffer at a time (each send hits an
+  idle pipeline — the worst case for wakeups, nothing to amortize)
+  measures the per-buffer delivery latency under both modes; the claim
+  under test is that event-driven latency lands *below the polled 0.02s
+  floor*, not just below polled's measured mean.
+
+* **Tuner vs hand-picked defaults.**  ``repro tune``'s sweep must select
+  a profile no slower than the repo's default configuration on the
+  pilot workload it measured — the tuner may only help, never hurt —
+  and every candidate it tried must produce bit-identical volumes.
+
+Needs only numpy and the stdlib, so CI runs the smoke variant::
+
+    pytest benchmarks/bench_tuning.py -k smoke
+"""
+
+import os
+import statistics
+import time
+
+from harness import record_repo_json
+
+from repro.datacutter.filter import Filter
+from repro.datacutter.graph import FilterGraph
+from repro.datacutter.runtime_mp import MPRuntime
+
+#: The legacy fixed polling tick (runtime_mp._POLL) — the latency floor
+#: the event-driven path must beat.
+POLLED_FLOOR = 0.02
+
+CHAIN_HOPS = 3
+
+
+class PacedProducer(Filter):
+    """Sends one timestamped buffer at a time into an idle pipeline.
+
+    Buffers alternate between two streams.  Every filter downstream has
+    *two* input edges, which is where the polled loop's latency floor
+    actually lives: a single-input consumer blocks directly in
+    ``queue.get`` (woken by the OS on arrival), but a multi-input
+    consumer rotates over its queues with a ``poll``-long blocking get
+    on each — a buffer landing on the stream it is *not* currently
+    blocked on waits out the full tick, per hop.  The event-driven path
+    sweeps non-blockingly and parks on a wakeup event instead.
+    """
+
+    def __init__(self, count=30, pace=0.01):
+        self.count = count
+        self.pace = pace
+
+    def generate(self, ctx):
+        for i in range(self.count):
+            time.sleep(self.pace)  # let the chain drain: next send hits idle
+            stream = "a" if i % 2 == 0 else "b"
+            ctx.send(stream, {"seq": i, "t": time.time()}, size_bytes=64)
+
+
+class Relay(Filter):
+    def process(self, stream, buffer, ctx):
+        ctx.send(stream, buffer.payload, size_bytes=64)
+
+
+class LatencySink(Filter):
+    def __init__(self):
+        self.latencies = []
+
+    def process(self, stream, buffer, ctx):
+        self.latencies.append(time.time() - buffer.payload["t"])
+
+    def finalize(self, ctx):
+        ctx.deposit("latencies", self.latencies)
+
+
+def chain_graph(count, pace):
+    g = FilterGraph()
+    g.add_filter("P", lambda: PacedProducer(count, pace))
+    prev = "P"
+    for h in range(CHAIN_HOPS - 1):
+        name = f"R{h}"
+        g.add_filter(name, Relay)
+        g.connect(prev, "a", name)
+        g.connect(prev, "b", name)
+        prev = name
+    g.add_filter("S", LatencySink)
+    g.connect(prev, "a", "S")
+    g.connect(prev, "b", "S")
+    return g
+
+
+def measure_wakeup(wakeup, count=30, pace=0.01):
+    rt = MPRuntime(chain_graph(count, pace), wakeup=wakeup)
+    res = rt.run(timeout=120)
+    lat = res.deposits("latencies")[0]
+    assert len(lat) == count
+    return {
+        "mean_seconds": statistics.mean(lat),
+        "p50_seconds": statistics.median(lat),
+        "max_seconds": max(lat),
+        "buffers": count,
+        "hops": CHAIN_HOPS,
+    }
+
+
+def run_tuner_comparison(runtime, grid, shape=(24, 24, 8, 4)):
+    from repro.tuning import PilotSpec, run_sweep
+
+    spec = PilotSpec(phantom_shape=shape, runtime=runtime, seed=7)
+    result = run_sweep(spec, grid=grid)
+    return {
+        "runtime": runtime,
+        "candidates": len(result.records),
+        "baseline_elapsed_seconds": result.baseline_elapsed,
+        "tuned_elapsed_seconds": result.best_elapsed,
+        "speedup_vs_defaults": result.baseline_elapsed / result.best_elapsed,
+        "bit_identical": result.bit_identical,
+        "selected": {
+            "chunk_shape": list(result.profile.chunk_shape or ()),
+            "copies": dict(result.profile.copies),
+            "transport": result.profile.transport,
+            "kernel": result.profile.kernel,
+        },
+    }
+
+
+def assert_no_shm_leak():
+    leftovers = [f for f in os.listdir("/dev/shm") if "reproshm" in f]
+    assert not leftovers, f"leaked /dev/shm segments: {leftovers}"
+
+
+def test_bench_tuning_full():
+    """Headline numbers -> BENCH_tuning.json."""
+    wakeup = {mode: measure_wakeup(mode) for mode in ("event", "polled")}
+    tuner = run_tuner_comparison(
+        "processes",
+        grid={
+            "chunk_shape": [(16, 16, 8, 4), (24, 24, 8, 4)],
+            "copies": [{"texture": 1}, {"texture": 2}],
+            "transport": ["pipe", "shm"],
+            "kernel": ["incremental"],
+        },
+    )
+    payload = {
+        "wakeup_latency": {
+            "chain_hops": CHAIN_HOPS,
+            "polled_floor_seconds": POLLED_FLOOR,
+            "modes": {
+                m: {k: round(v, 6) if isinstance(v, float) else v
+                    for k, v in row.items()}
+                for m, row in wakeup.items()
+            },
+            "event_vs_polled_speedup": round(
+                wakeup["polled"]["mean_seconds"]
+                / wakeup["event"]["mean_seconds"], 1,
+            ),
+        },
+        "tuner": {
+            k: round(v, 4) if isinstance(v, float) else v
+            for k, v in tuner.items()
+        },
+    }
+    path = record_repo_json("BENCH_tuning.json", payload)
+    print(f"\nwrote {path}")
+    print(f"  wakeup: event mean {wakeup['event']['mean_seconds']*1e3:.2f}ms"
+          f" vs polled {wakeup['polled']['mean_seconds']*1e3:.2f}ms"
+          f" over {CHAIN_HOPS} hops (floor {POLLED_FLOOR*1e3:.0f}ms/hop)")
+    print(f"  tuner: defaults {tuner['baseline_elapsed_seconds']:.3f}s ->"
+          f" tuned {tuner['tuned_elapsed_seconds']:.3f}s"
+          f" ({tuner['speedup_vs_defaults']:.2f}x,"
+          f" bit_identical={tuner['bit_identical']})")
+
+    # The acceptance bars, exactly as stated: event-driven wakeup
+    # latency measurably below the polled tick floor (per buffer, over
+    # an idle 3-hop chain the polled path pays several ticks)...
+    assert wakeup["event"]["mean_seconds"] < POLLED_FLOOR
+    assert wakeup["event"]["mean_seconds"] < wakeup["polled"]["mean_seconds"]
+    # ...and a tuner pick at least as fast as the hand-picked defaults
+    # on the pilot it measured (noise margin: same config should tie).
+    assert tuner["tuned_elapsed_seconds"] <= tuner[
+        "baseline_elapsed_seconds"] * 1.10
+    assert tuner["bit_identical"]
+    assert_no_shm_leak()
+
+
+def test_tuning_smoke():
+    """CI gate: latency delta holds on a short chain; the pilot sweep
+    runs end-to-end bit-identically; no /dev/shm segment leaks."""
+    event = measure_wakeup("event", count=10)
+    polled = measure_wakeup("polled", count=10)
+    assert event["mean_seconds"] < POLLED_FLOOR, event
+    assert event["mean_seconds"] < polled["mean_seconds"], (event, polled)
+
+    tuner = run_tuner_comparison(
+        "threads",
+        grid={
+            "chunk_shape": [(16, 16, 8, 4)],
+            "copies": [{"texture": 1}, {"texture": 2}],
+            "transport": [None],
+            "kernel": ["incremental"],
+        },
+        shape=(16, 16, 8, 4),
+    )
+    assert tuner["bit_identical"]
+    assert tuner["candidates"] == 2
+    assert_no_shm_leak()

@@ -57,6 +57,7 @@ from __future__ import annotations
 import argparse
 import os
 import queue
+import selectors
 import socket
 import threading
 import time
@@ -79,7 +80,12 @@ from . import codec
 
 __all__ = ["AgentRunner", "run_agent", "spawned_agent_main", "main"]
 
-#: Granularity of abort checks while blocked (seconds).
+#: Default watchdog granularity while blocked (seconds).  The head
+#: threads the runtime's configured ``poll_interval`` through ``setup``
+#: (9th element), which overrides this; every blocking wait in the agent
+#: is otherwise event-driven (socket readiness via ``selectors``, queue
+#: puts, condition notifies, abort-event waits), so the interval only
+#: bounds recovery from a missed wakeup.
 _POLL = 0.05
 #: Heartbeat period (seconds); the head's timeout is several of these.
 HEARTBEAT_INTERVAL = 0.5
@@ -107,18 +113,21 @@ class _SendWindow:
     at the head; ``release`` is called when an ``scredit`` grant arrives.
     """
 
-    def __init__(self, limit: int, abort: threading.Event):
+    def __init__(self, limit: int, abort: threading.Event, poll: float = _POLL):
         self.limit = limit
         self.outstanding = 0
         self.cond = threading.Condition()
         self.abort = abort
+        self.poll = poll
 
     def acquire(self) -> None:
         with self.cond:
             while self.outstanding >= self.limit:
                 if self.abort.is_set():
                     raise _Aborted()
-                self.cond.wait(timeout=_POLL)
+                # ``release``/``wake`` notify the condition, so this
+                # timeout is a watchdog, not the wakeup mechanism.
+                self.cond.wait(timeout=self.poll)
             self.outstanding += 1
         if self.abort.is_set():
             raise _Aborted()
@@ -252,11 +261,12 @@ class _CopyWorker:
                         attempt=attempt,
                         error=repr(exc),
                     )
-                deadline = time.perf_counter() + retry.delay(attempt)
-                while time.perf_counter() < deadline:
-                    if runner.abort.is_set():
-                        raise _Aborted()
-                    time.sleep(min(_POLL, max(0.0, deadline - time.perf_counter())))
+                # Event-driven backoff: one wait for the whole delay,
+                # interrupted immediately by the runner's abort (this
+                # also threads the configured interval instead of the
+                # module-global tick the old loop hardwired).
+                if runner.abort.wait(timeout=retry.delay(attempt)):
+                    raise _Aborted()
                 attempt += 1
 
     # -- life cycle ---------------------------------------------------------
@@ -303,7 +313,10 @@ class _CopyWorker:
                     if runner.abort.is_set():
                         raise _Aborted()
                     try:
-                        item = self.in_q.get(timeout=_POLL)
+                        # Every wake is a put (buf/close/stop — the
+                        # dispatcher and the abort paths both post
+                        # "stop"), so the timeout is a pure watchdog.
+                        item = self.in_q.get(timeout=runner.poll)
                     except queue.Empty:
                         continue
                     kind = item[0]
@@ -434,6 +447,7 @@ class AgentRunner:
         #: until their inputs close, this only records the lifecycle.
         self.draining = False
         self.abort = threading.Event()
+        self.poll = _POLL
         self.out_q: "queue.Queue" = queue.Queue()
         self.copies: Dict[Tuple[str, int], _CopyWorker] = {}
         self._windows: Dict[Tuple[str, int, str], _SendWindow] = {}
@@ -453,7 +467,9 @@ class AgentRunner:
         with self._windows_lock:
             win = self._windows.get(key)
             if win is None:
-                win = _SendWindow(self._send_window_limit, self.abort)
+                win = _SendWindow(
+                    self._send_window_limit, self.abort, poll=self.poll
+                )
                 self._windows[key] = win
         return win
 
@@ -468,13 +484,14 @@ class AgentRunner:
                 # The head is gone; nothing left to talk to.
                 self.abort.set()
                 self._wake_windows()
+                self._wake_copies()
                 return
 
     def _heartbeat(self) -> None:
-        while not self.abort.is_set():
-            time.sleep(HEARTBEAT_INTERVAL)
-            if self.abort.is_set():
-                return
+        # abort.wait doubles as the period timer and the shutdown wakeup:
+        # the thread exits the instant the abort trips instead of
+        # sleeping out the rest of an interval.
+        while not self.abort.wait(timeout=HEARTBEAT_INTERVAL):
             self.post(("hb",))
 
     def _wake_windows(self) -> None:
@@ -483,10 +500,21 @@ class AgentRunner:
         for w in windows:
             w.wake()
 
+    def _wake_copies(self) -> None:
+        """Post ``stop`` into every copy's queue: an event-driven abort
+        wakeup for workers blocked in their input ``get``."""
+        for worker in self.copies.values():
+            worker.in_q.put(("stop",))
+
     # -- setup + dispatch ---------------------------------------------------
 
     def _apply_setup(self, msg: Tuple) -> None:
-        _, graph, assignments, retry, faults, send_window, agent_name, trace = msg
+        # The optional trailing element is the head's poll_interval
+        # (absent from pre-tuning heads; the module default then holds).
+        (_, graph, assignments, retry, faults, send_window, agent_name,
+         trace, *rest) = msg
+        if rest and rest[0]:
+            self.poll = float(rest[0])
         if graph is not None:
             self.graph = graph
         if self.graph is None:
@@ -525,8 +553,20 @@ class AgentRunner:
             raise RuntimeError(f"expected setup message, got {setup!r}")
         self._apply_setup(setup)
         threading.Thread(target=self._heartbeat, daemon=True).start()
+        # Readiness-gated delivery loop: block in the selector (the
+        # kernel wakes it the instant head bytes arrive) and re-check the
+        # abort between waits, so an abort raised off-thread (writer
+        # death) ends the dispatcher even while the socket stays open.
+        # recv_message reads straight off the socket with no userspace
+        # buffering, so readiness of the fd is readiness of a frame.
+        sel = selectors.DefaultSelector()
+        sel.register(self.sock, selectors.EVENT_READ)
         try:
             while True:
+                if self.abort.is_set():
+                    break
+                if not sel.select(timeout=self.poll):
+                    continue
                 try:
                     msg = codec.recv_message(self.sock)
                 except codec.ConnectionClosed:
@@ -572,10 +612,10 @@ class AgentRunner:
                 else:  # pragma: no cover - protocol growth guard
                     raise RuntimeError(f"unknown head message {kind!r}")
         finally:
+            sel.close()
             self.abort.set()
             self._wake_windows()
-            for worker in self.copies.values():
-                worker.in_q.put(("stop",))
+            self._wake_copies()
             for worker in self.copies.values():
                 worker.thread.join(timeout=5.0)
             self.out_q.put(None)

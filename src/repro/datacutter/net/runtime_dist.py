@@ -258,6 +258,7 @@ class DistRuntime:
         trace: bool = False,
         elastic: bool = False,
         schedule: Optional[List[MembershipAction]] = None,
+        poll_interval: Optional[float] = None,
     ):
         graph.validate()
         LocalRuntime._check_stream_names(graph)
@@ -265,6 +266,14 @@ class DistRuntime:
             raise ValueError("distributed runtime needs at least one host")
         if max_queue < 1 or send_window < 1:
             raise ValueError("max_queue and send_window must be >= 1")
+        # Watchdog granularity for the monitor loop, threaded through
+        # ``setup`` to every agent's blocking waits.  Only ``None`` means
+        # "use the default" — an explicit 0 must fail validation.
+        self.poll_interval = (
+            _POLL if poll_interval is None else float(poll_interval)
+        )
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
         self.graph = graph
         self.hosts = list(hosts)
         self.node_names = _node_names(self.hosts)
@@ -902,6 +911,7 @@ class DistRuntime:
                         self.send_window,
                         conn.name,
                         self.trace,
+                        self.poll_interval,
                     ),
                     None,
                 )
@@ -1317,6 +1327,7 @@ class DistRuntime:
                         self.send_window,
                         conn.name,
                         self.trace,
+                        self.poll_interval,
                     ),
                     None,
                 )
@@ -1351,7 +1362,7 @@ class DistRuntime:
         deadline = None if timeout is None else time.monotonic() + timeout
         timed_out = False
         while not self._done_event.is_set():
-            self._done_event.wait(timeout=_POLL)
+            self._done_event.wait(timeout=self.poll_interval)
             if self._done_event.is_set():
                 break
             now = time.monotonic()

@@ -58,10 +58,18 @@ from .graph import FilterGraph, StreamEdge
 from .obs import Trace, Tracer, snapshot_run
 from .scheduling import CopyState, make_policy
 
-__all__ = ["LocalRuntime", "RunResult"]
+__all__ = ["LocalRuntime", "RunResult", "WAKEUPS"]
 
-#: Granularity of abort checks while blocked on a queue (seconds).
+#: Watchdog granularity while blocked on a queue (seconds).  With
+#: ``wakeup="event"`` (default) every transition a blocked worker waits
+#: on — new buffer, stream closure, copy death, abort — raises a wakeup
+#: (a queue put or a ``_WAKE`` nudge), so this only bounds recovery from
+#: a missed one; with ``wakeup="polled"`` blocked workers genuinely tick
+#: at this granularity (the pre-event behaviour, kept for benchmarks).
 _POLL = 0.05
+
+#: Accepted ``wakeup=`` modes.
+WAKEUPS = ("event", "polled")
 
 #: No-op queue token: wakes a consumer blocked in ``get`` so it re-checks
 #: stream closure immediately instead of waiting out a poll interval.
@@ -133,7 +141,13 @@ class RunResult:
 
 
 class _RunState:
-    """Shared per-run coordination: abort signal and failure accounting."""
+    """Shared per-run coordination: abort signal and failure accounting.
+
+    In event mode the abort also *wakes* every consumer: queues attached
+    via :meth:`attach_queues` get a best-effort ``_WAKE`` nudge when the
+    abort trips, so a worker blocked in ``get`` unwinds immediately
+    instead of discovering the flag at its next watchdog expiry.
+    """
 
     def __init__(self) -> None:
         self.abort = threading.Event()
@@ -142,6 +156,17 @@ class _RunState:
         self.fatal = False
         self.retries = 0
         self.reroutes = 0
+        self._wake_queues: List["queue.Queue"] = []
+
+    def attach_queues(self, queues: List["queue.Queue"]) -> None:
+        self._wake_queues.extend(queues)
+
+    def _wake_all(self) -> None:
+        for q in self._wake_queues:
+            try:
+                q.put_nowait(_WAKE)
+            except queue.Full:
+                pass  # a full queue wakes its consumer on its own
 
     def record_failure(self, failure: CopyFailure, fatal: bool) -> None:
         with self.lock:
@@ -150,11 +175,13 @@ class _RunState:
                 self.fatal = True
         if fatal:
             self.abort.set()
+            self._wake_all()
 
     def trigger_abort(self) -> None:
         with self.lock:
             self.fatal = True
         self.abort.set()
+        self._wake_all()
 
     def count_retry(self) -> None:
         with self.lock:
@@ -180,6 +207,7 @@ class _EdgeRouter:
         state: _RunState,
         n_producers: int,
         tracer: Optional[Tracer] = None,
+        poll: float = _POLL,
     ):
         self.edge = edge
         self.policy = make_policy(edge.policy)
@@ -193,6 +221,7 @@ class _EdgeRouter:
         self.departed: set = set()  # copies that closed the stream cleanly
         self.sent = 0
         self.tracer = tracer
+        self.poll = poll
 
     def mark_dead(self, copy_index: int) -> None:
         with self.lock:
@@ -306,7 +335,11 @@ class _EdgeRouter:
                         self.sent -= 1
                     break
                 try:
-                    self.queues[idx].put(item, timeout=_POLL)
+                    # The timeout is a watchdog: it bounds how long a
+                    # producer blocked on a full queue goes without
+                    # re-checking the abort flag and the dead set (a
+                    # consume frees a slot and wakes the put directly).
+                    self.queues[idx].put(item, timeout=self.poll)
                     return
                 except queue.Full:
                     continue
@@ -390,6 +423,14 @@ class LocalRuntime:
         (queue waits, service spans, scheduler picks, chunk lifecycle via
         ``ctx.event``) into ``RunResult.trace``.  Off by default; the
         disabled path adds only ``is not None`` branches.
+    poll_interval:
+        Watchdog granularity in seconds (default 0.05).  With
+        ``wakeup="event"`` it only bounds recovery from a missed wakeup;
+        with ``wakeup="polled"`` it is the legacy busy-wait tick.
+    wakeup:
+        ``"event"`` (default) wakes blocked workers on every queue
+        transition (puts, ``_WAKE`` closure nudges, abort nudges);
+        ``"polled"`` restores the pre-event ticks for benchmarking.
     """
 
     def __init__(
@@ -399,14 +440,26 @@ class LocalRuntime:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
         trace: bool = False,
+        poll_interval: Optional[float] = None,
+        wakeup: str = "event",
     ):
         graph.validate()
         self._check_stream_names(graph)
+        if wakeup not in WAKEUPS:
+            raise ValueError(
+                f"unknown wakeup {wakeup!r}; expected one of {WAKEUPS}"
+            )
         self.graph = graph
         self.max_queue = max_queue
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
         self.trace = bool(trace)
+        self.poll_interval = (
+            _POLL if poll_interval is None else float(poll_interval)
+        )
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.wakeup = wakeup
         self._run_lock = threading.Lock()
         self._active_state: Optional[_RunState] = None
 
@@ -469,12 +522,10 @@ class LocalRuntime:
                     raise _CopyDied(exc, injected=isinstance(exc, InjectedFault))
                 state.count_retry()
                 ctx.event("fault.retry", attempt=attempt, error=repr(exc))
-                delay = self.retry.delay(attempt)
-                deadline = time.perf_counter() + delay
-                while time.perf_counter() < deadline:
-                    if state.abort.is_set():
-                        raise _Aborted()
-                    time.sleep(min(_POLL, max(0.0, deadline - time.perf_counter())))
+                # Event-driven backoff: one wait for the whole delay,
+                # interrupted immediately by the shared abort.
+                if state.abort.wait(timeout=self.retry.delay(attempt)):
+                    raise _Aborted()
                 attempt += 1
 
     # -- execution ---------------------------------------------------------
@@ -514,6 +565,17 @@ class LocalRuntime:
         for spec in graph.filters.values():
             for i in range(spec.copies):
                 queues[(spec.name, i)] = queue.Queue(maxsize=self.max_queue)
+        if self.wakeup == "event":
+            # Abort raises a nudge in every consumer queue, so workers
+            # blocked in ``get`` unwind without waiting out the watchdog.
+            state.attach_queues(
+                [
+                    queues[(spec.name, i)]
+                    for spec in graph.filters.values()
+                    if graph.in_edges(spec.name)
+                    for i in range(spec.copies)
+                ]
+            )
 
         # One router per edge, shared by all producer copies.
         routers: Dict[Tuple[str, str], _EdgeRouter] = {}
@@ -527,6 +589,7 @@ class LocalRuntime:
                 state,
                 n_producers=graph.copies(edge.src),
                 tracer=tracer,
+                poll=self.poll_interval,
             )
 
         busy: Dict[Tuple[str, int], float] = {}
@@ -569,7 +632,7 @@ class LocalRuntime:
                         if state.abort.is_set():
                             raise _Aborted()
                         try:
-                            got = q.get(timeout=_POLL)
+                            got = q.get(timeout=self.poll_interval)
                         except queue.Empty:
                             got = _WAKE
                         if got is _WAKE:
@@ -721,11 +784,18 @@ class LocalRuntime:
         timed_out = False
         for th in threads:
             while th.is_alive():
-                th.join(timeout=_POLL * 4)
-                if deadline is not None and time.perf_counter() > deadline:
+                if deadline is None:
+                    # No deadline to police: a plain join blocks on the
+                    # thread's own exit, no tick needed.
+                    th.join()
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
                     timed_out = True
                     state.trigger_abort()
                     deadline = None  # abort set; now join for real
+                    continue
+                th.join(timeout=remaining)
         elapsed = time.perf_counter() - start
 
         if timed_out:

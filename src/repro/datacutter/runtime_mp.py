@@ -45,6 +45,31 @@ as in the threaded runtime: shared ``producers_done`` counters plus an
 atomic departed/queued check, so a survivor can never shut down while a
 dying sibling still holds buffers destined for it.
 
+Wakeups are event-driven (``wakeup="event"``, the default): every queue
+transition a blocked peer could be waiting on — a delivery, a producer
+finishing its share of a stream, the last in-flight buffer of an edge
+draining, the shared abort being raised — sets a per-copy
+``multiprocessing.Event``, so consumers and the parent wake immediately
+instead of discovering the transition at the next poll tick.  The
+``poll_interval`` (``REPRO_MP_POLL_INTERVAL``, default 0.02 s) survives
+only as a watchdog fallback bounding how long a *missed* wakeup could
+go unnoticed; ``wakeup="polled"`` restores the pre-event behaviour (all
+blocking waits tick at ``poll_interval``) and exists for benchmarking
+the latency floor the events remove (``benchmarks/bench_tuning.py``).
+The parent likewise stops ticking: it blocks in
+``multiprocessing.connection.wait`` on the results queue and the child
+sentinels at once, so both a control message and a silent child death
+wake it instantly.
+
+Online adaptation (``autotune=``, off by default): an
+:class:`~repro.tuning.AdaptationBounds` instance starts a parent-side
+controller thread (:class:`~repro.tuning.OnlineController`) that samples
+the shared queue-depth counters mid-run and adapts per-edge credit
+windows and replicated-copy activation within the configured bounds,
+emitting ``tune.adjust`` obs events.  Both actuators only steer *where*
+buffers of transparent streams go and how many may be outstanding —
+never what is computed — so outputs stay bit-identical.
+
 Notes
 -----
 * Requires a ``fork``-capable platform (Linux): filter factories may be
@@ -63,6 +88,7 @@ import queue as queue_mod
 import threading
 import time
 import traceback
+from multiprocessing import connection as mp_connection
 from typing import Any, Dict, List, Optional, Tuple
 
 from .buffers import DataBuffer
@@ -81,21 +107,27 @@ from .net import shm
 from .obs import Trace, Tracer, snapshot_run
 from .runtime_local import RunResult
 
-__all__ = ["MPRuntime", "TRANSPORTS"]
+__all__ = ["MPRuntime", "TRANSPORTS", "WAKEUPS"]
 
 TRANSPORTS = ("pipe", "shm")
+WAKEUPS = ("event", "polled")
 
 _CTRL_DONE = "__copy_done__"
 _CTRL_ERROR = "__copy_error__"
 _CTRL_FAILED = "__copy_failed__"
 _CTRL_DEPOSIT = "__deposit__"
 
-#: Granularity (seconds) of every parent/child busy-wait in this module:
-#: abort checks while blocked on a queue, input-stream scans, and retry
-#: backoff sleeps all tick at this one interval.  Overridable per run via
+#: Watchdog granularity (seconds).  With ``wakeup="event"`` (default)
+#: every transition a blocked peer waits on raises a wakeup event, so
+#: this only bounds how long a *missed* wakeup could go unnoticed; with
+#: ``wakeup="polled"`` every blocking wait genuinely ticks at this
+#: interval (the pre-event latency floor).  Overridable per run via
 #: ``MPRuntime(poll_interval=...)`` or globally via the
 #: ``REPRO_MP_POLL_INTERVAL`` environment variable.
 _POLL = float(os.environ.get("REPRO_MP_POLL_INTERVAL", "0.02"))
+#: Event-mode parent watchdog: the parent is woken by the results queue
+#: and child sentinels directly, so its fallback tick can be long.
+_PARENT_WATCHDOG = 1.0
 #: How long after a child exits the parent waits for its (possibly still
 #: buffered) terminal message before declaring it silently dead.
 _EXIT_GRACE = 2.0
@@ -114,8 +146,53 @@ class _CopyDied(Exception):
         self.injected = injected
 
 
+class _SharedAbort:
+    """Cross-process abort flag with event-driven wakeup.
+
+    Keeps the ``abort.value`` read/write contract of the plain
+    ``ctx.Value`` it replaces, but raising it also sets an event (so
+    retry backoffs can block on :meth:`wait` instead of sleeping in poll
+    ticks) and every per-copy wakeup event attached before the fork (so
+    consumers blocked on their input wait unblock immediately).
+    """
+
+    def __init__(self, ctx):
+        self._flag = ctx.Value("i", 0)
+        self._event = ctx.Event()
+        self._wakeups: List[Any] = []
+
+    def attach_wakeups(self, events: List[Any]) -> None:
+        """Register events to set on abort (call before forking)."""
+        self._wakeups.extend(events)
+
+    @property
+    def value(self) -> int:
+        return self._flag.value
+
+    @value.setter
+    def value(self, v: int) -> None:
+        self._flag.value = v
+        if v:
+            self._event.set()
+            for ev in self._wakeups:
+                ev.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until aborted (True) or the timeout elapses (False)."""
+        return self._event.wait(timeout)
+
+
 class _SharedEdge:
-    """Cross-process routing state for one stream edge."""
+    """Cross-process routing state for one stream edge.
+
+    ``wake`` (event mode) holds one ``ctx.Event`` per consumer copy of
+    the destination filter — shared by every edge into that filter —
+    set on each transition a blocked consumer could be waiting on.
+    ``credit`` / ``active`` exist only when online adaptation is on: a
+    soft per-consumer outstanding-buffer bound and an activation mask
+    the controller thread adjusts mid-run (both are advisory — routing
+    falls back to every alive copy rather than stall the stream).
+    """
 
     def __init__(
         self,
@@ -126,12 +203,22 @@ class _SharedEdge:
         n_producers: int,
         pool: Optional[shm.ShmPool] = None,
         poll: float = _POLL,
+        wake: Optional[List[Any]] = None,
+        autotune: bool = False,
     ):
         self.edge = edge
         self.num_consumers = num_consumers
         self.n_producers = n_producers
         self.pool = pool
         self.poll = poll
+        self.wake = wake
+        self.max_queue = max_queue
+        if autotune and edge.policy != "explicit":
+            self.credit = ctx.Value("l", max_queue)
+            self.active = ctx.Array("i", [1] * num_consumers)
+        else:
+            self.credit = None
+            self.active = None
         self.queues = [ctx.Queue(maxsize=max_queue) for _ in range(num_consumers)]
         self.lock = ctx.Lock()
         # Shared per-consumer depth and assignment counters.
@@ -153,11 +240,22 @@ class _SharedEdge:
     def mark_dead(self, idx: int) -> None:
         with self.lock:
             self.dead[idx] = 1
+        # Siblings may be able to close now that this copy no longer
+        # counts as a live reroute target; have them re-check.
+        self._wake_all()
+
+    def _wake_all(self) -> None:
+        if self.wake is not None:
+            for ev in self.wake:
+                ev.set()
 
     def producer_done(self) -> None:
         """One producer copy finished (its share of the stream is sent)."""
         with self.lock:
             self.producers_done.value += 1
+        # Wake every consumer so it re-checks closure immediately instead
+        # of discovering the EOS at its next watchdog tick.
+        self._wake_all()
 
     def try_close(self, idx: int) -> bool:
         """Atomically close consumer copy ``idx``'s view of the stream.
@@ -187,7 +285,10 @@ class _SharedEdge:
                 for i in range(self.num_consumers)
             )
 
-    def choose(self, buffer: DataBuffer, abort) -> int:
+    def choose(self, buffer: DataBuffer, abort) -> Optional[int]:
+        """Pick a consumer copy, or ``None`` when the controller's credit
+        window has every candidate at its limit (the caller waits for a
+        consume and retries — a soft bound, never an abort)."""
         policy = self.edge.policy
         with self.lock:
             alive = [
@@ -198,11 +299,25 @@ class _SharedEdge:
             if not alive:
                 abort.value = 1
                 raise _Aborted()
+            cand = alive
+            if self.active is not None:
+                # Controller-deactivated copies take no new assignments;
+                # if it deactivated everyone alive, ignore the mask
+                # rather than stall the stream.
+                act = [i for i in alive if self.active[i]]
+                if act:
+                    cand = act
+            if self.credit is not None:
+                limit = self.credit.value
+                fit = [i for i in cand if self.queued[i] < limit]
+                if not fit:
+                    return None
+                cand = fit
             if policy == "round_robin":
-                idx = alive[self.rr_next.value % len(alive)]
+                idx = cand[self.rr_next.value % len(cand)]
                 self.rr_next.value += 1
             elif policy == "demand_driven":
-                idx = min(alive, key=lambda i: (self.queued[i], self.assigned[i], i))
+                idx = min(cand, key=lambda i: (self.queued[i], self.assigned[i], i))
             else:
                 raise RuntimeError(
                     f"stream {self.edge.stream!r} is explicit: dest_copy required"
@@ -236,6 +351,14 @@ class _SharedEdge:
     def on_consume(self, idx: int) -> None:
         with self.lock:
             self.queued[idx] -= 1
+            drained = self.producers_done.value >= self.n_producers and not any(
+                self.queued[j] for j in range(self.num_consumers)
+            )
+        if drained:
+            # The last in-flight buffer on this edge just completed:
+            # every copy can now close, so don't make them wait out a
+            # watchdog tick to notice.
+            self._wake_all()
 
     def deliver(
         self, buffer: DataBuffer, dest_copy: Optional[int], abort, tracer=None
@@ -266,6 +389,13 @@ class _SharedEdge:
                         "dest_copy only valid on explicit streams"
                     )
                 idx = self.choose(buffer, abort)
+                if idx is None:
+                    # Every candidate is at the adaptive credit limit:
+                    # wait (bounded, abort-aware) for a consume to free
+                    # a slot, then re-pick.
+                    if abort.value or abort.wait(timeout=min(self.poll, 0.05)):
+                        raise _Aborted()
+                    continue
             if tracer is not None:
                 tracer.emit(
                     "sched.pick",
@@ -276,6 +406,10 @@ class _SharedEdge:
                 )
             while True:
                 if abort.value:
+                    # Undo the claim from choose()/assign_explicit():
+                    # a leaked positive depth counter would make an
+                    # idle consumer block on a frame that never lands.
+                    self.unassign(idx)
                     raise _Aborted()
                 if not explicit and self.dead[idx]:
                     # Died while we were blocked: undo and re-pick.
@@ -284,7 +418,13 @@ class _SharedEdge:
                         self.rerouted.value += 1
                     break
                 try:
-                    self.queues[idx].put(item, timeout=self.poll)
+                    # Bounded, not `poll`: a full queue (backpressure,
+                    # or a silently dead consumer) must re-check abort
+                    # and copy death promptly — the semaphore wait
+                    # cannot be interrupted by either.
+                    self.queues[idx].put(item, timeout=min(self.poll, 0.05))
+                    if self.wake is not None:
+                        self.wake[idx].set()
                     with self.lock:
                         self.wire.value += wire_n
                         self.shm.value += shm_n
@@ -372,8 +512,15 @@ def _copy_main(
     trace: bool = False,
     pool: Optional[shm.ShmPool] = None,
     poll: float = _POLL,
+    wake=None,
 ) -> None:
-    """Child-process entry point for one filter copy."""
+    """Child-process entry point for one filter copy.
+
+    ``wake`` (event mode) is this copy's wakeup event: producers set it
+    after every delivery and on every edge transition, so the input wait
+    below blocks on it instead of ticking over the queues at ``poll``
+    granularity.  ``None`` selects the polled legacy path.
+    """
     spec = graph.filters[spec_name]
     injector = (
         faults.injector_for(spec_name, copy_index)
@@ -420,11 +567,10 @@ def _copy_main(
                         attempt=attempt,
                         error=repr(exc),
                     )
-                deadline = time.perf_counter() + retry.delay(attempt)
-                while time.perf_counter() < deadline:
-                    if abort.value:
-                        raise _Aborted()
-                    time.sleep(min(poll, max(0.0, deadline - time.perf_counter())))
+                # Event-driven backoff: sleeps the whole delay in one
+                # wait that the shared abort interrupts immediately.
+                if abort.wait(timeout=retry.delay(attempt)):
+                    raise _Aborted()
                 attempt += 1
 
     try:
@@ -446,12 +592,18 @@ def _copy_main(
             while open_streams:
                 if abort.value:
                     raise _Aborted()
-                # Poll each open input edge's queue for this copy.
+                # Sweep each open input edge's queue for this copy:
+                # non-blocking in event mode (the wakeup event is the
+                # blocking point), a rotating poll-tick get otherwise.
                 item = None
                 for stream in list(open_streams):
-                    shared = in_edges[stream]
+                    q = in_edges[stream].queues[copy_index]
                     try:
-                        item = shared.queues[copy_index].get(timeout=poll)
+                        item = (
+                            q.get_nowait()
+                            if wake is not None
+                            else q.get(timeout=poll)
+                        )
                     except queue_mod.Empty:
                         continue
                     break
@@ -459,10 +611,60 @@ def _copy_main(
                     # Nothing queued: see whether any stream can close
                     # (all producers done, nothing pending here or on a
                     # dead sibling still draining).
+                    closed = False
                     for stream in list(open_streams):
                         if in_edges[stream].try_close(copy_index):
                             open_streams.discard(stream)
-                    continue
+                            closed = True
+                    if closed or not open_streams or wake is None:
+                        continue
+                    # Event mode: decide how to block.  A positive shared
+                    # depth counter means a frame for this copy is still
+                    # in flight through that queue's feeder pipe (the
+                    # counter is bumped before the put) — block on that
+                    # pipe, which wakes the instant the bytes land.
+                    pending = [
+                        s
+                        for s in open_streams
+                        if in_edges[s].queued[copy_index] > 0
+                    ]
+                    if pending:
+                        # Bounded, not `poll`: the frame normally lands
+                        # within microseconds, and if the counter lies
+                        # (producer hard-killed between its claim and
+                        # its put) the loop must re-check abort/EOS
+                        # promptly rather than sit out the watchdog.
+                        try:
+                            item = in_edges[pending[0]].queues[
+                                copy_index
+                            ].get(timeout=min(poll, 0.05))
+                        except queue_mod.Empty:
+                            continue
+                    else:
+                        # Truly idle: wait on the wakeup event.  The
+                        # no-lost-wakeup protocol is clear *first*, then
+                        # re-check everything the event guards: a
+                        # producer bumps counters before setting the
+                        # event, so state changed before the clear is
+                        # visible in the re-check, and state changed
+                        # after it re-raises the event and the wait
+                        # returns immediately.  The watchdog timeout
+                        # only bounds the impossible case.
+                        wake.clear()
+                        ready = any(
+                            in_edges[s].queued[copy_index]
+                            for s in open_streams
+                        )
+                        reclosed = False
+                        for stream in list(open_streams):
+                            if in_edges[stream].try_close(copy_index):
+                                open_streams.discard(stream)
+                                reclosed = True
+                        if not ready and not reclosed and open_streams:
+                            if abort.value:
+                                raise _Aborted()
+                            wake.wait(timeout=max(poll, 0.05))
+                        continue
                 stream, payload = shm.loads(item, pool)
                 shared = in_edges[stream]
                 if tracer is not None:
@@ -610,8 +812,24 @@ class MPRuntime:
         eventually destroy it (``close()`` on this runtime does *not*).
         Only valid with ``transport="shm"``.
     poll_interval:
-        Seconds between parent/child busy-wait ticks; defaults to the
-        ``REPRO_MP_POLL_INTERVAL`` environment variable (0.02s).
+        Watchdog granularity in seconds; defaults to the
+        ``REPRO_MP_POLL_INTERVAL`` environment variable (0.02s).  With
+        ``wakeup="event"`` it only bounds recovery from a missed wakeup;
+        with ``wakeup="polled"`` it is the legacy busy-wait tick.
+    wakeup:
+        ``"event"`` (default) blocks the parent and every child on
+        event-driven wakeups raised at each queue transition;
+        ``"polled"`` restores the pre-event busy-wait ticks (kept for
+        benchmarking the latency floor).
+    autotune:
+        ``None`` (default) disables online adaptation.  Otherwise an
+        :class:`repro.tuning.controller.AdaptationBounds` (or any object
+        with the same attributes): a parent-side controller thread
+        samples per-edge queue depths mid-run and adapts credit windows
+        and replicated-copy activation within those bounds, emitting
+        ``tune.adjust`` obs events.  Outputs stay bit-identical — the
+        actuators only steer *routing* of transparent streams, never
+        what is computed.
     """
 
     def __init__(
@@ -627,6 +845,8 @@ class MPRuntime:
         shm_threshold: int = 64 << 10,
         shm_pool: Optional[shm.ShmPool] = None,
         poll_interval: Optional[float] = None,
+        wakeup: str = "event",
+        autotune=None,
     ):
         graph.validate()
         for name in graph.filters:
@@ -641,6 +861,10 @@ class MPRuntime:
             )
         if shm_pool is not None and transport != "shm":
             raise ValueError("shm_pool= requires transport='shm'")
+        if wakeup not in WAKEUPS:
+            raise ValueError(
+                f"unknown wakeup {wakeup!r}; expected one of {WAKEUPS}"
+            )
         self.graph = graph
         self.max_queue = max_queue
         self.retry = retry if retry is not None else RetryPolicy()
@@ -658,6 +882,8 @@ class MPRuntime:
         )
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        self.wakeup = wakeup
+        self.autotune = autotune
         self.shm_pool = shm_pool
         self._run_lock = threading.Lock()
         self._procs: List[Tuple[mp.Process, str, int]] = []
@@ -746,11 +972,31 @@ class MPRuntime:
     ) -> RunResult:
         graph = self.graph
         results_q = ctx.Queue()
-        abort = ctx.Value("i", 0)
+        abort = _SharedAbort(ctx)
         self._abort = abort
+
+        event_mode = self.wakeup == "event"
+        # One wakeup event per (filter, copy) with inputs: producers on
+        # any of its in-edges set it after each transition, so an idle
+        # copy blocks on its event instead of ticking over its queues.
+        wake_events: Dict[Tuple[str, int], Any] = {}
+        if event_mode:
+            for spec in graph.filters.values():
+                if graph.in_edges(spec.name):
+                    for i in range(spec.copies):
+                        wake_events[(spec.name, i)] = ctx.Event()
+            abort.attach_wakeups(list(wake_events.values()))
 
         edges: Dict[Tuple[str, str], _SharedEdge] = {}
         for edge in graph.edges:
+            wake = (
+                [
+                    wake_events[(edge.dst, i)]
+                    for i in range(graph.copies(edge.dst))
+                ]
+                if event_mode
+                else None
+            )
             edges[(edge.src, edge.stream)] = _SharedEdge(
                 edge,
                 graph.copies(edge.dst),
@@ -759,6 +1005,8 @@ class MPRuntime:
                 n_producers=graph.copies(edge.src),
                 pool=pool,
                 poll=self.poll_interval,
+                wake=wake,
+                autotune=self.autotune is not None,
             )
 
         procs: List[Tuple[mp.Process, str, int]] = []
@@ -776,12 +1024,24 @@ class MPRuntime:
                     target=_copy_main,
                     args=(graph, spec.name, i, in_edges, out_edges, results_q,
                           abort, self.retry, self.faults, self.trace,
-                          pool, self.poll_interval),
+                          pool, self.poll_interval,
+                          wake_events.get((spec.name, i))),
                     name=f"{spec.name}[{i}]",
                 )
                 p.start()
                 procs.append((p, spec.name, i))
         self._procs = procs
+
+        controller = None
+        if self.autotune is not None:
+            from repro.tuning.controller import OnlineController
+
+            controller = OnlineController(
+                {f"{src}:{stream}": e for (src, stream), e in edges.items()},
+                self.autotune,
+                abort,
+            )
+            controller.start()
 
         results: Dict[str, List[Any]] = {}
         busy: Dict[Tuple[str, int], float] = {}
@@ -795,11 +1055,52 @@ class MPRuntime:
         exited_at: Dict[Tuple[str, int], float] = {}
         deadline = None if timeout is None else start + timeout
 
+        # Event mode blocks on the results queue's underlying pipe plus
+        # every live child's sentinel, so a control message or a child
+        # death wakes the parent instantly; _PARENT_WATCHDOG only bounds
+        # the deadline/grace bookkeeping below.  Children already in
+        # their exit-grace window are excluded from the waitables (their
+        # sentinel stays permanently ready and would busy-loop the
+        # wait); the timeout is clamped to the earliest grace expiry
+        # instead.
+        reader = (
+            getattr(results_q, "_reader", None) if event_mode else None
+        )
+
         while len(terminal) < len(procs):
-            try:
-                msg = results_q.get(timeout=self.poll_interval)
-            except queue_mod.Empty:
-                msg = None
+            if reader is not None:
+                wait_timeout = _PARENT_WATCHDOG
+                if deadline is not None:
+                    wait_timeout = min(
+                        wait_timeout,
+                        max(deadline - time.perf_counter(), 0.0),
+                    )
+                if exited_at:
+                    first = min(exited_at.values())
+                    wait_timeout = min(
+                        wait_timeout,
+                        max(first + _EXIT_GRACE - time.monotonic(), 0.0),
+                    )
+                waitables: List[Any] = [reader]
+                for p, name, idx in procs:
+                    key = (name, idx)
+                    if (
+                        key not in terminal
+                        and key not in exited_at
+                        and p.exitcode is None
+                    ):
+                        waitables.append(p.sentinel)
+                if wait_timeout > 0:
+                    mp_connection.wait(waitables, timeout=wait_timeout)
+                try:
+                    msg = results_q.get_nowait()
+                except queue_mod.Empty:
+                    msg = None
+            else:
+                try:
+                    msg = results_q.get(timeout=self.poll_interval)
+                except queue_mod.Empty:
+                    msg = None
             if msg is not None:
                 kind = msg[0]
                 if kind == _CTRL_DEPOSIT:
@@ -863,6 +1164,10 @@ class MPRuntime:
                 timed_out = True
                 abort.value = 1
                 break
+
+        if controller is not None:
+            controller.stop()
+            all_events.extend(controller.drain_events())
 
         if abort.value:
             # Give children a moment to observe the abort, then reap.

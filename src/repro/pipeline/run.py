@@ -149,6 +149,27 @@ def _validate_backend_kwargs(
                              "runtime='distributed'")
 
 
+def _resolve_autotune(autotune):
+    """Normalize an ``autotune=`` argument to bounds or ``None``.
+
+    ``None``/``False`` disable online adaptation (the default); ``True``
+    enables it with stock :class:`~repro.tuning.AdaptationBounds`; an
+    ``AdaptationBounds`` instance is used as-is.
+    """
+    if autotune is None or autotune is False:
+        return None
+    from ..tuning import AdaptationBounds
+
+    if autotune is True:
+        return AdaptationBounds()
+    if isinstance(autotune, AdaptationBounds):
+        return autotune
+    raise ValueError(
+        f"autotune= must be True/False/None or AdaptationBounds, "
+        f"got {autotune!r}"
+    )
+
+
 def build_runtime(
     graph: FilterGraph,
     runtime: str = "threads",
@@ -165,6 +186,9 @@ def build_runtime(
     elastic: bool = False,
     schedule: Optional[list] = None,
     heartbeat_timeout: Optional[float] = None,
+    poll_interval: Optional[float] = None,
+    wakeup: Optional[str] = None,
+    autotune=None,
 ):
     """Build phase: construct the execution backend for a wired graph.
 
@@ -173,14 +197,31 @@ def build_runtime(
     distributed one) and returns a runtime object ready to ``run()``.
     The returned runtime is a context manager; callers that do not hold
     it in a pool should drive it inside a ``with`` block.
+
+    ``poll_interval`` sets the watchdog granularity of every blocking
+    wait (all three backends); ``wakeup`` selects event-driven (default)
+    or legacy polled wakeups (threads/processes); ``autotune`` enables
+    the online controller (processes runtime only — see
+    :mod:`repro.tuning`).
     """
     _validate_backend_kwargs(
         runtime, transport, hosts, elastic, schedule, heartbeat_timeout
     )
+    bounds = _resolve_autotune(autotune)
+    if bounds is not None and runtime != "processes":
+        raise ValueError(
+            "autotune= requires runtime='processes' (the online "
+            "controller adapts MPRuntime edges)"
+        )
+    if wakeup is not None and runtime == "distributed":
+        raise ValueError(
+            "wakeup= only applies to the threads/processes runtimes"
+        )
     if runtime == "threads":
         return LocalRuntime(
             graph, max_queue=max_queue, retry=retry, faults=faults,
-            trace=trace,
+            trace=trace, poll_interval=poll_interval,
+            **({"wakeup": wakeup} if wakeup is not None else {}),
         )
     if runtime == "processes":
         shm_kwargs = {
@@ -193,9 +234,12 @@ def build_runtime(
             )
             if v is not None
         }
+        if wakeup is not None:
+            shm_kwargs["wakeup"] = wakeup
         return MPRuntime(
             graph, max_queue=max_queue, retry=retry, faults=faults,
-            trace=trace, transport=transport, **shm_kwargs,
+            trace=trace, transport=transport, poll_interval=poll_interval,
+            autotune=bounds, **shm_kwargs,
         )
     if runtime == "distributed":
         from ..datacutter.net import DistRuntime
@@ -210,6 +254,7 @@ def build_runtime(
             elastic=elastic,
             schedule=schedule,
             heartbeat_timeout=heartbeat_timeout,
+            poll_interval=poll_interval,
         )
     raise ValueError(f"unknown runtime {runtime!r}")
 
@@ -291,6 +336,10 @@ def run_pipeline(
     schedule: Optional[list] = None,
     heartbeat_timeout: Optional[float] = None,
     run_timeout: Optional[float] = None,
+    profile=None,
+    poll_interval: Optional[float] = None,
+    wakeup: Optional[str] = None,
+    autotune=None,
 ) -> PipelineResult:
     """Run the parallel pipeline over a disk-resident dataset.
 
@@ -362,6 +411,30 @@ def run_pipeline(
         Wall-clock bound on the run itself (any runtime); the run
         aborts with :class:`~repro.datacutter.faults.PipelineError`
         when exceeded.  ``None`` (default) means unbounded.
+    profile:
+        A :class:`~repro.tuning.TuningProfile` (or a path to one saved
+        by ``repro tune``).  The profile's chunk shape / copy counts /
+        kernel are applied to ``config``, and its transport / queue
+        bound / runtime fill in any of those arguments still at their
+        defaults (arguments you pass explicitly always win).
+    poll_interval:
+        Watchdog granularity (seconds) for every blocking wait in the
+        chosen runtime.  With event-driven wakeups (the default) this
+        only bounds how long a *missed* wakeup could stall progress, so
+        large values are safe; under ``wakeup="polled"`` it is the
+        latency floor of every queue hand-off.
+    wakeup:
+        ``"event"`` (default) or ``"polled"`` — threads/processes
+        runtimes only.  ``"polled"`` restores the legacy fixed-tick
+        busy-wait loops; it exists for benchmarking the latency delta
+        (see ``benchmarks/bench_tuning.py``).
+    autotune:
+        ``True`` or an :class:`~repro.tuning.AdaptationBounds` enables
+        the online controller (processes runtime only): a sampler
+        thread reads queue-depth gauges mid-run and adapts per-edge
+        credit windows and active-copy masks within bounds, emitting
+        ``tune.adjust`` events.  Off by default; outputs stay
+        bit-identical either way.
 
     Returns
     -------
@@ -370,6 +443,24 @@ def run_pipeline(
     mode = resolve_trace_mode(trace)
     if trace_out is not None and mode not in ("chrome", "jsonl"):
         raise ValueError("trace_out= requires trace='chrome' or 'jsonl'")
+    if profile is not None:
+        from ..tuning import TuningProfile, load_profile
+
+        prof = (
+            profile
+            if isinstance(profile, TuningProfile)
+            else load_profile(profile)
+        )
+        config = prof.apply(config if config is not None else AnalysisConfig())
+        pk = prof.runtime_kwargs()
+        # Profile values only fill arguments the caller left at their
+        # defaults — explicit arguments always win.
+        if "runtime" in pk and runtime == "threads":
+            runtime = pk["runtime"]
+        if "transport" in pk and transport == "pipe":
+            transport = pk["transport"]
+        if "max_queue" in pk and max_queue == 64:
+            max_queue = pk["max_queue"]
     _validate_backend_kwargs(
         runtime, transport, hosts, elastic, schedule, heartbeat_timeout
     )
@@ -390,6 +481,9 @@ def run_pipeline(
         elastic=elastic,
         schedule=schedule,
         heartbeat_timeout=heartbeat_timeout,
+        poll_interval=poll_interval,
+        wakeup=wakeup,
+        autotune=autotune,
     )
     try:
         with rt:

@@ -1,0 +1,185 @@
+"""Online adaptation: a controller thread closing the obs loop mid-run.
+
+The controller samples per-edge queue depths (the same shared counters
+the ``queue.depth`` gauge reads) and steers two actuators within
+configured :class:`AdaptationBounds`:
+
+* **Credit window** — a soft per-consumer bound on outstanding buffers.
+  Backlogged edges get a wider window (more pipelining); idle edges get
+  a narrower one (less buffer bloat, fresher work for rerouting).
+* **Copy activation** — replicated (transparent) copies of a consumer
+  can be deactivated when the edge runs far below capacity, steering new
+  assignments onto fewer copies (better locality) without ever touching
+  in-flight buffers; they reactivate the moment backlog builds.
+
+Every adjustment emits a ``tune.adjust`` obs event.  Decisions are
+**routing-only**: a transparent stream produces bit-identical output no
+matter which copy serves each buffer (the conformance suite pins this),
+so adaptation can never change results — only their timing.
+
+The controller duck-types over the runtime's edge objects (attributes
+``credit``, ``active``, ``queued``, ``num_consumers``, ``max_queue``,
+``lock``) instead of importing the runtime, keeping
+``repro.tuning`` ← ``repro.datacutter`` a one-way dependency (the
+runtime lazily imports this module only when ``autotune=`` is set).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.datacutter.obs import Tracer
+
+__all__ = ["AdaptationBounds", "OnlineController"]
+
+
+@dataclass(frozen=True)
+class AdaptationBounds:
+    """Bounds within which the online controller may adapt a run.
+
+    Parameters
+    ----------
+    interval:
+        Sampling period in seconds.  Each tick samples every adaptable
+        edge once and applies at most one adjustment per knob per edge.
+    min_credit / max_credit:
+        Closed range for the per-edge credit window (outstanding buffers
+        per consumer copy).  ``max_credit=None`` means the edge's own
+        ``max_queue``.
+    min_active:
+        Never deactivate below this many copies per consumer.
+    high_water / low_water:
+        Mean-depth thresholds, as a fraction of the current credit
+        window: above ``high_water`` the controller widens credit (and
+        reactivates copies); below ``low_water`` it narrows credit (and
+        deactivates surplus idle copies).
+    """
+
+    interval: float = 0.05
+    min_credit: int = 1
+    max_credit: Optional[int] = None
+    min_active: int = 1
+    high_water: float = 0.75
+    low_water: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.min_credit < 1:
+            raise ValueError("min_credit must be >= 1")
+        if self.max_credit is not None and self.max_credit < self.min_credit:
+            raise ValueError("max_credit must be >= min_credit")
+        if self.min_active < 1:
+            raise ValueError("min_active must be >= 1")
+        if not 0.0 <= self.low_water < self.high_water:
+            raise ValueError("need 0 <= low_water < high_water")
+
+
+class OnlineController:
+    """Samples edge queue depths and adapts credit/activation in-bounds.
+
+    ``edges`` maps ``"src:stream"`` labels to runtime edge objects whose
+    ``credit``/``active`` shared values this controller owns for the
+    duration of the run (the runtime creates them only when autotune is
+    enabled, so a controller-less run carries zero overhead).  ``abort``
+    is the run's shared abort flag; the controller exits on it.
+    """
+
+    def __init__(self, edges: Dict[str, Any], bounds: AdaptationBounds, abort):
+        self.edges = {
+            name: e
+            for name, e in edges.items()
+            if getattr(e, "credit", None) is not None
+        }
+        self.bounds = bounds
+        self.abort = abort
+        self.tracer = Tracer()
+        self.adjustments = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="tune-controller", daemon=True
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+
+    def drain_events(self) -> List[Any]:
+        return self.tracer.drain()
+
+    # -- control loop ------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.bounds.interval):
+            if getattr(self.abort, "value", 0):
+                return
+            for name, edge in self.edges.items():
+                try:
+                    self._tick_edge(name, edge)
+                except Exception:  # pragma: no cover - defensive
+                    # A torn read during teardown must never take the
+                    # run down; the controller is strictly advisory.
+                    return
+
+    def _tick_edge(self, name: str, edge) -> None:
+        b = self.bounds
+        with edge.lock:
+            depths = [edge.queued[i] for i in range(edge.num_consumers)]
+        credit = edge.credit.value
+        mean_depth = sum(depths) / max(len(depths), 1)
+        ratio = mean_depth / max(credit, 1)
+        max_credit = b.max_credit if b.max_credit is not None else edge.max_queue
+
+        if ratio > b.high_water and credit < max_credit:
+            self._set_credit(name, edge, min(credit * 2, max_credit), mean_depth)
+        elif ratio < b.low_water and credit > b.min_credit:
+            self._set_credit(name, edge, max(credit // 2, b.min_credit), mean_depth)
+
+        if edge.active is not None and edge.num_consumers > b.min_active:
+            n_active = sum(1 for i in range(edge.num_consumers) if edge.active[i])
+            if ratio > b.high_water and n_active < edge.num_consumers:
+                # Backlog: bring every copy back into rotation.
+                self._set_active(name, edge, edge.num_consumers, mean_depth)
+            elif ratio < b.low_water:
+                # Idle: concentrate new work on the busiest copies, but
+                # never below min_active and never a copy still holding
+                # queued buffers (it keeps draining either way — the
+                # mask only gates *new* assignments).
+                busy = sum(1 for d in depths if d > 0)
+                target = max(b.min_active, busy)
+                if target < n_active:
+                    self._set_active(name, edge, target, mean_depth)
+
+    def _set_credit(self, name: str, edge, new: int, depth: float) -> None:
+        old = edge.credit.value
+        if new == old:
+            return
+        edge.credit.value = new
+        self.adjustments += 1
+        self.tracer.emit(
+            "tune.adjust", edge=name, knob="credit", old=old, new=new, depth=depth
+        )
+
+    def _set_active(self, name: str, edge, target: int, depth: float) -> None:
+        with edge.lock:
+            depths = [(edge.queued[i], i) for i in range(edge.num_consumers)]
+            old = sum(1 for i in range(edge.num_consumers) if edge.active[i])
+            if target == old:
+                return
+            # Keep the copies with the deepest queues active (they are
+            # proven-scheduled); deactivate from the idle end.
+            order = sorted(depths, key=lambda t: (-t[0], t[1]))
+            keep = {i for _, i in order[:target]}
+            for i in range(edge.num_consumers):
+                edge.active[i] = 1 if i in keep else 0
+        self.adjustments += 1
+        self.tracer.emit(
+            "tune.adjust", edge=name, knob="active", old=old, new=target, depth=depth
+        )

@@ -1,0 +1,186 @@
+"""A simple cost model fitted to pilot-sweep measurements.
+
+The model predicts pilot elapsed time from features derived from each
+candidate's configuration and its metrics snapshot:
+
+* total service seconds ÷ effective parallelism (the compute term),
+* total queue-wait seconds (the coordination term),
+* bytes moved per transport (the data-movement term),
+* a per-(kernel, transport) intercept soaking up fixed costs.
+
+Fitting is ordinary least squares (:func:`numpy.linalg.lstsq`) with
+non-negative clamping on the physical coefficients — deliberately
+simple, following the run-time parameter sensitivity analysis of
+Scartezini et al. (PAPERS.md): a handful of interpretable terms ranks
+candidates reliably on workloads this regular, and the sweep's measured
+times always take precedence where they exist (the model interpolates,
+it never overrules a measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CostModel", "fit_cost_model", "record_features"]
+
+
+def _hist_sum(snapshot: Mapping[str, Any], prefix: str) -> float:
+    """Sum a histogram family's ``sum`` across label sets."""
+    total = 0.0
+    for key, h in (snapshot.get("histograms") or {}).items():
+        if key == prefix or key.startswith(prefix + "{"):
+            total += float(h.get("sum", 0.0))
+    return total
+
+
+def _counter_sum(snapshot: Mapping[str, Any], prefix: str) -> float:
+    total = 0.0
+    for key, v in (snapshot.get("counters") or {}).items():
+        if key == prefix or key.startswith(prefix + "{"):
+            total += float(v)
+    return total
+
+
+def record_features(record: Mapping[str, Any]) -> Dict[str, float]:
+    """Derive the model's feature vector from one sweep record.
+
+    ``record`` is one entry of :attr:`SweepResult.records`: the
+    candidate dict plus ``elapsed`` and the run's metrics ``snapshot``.
+    """
+    snap = record.get("snapshot") or {}
+    candidate = record.get("candidate") or {}
+    copies = candidate.get("copies") or {}
+    workers = max(1, sum(int(n) for n in copies.values()) or 1)
+    service = _hist_sum(snap, "busy_seconds") or _hist_sum(snap, "service_seconds")
+    wait = _hist_sum(snap, "queue_wait_seconds")
+    moved = _counter_sum(snap, "wire_bytes") + _counter_sum(snap, "shm_bytes")
+    return {
+        "service_per_worker": service / workers,
+        "queue_wait": wait,
+        "gbytes_moved": moved / 1e9,
+    }
+
+
+_FEATURES = ("service_per_worker", "queue_wait", "gbytes_moved")
+
+
+@dataclass
+class CostModel:
+    """Least-squares fit of elapsed time over the sweep's records."""
+
+    coef: Dict[str, float]
+    intercepts: Dict[Tuple[str, str], float]
+    residual: float = 0.0
+    n_records: int = 0
+    #: Per-candidate-key measured elapsed (seconds); always preferred.
+    measured: Dict[str, float] = field(default_factory=dict)
+
+    def predict(self, record: Mapping[str, Any]) -> float:
+        """Predict elapsed seconds for a sweep record."""
+        key = candidate_key(record.get("candidate") or {})
+        if key in self.measured:
+            return self.measured[key]
+        feats = record_features(record)
+        cand = record.get("candidate") or {}
+        base = self.intercepts.get(
+            (str(cand.get("kernel")), str(cand.get("transport"))),
+            min(self.intercepts.values()) if self.intercepts else 0.0,
+        )
+        return base + sum(self.coef[f] * feats[f] for f in _FEATURES)
+
+    def rank(
+        self, records: Sequence[Mapping[str, Any]]
+    ) -> List[Tuple[float, Mapping[str, Any]]]:
+        """Records sorted fastest-predicted first."""
+        return sorted(
+            ((self.predict(r), r) for r in records), key=lambda t: t[0]
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "coef": dict(self.coef),
+            "intercepts": {
+                f"{k}/{t}": v for (k, t), v in self.intercepts.items()
+            },
+            "residual": self.residual,
+            "n_records": self.n_records,
+        }
+
+
+def candidate_key(candidate: Mapping[str, Any]) -> str:
+    """Stable string identity of one sweep candidate."""
+    chunk = candidate.get("chunk_shape")
+    copies = candidate.get("copies") or {}
+    return "|".join(
+        [
+            "x".join(str(c) for c in chunk) if chunk else "-",
+            ",".join(f"{k}={copies[k]}" for k in sorted(copies)) or "-",
+            str(candidate.get("transport", "-")),
+            str(candidate.get("kernel", "-")),
+        ]
+    )
+
+
+def fit_cost_model(records: Sequence[Mapping[str, Any]]) -> CostModel:
+    """Fit the model to measured sweep records.
+
+    Each record needs ``candidate``, ``elapsed`` and ``snapshot``.  With
+    fewer records than free parameters the fit degenerates gracefully:
+    coefficients clamp to zero and the intercepts carry the per-group
+    mean elapsed, which still ranks measured candidates correctly.
+    """
+    if not records:
+        raise ValueError("cannot fit a cost model to zero records")
+    groups = sorted(
+        {
+            (
+                str((r.get("candidate") or {}).get("kernel")),
+                str((r.get("candidate") or {}).get("transport")),
+            )
+            for r in records
+        }
+    )
+    g_index = {g: i for i, g in enumerate(groups)}
+    n, k = len(records), len(_FEATURES) + len(groups)
+    X = np.zeros((n, k))
+    y = np.zeros(n)
+    for row, rec in enumerate(records):
+        feats = record_features(rec)
+        for col, name in enumerate(_FEATURES):
+            X[row, col] = feats[name]
+        cand = rec.get("candidate") or {}
+        g = (str(cand.get("kernel")), str(cand.get("transport")))
+        X[row, len(_FEATURES) + g_index[g]] = 1.0
+        y[row] = float(rec["elapsed"])
+    beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+    # Physical terms cannot speed a run up; a negative fit is noise.
+    coef = {
+        name: float(max(beta[i], 0.0)) for i, name in enumerate(_FEATURES)
+    }
+    intercepts = {
+        g: float(max(beta[len(_FEATURES) + i], 0.0))
+        for g, i in g_index.items()
+    }
+    measured = {
+        candidate_key(r.get("candidate") or {}): float(r["elapsed"])
+        for r in records
+    }
+    model = CostModel(
+        coef=coef,
+        intercepts=intercepts,
+        n_records=n,
+        measured=measured,
+    )
+    # RMS residual against the raw linear prediction (not the
+    # measurement shortcut, which would be trivially zero).
+    raw = X @ np.concatenate(
+        [
+            np.array([coef[f] for f in _FEATURES]),
+            np.array([intercepts[g] for g in groups]),
+        ]
+    )
+    model.residual = float(np.sqrt(np.mean((raw - y) ** 2)))
+    return model

@@ -1,0 +1,189 @@
+"""Event-driven wakeups: latency, lost-wakeup safety, fault parity.
+
+The runtimes used to tick: every blocking wait was a fixed-interval
+polling loop, so each queue hand-off paid up to ``poll_interval`` of
+idle latency.  The event-driven path replaces the ticks with real
+wakeups (``multiprocessing.Event`` on queue transitions, ``selectors``
+readiness in the net agent) and keeps the poll interval only as a
+watchdog.  These tests pin the two properties that matter:
+
+* **No lost wakeups.**  With a deliberately huge watchdog interval, any
+  empty->non-empty queue transition a consumer misses would stall the
+  run for seconds.  The runs must complete at event speed.
+* **Fault detection no worse than polled.**  Crash detection (exitcode
+  watcher, heartbeats) must not regress when waits become event-driven
+  — the same FaultPlan recovers at least as fast as under polling.
+
+Filter classes live at module level so forked children can run them.
+"""
+
+import time
+
+import pytest
+
+from repro.datacutter.faults import FaultPlan, PipelineError
+from repro.datacutter.filter import Filter
+from repro.datacutter.graph import FilterGraph
+from repro.datacutter.runtime_local import LocalRuntime
+from repro.datacutter.runtime_mp import MPRuntime
+
+# A watchdog so large that any missed wakeup turns into a visible stall:
+# a run that completes well under HUGE_POLL proves no wait ever expired.
+HUGE_POLL = 5.0
+FAST = HUGE_POLL * 0.8
+
+
+class Producer(Filter):
+    def __init__(self, count=40, pause=0.0):
+        self.count = count
+        self.pause = pause
+
+    def generate(self, ctx):
+        for i in range(self.count):
+            if self.pause:
+                time.sleep(self.pause)
+            ctx.send("out", i, size_bytes=8)
+
+
+class Doubler(Filter):
+    def process(self, stream, buffer, ctx):
+        ctx.send("out", buffer.payload * 2, size_bytes=8)
+
+
+class Collector(Filter):
+    def __init__(self):
+        self.items = []
+
+    def process(self, stream, buffer, ctx):
+        self.items.append(buffer.payload)
+
+    def finalize(self, ctx):
+        ctx.deposit("collected", sorted(self.items))
+
+
+def pipeline(count=40, copies=3, pause=0.0):
+    g = FilterGraph()
+    g.add_filter("P", lambda: Producer(count, pause))
+    g.add_filter("D", Doubler, copies=copies)
+    g.add_filter("C", Collector)
+    g.connect("P", "out", "D")
+    g.connect("D", "out", "C")
+    return g
+
+
+def expected(count=40):
+    return sorted(i * 2 for i in range(count))
+
+
+class TestNoLostWakeup:
+    """A missed 0->1 queue transition would stall for HUGE_POLL seconds."""
+
+    def test_mp_completes_at_event_speed(self):
+        rt = MPRuntime(pipeline(), wakeup="event", poll_interval=HUGE_POLL)
+        t0 = time.perf_counter()
+        res = rt.run(timeout=60)
+        elapsed = time.perf_counter() - t0
+        assert res.deposits("collected")[0] == expected()
+        assert elapsed < FAST, f"stalled {elapsed:.2f}s: a wakeup was lost"
+
+    def test_local_completes_at_event_speed(self):
+        rt = LocalRuntime(pipeline(), wakeup="event", poll_interval=HUGE_POLL)
+        t0 = time.perf_counter()
+        res = rt.run(timeout=60)
+        elapsed = time.perf_counter() - t0
+        assert res.deposits("collected")[0] == expected()
+        assert elapsed < FAST, f"stalled {elapsed:.2f}s: a wakeup was lost"
+
+    def test_mp_slow_producer_each_send_is_a_transition(self):
+        # A pause between sends makes every send an empty->non-empty
+        # transition hitting an already-idle consumer: the worst case
+        # for wakeup races.  20 x 0.01s of production must not grow by
+        # even one watchdog period.
+        rt = MPRuntime(
+            pipeline(count=20, pause=0.01),
+            wakeup="event",
+            poll_interval=HUGE_POLL,
+        )
+        t0 = time.perf_counter()
+        res = rt.run(timeout=60)
+        elapsed = time.perf_counter() - t0
+        assert res.deposits("collected")[0] == expected(20)
+        assert elapsed < FAST, f"stalled {elapsed:.2f}s: a wakeup was lost"
+
+    def test_local_slow_producer_each_send_is_a_transition(self):
+        rt = LocalRuntime(
+            pipeline(count=20, pause=0.01),
+            wakeup="event",
+            poll_interval=HUGE_POLL,
+        )
+        t0 = time.perf_counter()
+        res = rt.run(timeout=60)
+        elapsed = time.perf_counter() - t0
+        assert res.deposits("collected")[0] == expected(20)
+        assert elapsed < FAST, f"stalled {elapsed:.2f}s: a wakeup was lost"
+
+    @pytest.mark.parametrize("runtime_cls", [MPRuntime, LocalRuntime])
+    def test_wakeup_mode_validated(self, runtime_cls):
+        with pytest.raises(ValueError):
+            runtime_cls(pipeline(), wakeup="psychic")
+
+
+class TestFaultDetectionParity:
+    """Event-driven waits must not slow down crash detection/recovery."""
+
+    def _recover(self, wakeup):
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=3)
+        rt = MPRuntime(pipeline(), wakeup=wakeup, faults=plan)
+        t0 = time.perf_counter()
+        res = rt.run(timeout=60)
+        elapsed = time.perf_counter() - t0
+        assert res.deposits("collected")[0] == expected()
+        return elapsed
+
+    def _detect_hard_kill(self, wakeup, **kwargs):
+        # Silent death (os._exit) is fatal by design; what matters is
+        # how fast the parent's exitcode watcher notices and aborts.
+        plan = FaultPlan().crash_copy("D", copy_index=0, after_buffers=0,
+                                      hard=True)
+        rt = MPRuntime(pipeline(copies=2), wakeup=wakeup, faults=plan,
+                       **kwargs)
+        t0 = time.perf_counter()
+        with pytest.raises(PipelineError) as exc:
+            rt.run(timeout=60)
+        elapsed = time.perf_counter() - t0
+        assert any(f.kind == "exitcode" for f in exc.value.failures)
+        return elapsed
+
+    def test_graceful_crash_recovery_no_worse_than_polled(self):
+        event = self._recover("event")
+        polled = self._recover("polled")
+        # Generous scheduling slack; the property is "no regression",
+        # not a precise latency bound (bench_tuning.py measures that).
+        assert event <= polled + 2.0, (event, polled)
+
+    def test_hard_kill_detection_no_worse_than_polled(self):
+        event = self._detect_hard_kill("event")
+        polled = self._detect_hard_kill("polled")
+        assert event <= polled + 2.0, (event, polled)
+
+    def test_hard_kill_detected_under_huge_watchdog(self):
+        # Detection must ride the dead child's sentinel becoming ready
+        # in connection.wait, not the watchdog tick: with a 5s watchdog
+        # the abort may cost the exit-grace window but never a watchdog
+        # period on top.
+        elapsed = self._detect_hard_kill("event", poll_interval=HUGE_POLL)
+        assert elapsed < FAST, (
+            f"detection waited for the watchdog ({elapsed:.2f}s)"
+        )
+
+
+class TestPolledModeStillWorks:
+    """The legacy mode stays available for benchmarking the delta."""
+
+    def test_mp_polled(self):
+        res = MPRuntime(pipeline(), wakeup="polled").run(timeout=60)
+        assert res.deposits("collected")[0] == expected()
+
+    def test_local_polled(self):
+        res = LocalRuntime(pipeline(), wakeup="polled").run(timeout=60)
+        assert res.deposits("collected")[0] == expected()

@@ -1,0 +1,1 @@
+"""Tests for repro.tuning: profiles, cost model, controller, sweep."""

@@ -1,0 +1,175 @@
+"""Online controller: bounds, decisions, events, and bit-identity.
+
+The decision logic is tested synchronously against duck-typed fake
+edges (the controller never imports the runtime, so neither do these
+tests).  The integration tests then pin the property that makes online
+adaptation safe to ship: enabling it — even together with injected
+faults — cannot change a single output bit, only timing.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.tuning import AdaptationBounds, OnlineController
+
+
+class FakeValue:
+    def __init__(self, v):
+        self.value = v
+
+
+class FakeEdge:
+    def __init__(self, num_consumers=4, max_queue=16, credit=4, depths=None):
+        self.num_consumers = num_consumers
+        self.max_queue = max_queue
+        self.credit = FakeValue(credit)
+        self.active = [1] * num_consumers
+        self.queued = list(depths or [0] * num_consumers)
+        self.lock = threading.Lock()
+
+
+def controller(edges, **bounds_kwargs):
+    return OnlineController(
+        edges, AdaptationBounds(**bounds_kwargs), FakeValue(0)
+    )
+
+
+class TestBounds:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval": 0.0},
+            {"min_credit": 0},
+            {"min_credit": 4, "max_credit": 2},
+            {"min_active": 0},
+            {"low_water": 0.5, "high_water": 0.5},
+            {"low_water": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptationBounds(**kwargs)
+
+    def test_defaults_valid(self):
+        b = AdaptationBounds()
+        assert b.min_credit >= 1 and b.low_water < b.high_water
+
+
+class TestDecisions:
+    def test_backlog_widens_credit(self):
+        edge = FakeEdge(credit=4, depths=[4, 4, 4, 4])
+        c = controller({"e": edge})
+        c._tick_edge("e", edge)
+        assert edge.credit.value == 8
+        (ev,) = c.drain_events()
+        assert ev.kind == "tune.adjust"
+        assert ev.attrs["knob"] == "credit"
+        assert ev.attrs["old"] == 4 and ev.attrs["new"] == 8
+
+    def test_credit_capped_at_max_queue(self):
+        edge = FakeEdge(credit=16, max_queue=16, depths=[16] * 4)
+        c = controller({"e": edge})
+        c._tick_edge("e", edge)
+        assert edge.credit.value == 16
+        # No adjustment possible -> no event.
+        assert not [e for e in c.drain_events()
+                    if e.attrs.get("knob") == "credit"]
+
+    def test_idle_narrows_credit_to_floor(self):
+        edge = FakeEdge(credit=4, depths=[0, 0, 0, 0])
+        c = controller({"e": edge}, min_credit=2)
+        c._tick_edge("e", edge)
+        assert edge.credit.value == 2
+        c._tick_edge("e", edge)
+        assert edge.credit.value == 2  # never below min_credit
+
+    def test_idle_deactivates_keeping_deepest(self):
+        edge = FakeEdge(credit=8, depths=[3, 0, 0, 0])
+        c = controller({"e": edge})
+        c._tick_edge("e", edge)
+        assert list(edge.active) == [1, 0, 0, 0]
+        assert any(
+            ev.attrs.get("knob") == "active" and ev.attrs["new"] == 1
+            for ev in c.drain_events()
+        )
+
+    def test_min_active_respected(self):
+        edge = FakeEdge(credit=8, depths=[0, 0, 0, 0])
+        c = controller({"e": edge}, min_active=3)
+        c._tick_edge("e", edge)
+        assert sum(edge.active) == 3
+
+    def test_backlog_reactivates_all(self):
+        edge = FakeEdge(credit=2, depths=[2, 2, 2, 2])
+        edge.active = [1, 0, 0, 1]
+        c = controller({"e": edge})
+        c._tick_edge("e", edge)
+        assert list(edge.active) == [1, 1, 1, 1]
+
+    def test_edges_without_credit_ignored(self):
+        class Plain:
+            credit = None
+
+        c = controller({"plain": Plain()})
+        assert c.edges == {}
+
+    def test_adjustment_counter(self):
+        edge = FakeEdge(credit=4, depths=[4, 4, 4, 4])
+        c = controller({"e": edge})
+        c._tick_edge("e", edge)
+        assert c.adjustments >= 1
+
+    def test_thread_lifecycle(self):
+        edge = FakeEdge(credit=4, depths=[4, 4, 4, 4])
+        c = controller({"e": edge}, interval=0.005)
+        c.start()
+        deadline = threading.Event()
+        deadline.wait(0.1)
+        c.stop()
+        assert edge.credit.value > 4  # it ticked at least once
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    from repro.data.synthetic import PhantomConfig, generate_phantom
+    from repro.storage.dataset import write_dataset
+
+    root = str(tmp_path_factory.mktemp("tune_ds") / "ds")
+    vol = generate_phantom(PhantomConfig(shape=(24, 24, 8, 4), seed=11))
+    write_dataset(vol, root, num_nodes=2)
+    return root
+
+
+class TestBitIdentity:
+    def _volumes(self, dataset, **kwargs):
+        from repro.pipeline.config import AnalysisConfig
+        from repro.pipeline.run import run_pipeline
+
+        cfg = AnalysisConfig(num_texture_copies=2)
+        res = run_pipeline(dataset, cfg, runtime="processes",
+                           run_timeout=120, **kwargs)
+        return res.volumes
+
+    def test_autotune_output_bit_identical(self, dataset):
+        plain = self._volumes(dataset)
+        tuned = self._volumes(
+            dataset, autotune=AdaptationBounds(interval=0.005)
+        )
+        assert set(plain) == set(tuned)
+        for name in plain:
+            assert np.array_equal(plain[name], tuned[name]), name
+
+    def test_autotune_bit_identical_under_faults(self, dataset):
+        from repro.datacutter.faults import FaultPlan
+
+        plain = self._volumes(dataset)
+        faulted = self._volumes(
+            dataset,
+            autotune=AdaptationBounds(interval=0.005),
+            faults=FaultPlan().crash_copy("HMP", copy_index=1,
+                                          after_buffers=1),
+        )
+        for name in plain:
+            assert np.array_equal(plain[name], faulted[name]), name

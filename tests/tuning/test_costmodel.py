@@ -1,0 +1,105 @@
+"""Cost model: feature extraction, fitting, ranking, measured override."""
+
+import pytest
+
+from repro.tuning import fit_cost_model
+from repro.tuning.costmodel import candidate_key, record_features
+
+
+def make_record(service, wait, moved, elapsed, kernel="incremental",
+                transport="pipe", copies=None, chunk=(16, 16, 8, 4)):
+    copies = copies or {"texture": 2}
+    workers = sum(copies.values())
+    return {
+        "candidate": {
+            "chunk_shape": chunk,
+            "copies": copies,
+            "transport": transport,
+            "kernel": kernel,
+        },
+        "elapsed": elapsed,
+        "snapshot": {
+            "counters": {"wire_bytes{stream=a}": moved},
+            "gauges": {},
+            "histograms": {
+                # service is given per-worker; the snapshot carries the
+                # total across copies.
+                "busy_seconds{filter=HMP}": {"sum": service * workers},
+                "queue_wait_seconds{filter=HMP}": {"sum": wait},
+            },
+        },
+    }
+
+
+class TestFeatures:
+    def test_record_features(self):
+        rec = make_record(service=2.0, wait=0.5, moved=3e9, elapsed=2.6,
+                          copies={"texture": 2})
+        feats = record_features(rec)
+        assert feats["service_per_worker"] == pytest.approx(2.0)
+        assert feats["queue_wait"] == pytest.approx(0.5)
+        assert feats["gbytes_moved"] == pytest.approx(3.0)
+
+    def test_candidate_key_is_stable(self):
+        a = {"chunk_shape": (8, 8, 4, 2), "copies": {"b": 1, "a": 2},
+             "transport": "pipe", "kernel": "k"}
+        b = {"chunk_shape": (8, 8, 4, 2), "copies": {"a": 2, "b": 1},
+             "transport": "pipe", "kernel": "k"}
+        assert candidate_key(a) == candidate_key(b)
+
+
+class TestFit:
+    def test_recovers_planted_coefficients(self):
+        # elapsed = 1.5 * service_per_worker + 2.0 * wait + 0.1
+        records = []
+        for i, (s, w) in enumerate(
+            [(1.0, 0.1), (2.0, 0.2), (0.5, 0.4), (3.0, 0.05), (1.5, 0.3)]
+        ):
+            records.append(
+                make_record(service=s, wait=w, moved=0,
+                            elapsed=1.5 * s + 2.0 * w + 0.1,
+                            copies={"texture": i + 1})
+            )
+        model = fit_cost_model(records)
+        assert model.coef["service_per_worker"] == pytest.approx(1.5, abs=0.05)
+        assert model.coef["queue_wait"] == pytest.approx(2.0, abs=0.1)
+        assert model.residual < 0.01
+        assert model.n_records == len(records)
+
+    def test_predict_prefers_measured(self):
+        rec = make_record(service=1.0, wait=0.0, moved=0, elapsed=42.0)
+        model = fit_cost_model([rec, make_record(2.0, 0.1, 0, 3.0,
+                                                 copies={"texture": 1})])
+        assert model.predict(rec) == pytest.approx(42.0)
+
+    def test_predict_interpolates_unseen(self):
+        records = [
+            make_record(s, 0.0, 0, 1.0 * s, copies={"texture": n})
+            for n, s in [(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)]
+        ]
+        model = fit_cost_model(records)
+        unseen = make_record(2.5, 0.0, 0, elapsed=None,
+                             copies={"texture": 5})
+        del unseen["elapsed"]
+        assert model.predict(unseen) == pytest.approx(2.5, abs=0.2)
+
+    def test_rank_orders_fastest_first(self):
+        slow = make_record(3.0, 0.5, 0, 4.0, copies={"texture": 1})
+        fast = make_record(1.0, 0.1, 0, 1.2, copies={"texture": 2})
+        model = fit_cost_model([slow, fast])
+        ranked = model.rank([slow, fast])
+        assert ranked[0][1] is fast and ranked[1][1] is slow
+
+    def test_negative_coefficients_clamped(self):
+        # Anti-physical data (more service -> faster) must not produce a
+        # negative compute coefficient.
+        records = [
+            make_record(s, 0.0, 0, elapsed=5.0 - s, copies={"texture": n})
+            for n, s in [(1, 1.0), (2, 2.0), (3, 3.0)]
+        ]
+        model = fit_cost_model(records)
+        assert model.coef["service_per_worker"] >= 0.0
+
+    def test_zero_records_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cost_model([])
